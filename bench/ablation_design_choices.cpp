@@ -1,0 +1,148 @@
+// Ablation harness for the design choices DESIGN.md §6 calls out.  Not a
+// paper figure — this sweeps the knobs the paper fixed (threshold level,
+// PP-step budget, ECC sizing, selection guard) and shows why the §6.3
+// production operating point is where it is.
+//
+//   (a) hiding threshold Vth: BER vs detectability-budget trade-off
+//   (b) PP step budget m: encode cost vs residual raw BER (paper: m=10)
+//   (c) ECC design BER: parity overhead vs reveal failures
+//   (d) hidden bits per page: census headroom utilisation
+
+#include "common.hpp"
+
+using namespace stash;
+using namespace stash::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::parse(argc, argv);
+  print_header("Ablation: VT-HI design choices",
+               "Sweeps of the knobs §6.3 fixed (Vth=34, m=10, 256 bits).");
+  print_geometry(opt);
+  const auto key = bench_key();
+
+  // ---- (a) threshold sweep ------------------------------------------------
+  std::printf("--- (a) hiding threshold Vth (10 PP steps, 64 bits/page) ---\n");
+  std::printf("%-8s %-12s %-22s %s\n", "Vth", "hidden_BER",
+              "natural_mass_above_%", "added_mass_%");
+  for (double vth : {26.0, 30.0, 34.0, 40.0, 48.0}) {
+    nand::FlashChip chip(opt.geometry(2), nand::NoiseModel::vendor_a(),
+                         opt.seed + 11);
+    (void)chip.program_block_random(0, opt.seed);
+    // Natural mass above vth before hiding.
+    double natural = 0.0, cells = 0.0;
+    for (std::uint32_t p = 0; p < chip.geometry().pages_per_block; ++p) {
+      for (int v : chip.probe_voltages(0, p)) {
+        if (v < 90) {
+          natural += v >= vth;
+          cells += 1.0;
+        }
+      }
+    }
+    vthi::ChannelConfig config;
+    config.vth = vth;
+    vthi::VthiChannel channel(chip, key.selection_key(), config);
+    const auto sample =
+        measure_raw_ber(chip, channel, 0, 64, 1, opt.seed + 1);
+    double after = 0.0;
+    for (std::uint32_t p = 0; p < chip.geometry().pages_per_block; ++p) {
+      for (int v : chip.probe_voltages(0, p)) {
+        if (v < 90) after += v >= vth;
+      }
+    }
+    std::printf("%-8.0f %-12.4f %-22.3f %+.3f\n", vth, sample.ber(),
+                natural / cells * 100.0, (after - natural) / cells * 100.0);
+  }
+  std::printf("Take-away: a lower threshold hides inside thicker natural "
+              "mass but inflates hidden-'1' errors; a higher one shrinks "
+              "the natural cover.  Level ~34 balances both (paper §6).\n\n");
+
+  // ---- (b) PP step budget --------------------------------------------------
+  std::printf("--- (b) PP step budget m (Vth=34, 64 bits/page) ---\n");
+  std::printf("%-6s %-12s %-18s %s\n", "m", "hidden_BER", "encode_ms/page",
+              "energy_uJ/page");
+  for (int m : {2, 4, 6, 8, 10, 14}) {
+    nand::FlashChip chip(opt.geometry(2), nand::NoiseModel::vendor_a(),
+                         opt.seed + 22);
+    (void)chip.program_block_random(0, opt.seed);
+    vthi::ChannelConfig config;
+    config.max_pp_steps = m;
+    vthi::VthiChannel channel(chip, key.selection_key(), config);
+    chip.reset_ledger();
+    const auto sample = measure_raw_ber(chip, channel, 0, 64, 1, opt.seed + 2);
+    const double pages =
+        static_cast<double>(chip.geometry().pages_per_block) / 2.0;
+    std::printf("%-6d %-12.4f %-18.2f %.1f\n", m, sample.ber(),
+                chip.ledger().time_us / pages / 1000.0,
+                chip.ledger().energy_uj / pages);
+  }
+  std::printf("Take-away: BER stops improving near m=10 while cost keeps "
+              "growing linearly — the paper's Fig. 6 knee.\n\n");
+
+  // ---- (c) ECC design point -------------------------------------------------
+  std::printf("--- (c) ECC design BER (production channel, 20 blocks) ---\n");
+  std::printf("%-14s %-16s %-14s %s\n", "design_BER", "parity_overhead",
+              "capacity_B", "reveal_failures");
+  for (double design : {0.004, 0.008, 0.015, 0.03}) {
+    vthi::VthiConfig config = vthi::VthiConfig::production();
+    config.hidden_bits_per_page = opt.density_scaled(256);
+    config.raw_ber_estimate = design;
+    int failures = 0;
+    std::size_t capacity = 0;
+    double overhead = 0.0;
+    for (std::uint32_t b = 0; b < 20; ++b) {
+      nand::FlashChip chip(opt.geometry(2), nand::NoiseModel::vendor_a(),
+                           opt.seed + 33 + b);
+      (void)chip.program_block_random(0, opt.seed + b);
+      vthi::VthiCodec codec(chip, key, config);
+      capacity = codec.capacity_bytes();
+      overhead = codec.ecc_overhead();
+      if (capacity == 0) {
+        ++failures;
+        continue;
+      }
+      std::vector<std::uint8_t> payload(capacity, static_cast<std::uint8_t>(b));
+      if (!codec.hide(0, payload).is_ok()) {
+        ++failures;
+        continue;
+      }
+      const auto revealed = codec.reveal(0);
+      failures += !(revealed.is_ok() && revealed.value() == payload);
+    }
+    std::printf("%-14.3f %-16.1f%% %-14zu %d/20\n", design, overhead * 100.0,
+                capacity, failures);
+  }
+  std::printf("Take-away: under-budgeting the channel BER trades parity for "
+              "reveal failures; the production estimate (1.5%%) covers the "
+              "measured ~1%% channel with 3-sigma margin.\n\n");
+
+  // ---- (d) bits per page vs census -------------------------------------------
+  std::printf("--- (d) hidden bits per page vs the Section 6.3 census ---\n");
+  std::printf("%-14s %-14s %-12s %s\n", "bits/page", "census_min",
+              "hidden_BER", "within_budget");
+  {
+    nand::FlashChip chip(opt.geometry(2), nand::NoiseModel::vendor_a(),
+                         opt.seed + 44);
+    (void)chip.program_block_random(0, opt.seed);
+    vthi::VthiCodec codec(chip, key);
+    const auto recommended = codec.recommended_bits_per_page(0, 1.0);
+    const std::uint32_t census =
+        recommended.is_ok() ? recommended.value() : 0;
+    for (std::uint32_t bits :
+         {census / 4, census / 2, census, census * 2, census * 4}) {
+      if (bits == 0) continue;
+      nand::FlashChip fresh(opt.geometry(2), nand::NoiseModel::vendor_a(),
+                            opt.seed + 44);
+      (void)fresh.program_block_random(0, opt.seed);
+      vthi::VthiChannel channel(fresh, key.selection_key(), {});
+      const auto sample =
+          measure_raw_ber(fresh, channel, 0, bits, 1, opt.seed + 4);
+      std::printf("%-14u %-14u %-12.4f %s\n", bits, census, sample.ber(),
+                  bits <= census ? "yes" : "NO (telltale surplus)");
+    }
+  }
+  std::printf("Take-away: the census bounds how many cells can be pushed "
+              "above the threshold before the distribution acquires a "
+              "surplus the natural variation cannot explain (the paper's "
+              "700 -> 512 -> 256 chain).\n");
+  return 0;
+}

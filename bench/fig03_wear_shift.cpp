@@ -1,0 +1,65 @@
+// Figure 3 (paper §4): voltage distributions shift right as cells wear.
+// One chip, blocks cycled to PEC 0/1000/2000/3000, programmed with random
+// data; block-level histograms of the erased (a) and programmed (b) states.
+
+#include "common.hpp"
+
+using namespace stash;
+using namespace stash::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::parse(argc, argv);
+  print_header("Figure 3: distribution shift with program/erase cycling",
+               "Block-level voltage histograms after 0/1000/2000/3000 PEC.");
+  print_geometry(opt);
+
+  nand::FlashChip chip(opt.geometry(4), nand::NoiseModel::vendor_a(),
+                       opt.seed);
+
+  std::printf("%-12s %-10s %-14s %-14s\n", "PEC", "state", "mean_level",
+              "stddev");
+  struct Row {
+    std::uint32_t pec;
+    util::Histogram hist{0.0, 256.0, 256};
+  };
+  std::vector<Row> rows;
+
+  for (std::uint32_t pec : {0u, 1000u, 2000u, 3000u}) {
+    const std::uint32_t block = static_cast<std::uint32_t>(rows.size());
+    if (pec) (void)chip.age_cycles(block, pec);
+    (void)chip.program_block_random(block, opt.seed + pec);
+
+    Row row{pec, chip.voltage_histogram(block, 256)};
+
+    // Split stats by state for the summary table.
+    util::RunningStats erased, programmed;
+    for (std::uint32_t p = 0; p < chip.geometry().pages_per_block; ++p) {
+      for (int v : chip.probe_voltages(block, p)) {
+        (v < 90 ? erased : programmed).add(v);
+      }
+    }
+    std::printf("%-12u %-10s %-14.2f %-14.2f\n", pec, "erased", erased.mean(),
+                erased.stddev());
+    std::printf("%-12u %-10s %-14.2f %-14.2f\n", pec, "programmed",
+                programmed.mean(), programmed.stddev());
+    rows.push_back(std::move(row));
+  }
+
+  std::printf("\n--- (a) erased band [0,70) ---\n");
+  for (const auto& row : rows) {
+    char label[32];
+    std::snprintf(label, sizeof label, "PEC%u", row.pec);
+    print_histogram_band(row.hist, label, 0.0, 70.0, 5.0);
+  }
+  std::printf("\n--- (b) programmed band [120,215) ---\n");
+  for (const auto& row : rows) {
+    char label[32];
+    std::snprintf(label, sizeof label, "PEC%u", row.pec);
+    print_histogram_band(row.hist, label, 120.0, 215.0, 5.0);
+  }
+
+  std::printf("\nExpected shape (paper Fig. 3): both bands' means move right "
+              "with PEC; programmed band shifts more (~+2 levels / 1000 PEC "
+              "here) and widens.\n");
+  return 0;
+}

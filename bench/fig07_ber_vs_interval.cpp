@@ -1,0 +1,72 @@
+// Figure 7 (paper §6.3): hidden BER as a function of page interval at ten
+// PP steps, for 32/128/512 hidden cells — plus the section's public-data
+// interference numbers (interval 0 inflates public BER ~20%, interval 1
+// ~10%).
+
+#include "common.hpp"
+
+using namespace stash;
+using namespace stash::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::parse(argc, argv);
+  print_header("Figure 7: hidden BER vs page interval (10 PP steps)",
+               "Also reports public-data BER inflation per interval (§6.3).");
+  print_geometry(opt);
+
+  const std::uint32_t intervals[] = {0, 1, 2, 4};
+  const std::uint32_t bit_counts[] = {32, 128, 512};
+  const auto key = bench_key();
+
+  // Public BER is tiny (~1e-5), so its inflation measurement needs many
+  // more blocks than the hidden-BER one.
+  const std::uint32_t public_blocks = opt.sample_blocks * 4;
+
+  // Baseline public BER without any hiding, over the same chips the
+  // hidden runs will use (cancels block-to-block variation).
+  double public_baseline = 0.0;
+  {
+    util::RunningStats stats;
+    for (std::uint32_t b = 0; b < public_blocks; ++b) {
+      nand::FlashChip chip(opt.geometry(2), nand::NoiseModel::vendor_a(),
+                           opt.seed + 7000 + b);
+      const auto written = chip.program_block_random(0, opt.seed + b);
+      stats.add(measure_public_ber(chip, 0, written));
+    }
+    public_baseline = stats.mean();
+  }
+  std::printf("public BER baseline (no hiding): %.3g\n\n", public_baseline);
+
+  std::printf("%-10s %-12s %-12s %-16s %s\n", "interval", "hidden_cells",
+              "hidden_BER", "public_BER", "public_inflation_%");
+  for (std::uint32_t interval : intervals) {
+    for (std::uint32_t bits_per_page : bit_counts) {
+      RawBerSample hidden_total;
+      util::RunningStats public_stats;
+      for (std::uint32_t b = 0; b < public_blocks; ++b) {
+        nand::FlashChip chip(opt.geometry(2), nand::NoiseModel::vendor_a(),
+                             opt.seed + 7000 + b);  // same chips as baseline
+        const auto written = chip.program_block_random(0, opt.seed + b);
+        vthi::VthiChannel channel(chip, key.selection_key(), {});
+        const auto sample = measure_raw_ber(chip, channel, 0, bits_per_page,
+                                            interval, opt.seed + b * 31);
+        hidden_total.errors += sample.errors;
+        hidden_total.bits += sample.bits;
+        public_stats.add(measure_public_ber(chip, 0, written));
+      }
+      const double inflation =
+          public_baseline > 0.0
+              ? (public_stats.mean() / public_baseline - 1.0) * 100.0
+              : 0.0;
+      std::printf("%-10u %-12u %-12.4f %-16.3g %+.0f\n", interval,
+                  bits_per_page, hidden_total.ber(), public_stats.mean(),
+                  inflation);
+    }
+  }
+
+  std::printf("\nExpected shape (paper Fig. 7 + §6.3): hidden BER ~0.5-1%% "
+              "with small, irregular sensitivity to interval and cell "
+              "count; public-BER inflation largest at interval 0 (~+20%%) "
+              "and roughly halved at interval 1.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 8 (paper §6.3): average voltage-level distributions for blocks
+// after applying VT-HI with 32/64/128/256 hidden bits per page, against the
+// normal (no hiding) distribution.  Hiding more bits creates a slightly
+// more noticeable right-shift of the non-programmed band.
+
+#include "common.hpp"
+
+using namespace stash;
+using namespace stash::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::parse(argc, argv);
+  print_header("Figure 8: distribution shift vs hidden bits per page",
+               "Block-average erased-band histograms, paper densities "
+               "scaled to this geometry.");
+  print_geometry(opt);
+
+  const std::uint32_t paper_counts[] = {0, 32, 64, 128, 256};
+  const auto key = bench_key();
+
+  std::printf("%-14s %-14s %-18s %s\n", "paper_bits", "scaled_bits",
+              "erased_mean", "frac_at_or_above_34_%");
+  std::vector<util::Histogram> hists;
+  std::vector<std::string> labels;
+
+  for (std::uint32_t paper_bits : paper_counts) {
+    const std::uint32_t bits_per_page =
+        paper_bits ? opt.density_scaled(paper_bits) : 0;
+    util::Histogram erased_hist(0.0, 256.0, 256);
+    util::RunningStats erased_stats;
+
+    for (std::uint32_t b = 0; b < opt.sample_blocks; ++b) {
+      nand::FlashChip chip(opt.geometry(2), nand::NoiseModel::vendor_a(),
+                           opt.seed + 800 + b);
+      (void)chip.program_block_random(0, opt.seed + b);
+      if (bits_per_page) {
+        vthi::VthiChannel channel(chip, key.selection_key(), {});
+        (void)measure_raw_ber(chip, channel, 0, bits_per_page, 1,
+                              opt.seed + b);
+      }
+      for (std::uint32_t p = 0; p < chip.geometry().pages_per_block; ++p) {
+        for (int v : chip.probe_voltages(0, p)) {
+          if (v < 90) {
+            erased_hist.add(v);
+            erased_stats.add(v);
+          }
+        }
+      }
+    }
+    const double above =
+        erased_hist.fraction_at_or_above(34.0) * 100.0;
+    std::printf("%-14u %-14u %-18.3f %.3f\n", paper_bits, bits_per_page,
+                erased_stats.mean(), above);
+    hists.push_back(std::move(erased_hist));
+    labels.push_back(paper_bits ? "hide" + std::to_string(paper_bits)
+                                : "normal");
+  }
+
+  std::printf("\n--- erased band [0,70), all configurations ---\n");
+  for (std::size_t i = 0; i < hists.size(); ++i) {
+    print_histogram_band(hists[i], labels[i], 0.0, 70.0, 5.0);
+  }
+
+  std::printf("\nExpected shape (paper Fig. 8): curves nearly coincide; "
+              "hiding more bits adds a tiny extra mass just above level 34, "
+              "growing with the bit count but staying within natural "
+              "variation at 256 bits.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Quickstart: hide a secret message inside public data on a (simulated)
+// NAND flash chip, read the public data back unchanged, then recover the
+// secret with the key — and fail to recover it with the wrong key.
+//
+//   $ ./example_quickstart
+//
+// This walks the paper's Figure-4 data flow end to end.
+
+#include <cstdio>
+#include <string>
+
+#include "stash/crypto/drbg.hpp"
+#include "stash/nand/chip.hpp"
+#include "stash/vthi/codec.hpp"
+
+using namespace stash;
+
+int main() {
+  // 1. A chip.  Geometry and noise model how the paper's primary 1x-nm MLC
+  //    test chip behaves; the experiment() preset scales the page width
+  //    down for speed (pass 1 for the full 18048-byte pages).
+  nand::FlashChip chip(nand::Geometry::experiment(/*divisor=*/8),
+                       nand::NoiseModel::vendor_a(), /*serial_seed=*/2024);
+
+  // 2. The normal user stores public data (encrypted data looks random).
+  const std::uint32_t block = 0;
+  const auto public_data = chip.program_block_random(block, /*data_seed=*/7);
+  std::printf("public data: %u pages of %u cells written to block %u\n",
+              chip.geometry().pages_per_block, chip.geometry().cells_per_page,
+              block);
+  std::vector<std::vector<std::uint8_t>> view_before;
+  for (std::uint32_t p = 0; p < chip.geometry().pages_per_block; ++p) {
+    view_before.push_back(chip.read_page(block, p));
+  }
+
+  // 3. The hiding user derives a key from a passphrase and hides a message
+  //    in the voltage levels of the very same block.
+  const auto key = crypto::HidingKey::from_passphrase(
+      "correct horse battery staple", "quickstart-salt");
+  vthi::VthiConfig config = vthi::VthiConfig::production();
+  config.hidden_bits_per_page = 32;  // paper density at this page width
+  vthi::VthiCodec codec(chip, key, config);
+
+  const std::string message = "the cache is under the third floorboard";
+  std::printf("hidden capacity of one block: %zu bytes; hiding %zu bytes\n",
+              codec.capacity_bytes(), message.size());
+
+  const auto report = codec.hide(
+      block, std::span<const std::uint8_t>(
+                 reinterpret_cast<const std::uint8_t*>(message.data()),
+                 message.size()));
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "hide failed: %s\n",
+                 report.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("hidden across %u pages (max %d PP steps per page)\n",
+              report.value().pages_used, report.value().max_pp_steps_taken);
+
+  // 4. The normal user still reads her data, bit for bit, with no key.
+  std::size_t flips = 0;
+  for (std::uint32_t p = 0; p < chip.geometry().pages_per_block; ++p) {
+    const auto readback = chip.read_page(block, p);
+    for (std::size_t c = 0; c < readback.size(); ++c) {
+      flips += (readback[c] ^ view_before[p][c]) & 1;
+    }
+  }
+  std::printf("public data bit flips caused by hiding: %zu (of %u cells)\n",
+              flips,
+              chip.geometry().pages_per_block * chip.geometry().cells_per_page);
+  (void)public_data;
+
+  // 5. The hiding user recovers the message.
+  const auto revealed = codec.reveal(block);
+  if (!revealed.is_ok()) {
+    std::fprintf(stderr, "reveal failed: %s\n",
+                 revealed.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("revealed: \"%s\"\n",
+              std::string(revealed.value().begin(), revealed.value().end())
+                  .c_str());
+
+  // 6. The wrong key recovers nothing (authentication fails).
+  const auto wrong_key =
+      crypto::HidingKey::from_passphrase("password123", "quickstart-salt");
+  vthi::VthiCodec intruder(chip, wrong_key, config);
+  const auto stolen = intruder.reveal(block);
+  std::printf("adversary with wrong key: %s\n",
+              stolen.is_ok() ? "RECOVERED (bug!)"
+                             : stolen.status().to_string().c_str());
+
+  // 7. Panic: one erase destroys the hidden payload (and the public data).
+  (void)codec.erase_hidden(block);
+  std::printf("after panic erase, reveal: %s\n",
+              codec.reveal(block).is_ok() ? "still there (bug!)" : "gone");
+  return 0;
+}

@@ -1,0 +1,37 @@
+#pragma once
+// ChaCha20 stream cipher (RFC 8439).  VT-HI encrypts the hidden payload
+// before embedding (Algorithm 1, step 4) so that hidden bit values are
+// uniformly distributed — the same reason SSD controllers scramble data.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace stash::crypto {
+
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeyBytes = 32;
+  static constexpr std::size_t kNonceBytes = 12;
+
+  ChaCha20(std::span<const std::uint8_t> key,
+           std::span<const std::uint8_t> nonce, std::uint32_t counter = 0);
+
+  /// XOR the keystream into `data` in place (encrypt == decrypt).
+  void apply(std::span<std::uint8_t> data) noexcept;
+
+  /// One-shot convenience returning a fresh buffer.
+  [[nodiscard]] static std::vector<std::uint8_t> crypt(
+      std::span<const std::uint8_t> key, std::span<const std::uint8_t> nonce,
+      std::span<const std::uint8_t> data, std::uint32_t counter = 0);
+
+ private:
+  void refill() noexcept;
+
+  std::array<std::uint32_t, 16> state_{};
+  std::array<std::uint8_t, 64> keystream_{};
+  std::size_t keystream_pos_ = 64;  // empty until first refill
+};
+
+}  // namespace stash::crypto

@@ -1,0 +1,56 @@
+#pragma once
+// SHA-256 (FIPS 180-4), implemented from scratch.  The paper's Algorithm 1
+// names SHA-256 as the keyed PRNG that selects which cells carry hidden
+// bits; it is also the base of our HMAC / HKDF / DRBG stack.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace stash::crypto {
+
+using Digest256 = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(const std::string& s) noexcept {
+    update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+
+  /// Finalize and return the digest.  The object must be reset() before reuse.
+  [[nodiscard]] Digest256 finish() noexcept;
+
+  /// One-shot convenience.
+  [[nodiscard]] static Digest256 hash(std::span<const std::uint8_t> data) noexcept;
+  [[nodiscard]] static Digest256 hash(const std::string& s) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// HMAC-SHA256 (RFC 2104).
+[[nodiscard]] Digest256 hmac_sha256(std::span<const std::uint8_t> key,
+                                    std::span<const std::uint8_t> message) noexcept;
+
+/// HKDF-SHA256 (RFC 5869) expand+extract; derives subkeys (payload cipher
+/// key, cell-selection key, MAC key) from the user's single hiding key.
+[[nodiscard]] std::vector<std::uint8_t> hkdf_sha256(
+    std::span<const std::uint8_t> ikm, std::span<const std::uint8_t> salt,
+    std::span<const std::uint8_t> info, std::size_t length);
+
+/// Hex encoding of a digest, for logging and examples.
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> bytes);
+
+}  // namespace stash::crypto

@@ -1,0 +1,87 @@
+#include "stash/crypto/chacha20.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace stash::crypto {
+namespace {
+
+constexpr std::uint32_t rotl(std::uint32_t x, int n) noexcept {
+  return (x << n) | (x >> (32 - n));
+}
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                   std::uint32_t& d) noexcept {
+  a += b; d ^= a; d = rotl(d, 16);
+  c += d; b ^= c; b = rotl(b, 12);
+  a += b; d ^= a; d = rotl(d, 8);
+  c += d; b ^= c; b = rotl(b, 7);
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> nonce, std::uint32_t counter) {
+  if (key.size() != kKeyBytes) {
+    throw std::invalid_argument("ChaCha20: key must be 32 bytes");
+  }
+  if (nonce.size() != kNonceBytes) {
+    throw std::invalid_argument("ChaCha20: nonce must be 12 bytes");
+  }
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[4 + i] = load_le32(key.data() + i * 4);
+  state_[12] = counter;
+  for (int i = 0; i < 3; ++i) state_[13 + i] = load_le32(nonce.data() + i * 4);
+}
+
+void ChaCha20::refill() noexcept {
+  std::array<std::uint32_t, 16> x = state_;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t word = x[i] + state_[i];
+    keystream_[i * 4] = static_cast<std::uint8_t>(word);
+    keystream_[i * 4 + 1] = static_cast<std::uint8_t>(word >> 8);
+    keystream_[i * 4 + 2] = static_cast<std::uint8_t>(word >> 16);
+    keystream_[i * 4 + 3] = static_cast<std::uint8_t>(word >> 24);
+  }
+  ++state_[12];
+  keystream_pos_ = 0;
+}
+
+void ChaCha20::apply(std::span<std::uint8_t> data) noexcept {
+  for (std::uint8_t& byte : data) {
+    if (keystream_pos_ == 64) refill();
+    byte ^= keystream_[keystream_pos_++];
+  }
+}
+
+std::vector<std::uint8_t> ChaCha20::crypt(std::span<const std::uint8_t> key,
+                                          std::span<const std::uint8_t> nonce,
+                                          std::span<const std::uint8_t> data,
+                                          std::uint32_t counter) {
+  std::vector<std::uint8_t> out(data.begin(), data.end());
+  ChaCha20 cipher(key, nonce, counter);
+  cipher.apply(out);
+  return out;
+}
+
+}  // namespace stash::crypto

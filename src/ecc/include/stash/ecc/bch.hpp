@@ -1,0 +1,72 @@
+#pragma once
+// Binary BCH code over GF(2^m): systematic encoder and a full
+// syndrome / Berlekamp-Massey / Chien-search decoder.  This is the ECC the
+// paper applies to the hidden payload (§6.3): at the production config
+// (~0.5% BER) about 5% parity suffices; at the enhanced 9x-capacity config
+// (~2% BER) about 14% is required.  Codewords may be shortened arbitrarily.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stash/ecc/gf.hpp"
+
+namespace stash::ecc {
+
+class BchCode {
+ public:
+  /// BCH over GF(2^m) with design distance 2t+1 (corrects up to t bit errors
+  /// per codeword).  Natural length n = 2^m - 1; data capacity k = n - deg(g).
+  BchCode(int m, int t);
+
+  [[nodiscard]] int m() const noexcept { return gf_.m(); }
+  [[nodiscard]] int t() const noexcept { return t_; }
+  [[nodiscard]] std::size_t n() const noexcept { return static_cast<std::size_t>(gf_.n()); }
+  [[nodiscard]] std::size_t parity_bits() const noexcept { return generator_.size() - 1; }
+  [[nodiscard]] std::size_t k() const noexcept { return n() - parity_bits(); }
+
+  /// Systematic encode of `data_bits` (values 0/1, length <= k()).  Returns
+  /// the shortened codeword [data | parity] of data_bits.size() +
+  /// parity_bits() bits.
+  [[nodiscard]] std::vector<std::uint8_t> encode(
+      std::span<const std::uint8_t> data_bits) const;
+
+  struct DecodeResult {
+    std::vector<std::uint8_t> data_bits;
+    int corrected = 0;    // number of bit errors repaired
+    bool ok = false;      // false when errors exceeded the t budget
+  };
+
+  /// Decode a shortened codeword produced by encode() with
+  /// data_len = codeword.size() - parity_bits().
+  [[nodiscard]] DecodeResult decode(std::span<const std::uint8_t> codeword_bits) const;
+
+  /// Parity overhead as a fraction of the shortened codeword for a given
+  /// data length.
+  [[nodiscard]] double overhead(std::size_t data_len) const noexcept {
+    return static_cast<double>(parity_bits()) /
+           static_cast<double>(data_len + parity_bits());
+  }
+
+  /// Choose the smallest t (for this m) whose correction power covers the
+  /// given raw bit error rate on data_len-bit payloads with margin_sigmas
+  /// standard deviations of headroom.  Returns 0 if even the max t fails.
+  [[nodiscard]] static int pick_t(int m, std::size_t data_len, double raw_ber,
+                                  double margin_sigmas = 3.0);
+
+  /// Same, but for a fixed total (shortened) codeword length: t covers the
+  /// expected errors across the whole codeword_bits with margin, and the
+  /// parity must still leave room for data.  Suits layouts that fix the
+  /// channel budget first (VT-HI fixes hidden bits per block) and carve
+  /// data capacity out of it.  Returns 0 when infeasible.
+  [[nodiscard]] static int pick_t_for_codeword(int m, std::size_t codeword_bits,
+                                               double raw_ber,
+                                               double margin_sigmas = 3.0);
+
+ private:
+  GaloisField gf_;
+  int t_;
+  std::vector<std::uint8_t> generator_;  // over GF(2), low-degree-first
+};
+
+}  // namespace stash::ecc

@@ -1,0 +1,72 @@
+#pragma once
+// Galois field GF(2^m) arithmetic via log/antilog tables.  Substrate for the
+// BCH codec that protects VT-HI's hidden payload (paper §6.3: a few percent
+// of hidden bits are reserved for ECC).
+
+#include <cstdint>
+#include <vector>
+
+namespace stash::ecc {
+
+class GaloisField {
+ public:
+  /// Construct GF(2^m), 2 <= m <= 16, using a standard primitive polynomial.
+  explicit GaloisField(int m);
+
+  [[nodiscard]] int m() const noexcept { return m_; }
+  /// Number of nonzero elements, i.e. 2^m - 1.
+  [[nodiscard]] int n() const noexcept { return n_; }
+
+  /// alpha^i for any integer exponent (reduced mod n).
+  [[nodiscard]] std::uint32_t alpha_pow(int i) const noexcept {
+    i %= n_;
+    if (i < 0) i += n_;
+    return antilog_[static_cast<std::size_t>(i)];
+  }
+
+  /// Discrete log base alpha; a must be nonzero.
+  [[nodiscard]] int log(std::uint32_t a) const noexcept {
+    return log_[a];
+  }
+
+  [[nodiscard]] std::uint32_t add(std::uint32_t a, std::uint32_t b) const noexcept {
+    return a ^ b;
+  }
+
+  [[nodiscard]] std::uint32_t mul(std::uint32_t a, std::uint32_t b) const noexcept {
+    if (a == 0 || b == 0) return 0;
+    return antilog_[static_cast<std::size_t>((log_[a] + log_[b]) % n_)];
+  }
+
+  /// a / b; b must be nonzero.
+  [[nodiscard]] std::uint32_t div(std::uint32_t a, std::uint32_t b) const noexcept {
+    if (a == 0) return 0;
+    int e = log_[a] - log_[b];
+    if (e < 0) e += n_;
+    return antilog_[static_cast<std::size_t>(e)];
+  }
+
+  /// Multiplicative inverse; a must be nonzero.
+  [[nodiscard]] std::uint32_t inv(std::uint32_t a) const noexcept {
+    return antilog_[static_cast<std::size_t>((n_ - log_[a]) % n_)];
+  }
+
+  /// a^e for non-negative e.
+  [[nodiscard]] std::uint32_t pow(std::uint32_t a, int e) const noexcept {
+    if (a == 0) return e == 0 ? 1u : 0u;
+    return antilog_[static_cast<std::size_t>(
+        (static_cast<long long>(log_[a]) * e % n_ + n_) % n_)];
+  }
+
+  /// Evaluate a polynomial (coefficients low-degree-first) at x.
+  [[nodiscard]] std::uint32_t eval_poly(const std::vector<std::uint32_t>& coeffs,
+                                        std::uint32_t x) const noexcept;
+
+ private:
+  int m_;
+  int n_;
+  std::vector<std::uint32_t> antilog_;  // index: exponent -> element
+  std::vector<int> log_;                // index: element -> exponent
+};
+
+}  // namespace stash::ecc

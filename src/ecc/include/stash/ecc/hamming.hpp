@@ -1,0 +1,57 @@
+#pragma once
+// Hamming SEC-DED (single-error-correct, double-error-detect) over small
+// blocks.  Used for VT-HI's hidden metadata headers, which are too short to
+// justify a BCH codeword.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace stash::ecc {
+
+/// Extended Hamming code over a data block of `data_bits` bits (any size up
+/// to 2^16).  Parity bits are appended: ceil(log2) positions + 1 overall.
+class HammingSecDed {
+ public:
+  explicit HammingSecDed(std::size_t data_bits);
+
+  [[nodiscard]] std::size_t data_bits() const noexcept { return k_; }
+  [[nodiscard]] std::size_t parity_bits() const noexcept {
+    return static_cast<std::size_t>(r_) + 1;
+  }
+  [[nodiscard]] std::size_t codeword_bits() const noexcept {
+    return k_ + parity_bits();
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> encode(
+      std::span<const std::uint8_t> data_bits) const;
+
+  struct DecodeResult {
+    std::vector<std::uint8_t> data_bits;
+    int corrected = 0;   // 0 or 1
+    bool ok = false;     // false on detected double error
+  };
+  [[nodiscard]] DecodeResult decode(std::span<const std::uint8_t> codeword) const;
+
+ private:
+  std::size_t k_;
+  int r_;  // number of Hamming parity positions (excluding overall parity)
+};
+
+/// XOR parity stripe (RAID-4 style) across equal-length buffers — the
+/// "RAID-like scheme" the paper suggests for protecting hidden data against
+/// block loss (§8 "Reliability").
+class ParityStripe {
+ public:
+  /// Parity buffer = XOR of all data buffers.  All buffers must share a size.
+  [[nodiscard]] static std::vector<std::uint8_t> compute(
+      std::span<const std::vector<std::uint8_t>> buffers);
+
+  /// Reconstruct the buffer at `missing_index` from the survivors + parity.
+  [[nodiscard]] static std::vector<std::uint8_t> reconstruct(
+      std::span<const std::vector<std::uint8_t>> buffers,
+      std::span<const std::uint8_t> parity, std::size_t missing_index);
+};
+
+}  // namespace stash::ecc

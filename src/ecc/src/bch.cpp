@@ -1,0 +1,241 @@
+#include "stash/ecc/bch.hpp"
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace stash::ecc {
+namespace {
+
+/// Multiply two polynomials over GF(2^m) (low-degree-first coefficients).
+std::vector<std::uint32_t> poly_mul(const GaloisField& gf,
+                                    const std::vector<std::uint32_t>& a,
+                                    const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> out(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] = gf.add(out[i + j], gf.mul(a[i], b[j]));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BchCode::BchCode(int m, int t) : gf_(m), t_(t) {
+  if (t < 1) throw std::invalid_argument("BchCode: t must be >= 1");
+
+  // Generator = product of the distinct minimal polynomials of
+  // alpha^1 .. alpha^(2t).  Exponents in the same cyclotomic coset share a
+  // minimal polynomial, so track which exponents are already covered.
+  const int n = gf_.n();
+  std::set<int> covered;
+  std::vector<std::uint32_t> gen = {1};
+
+  for (int i = 1; i <= 2 * t; ++i) {
+    if (covered.count(i)) continue;
+    // Cyclotomic coset of i: {i, 2i, 4i, ...} mod n.
+    std::vector<int> coset;
+    int j = i;
+    do {
+      coset.push_back(j);
+      covered.insert(j);
+      j = (2 * j) % n;
+    } while (j != i);
+
+    // Minimal polynomial: product of (x + alpha^j) over the coset.  The
+    // result provably has coefficients in GF(2).
+    std::vector<std::uint32_t> min_poly = {1};
+    for (int e : coset) {
+      min_poly = poly_mul(gf_, min_poly, {gf_.alpha_pow(e), 1});
+    }
+    gen = poly_mul(gf_, gen, min_poly);
+  }
+
+  generator_.resize(gen.size());
+  for (std::size_t idx = 0; idx < gen.size(); ++idx) {
+    if (gen[idx] > 1) {
+      throw std::logic_error("BchCode: generator coefficient not in GF(2)");
+    }
+    generator_[idx] = static_cast<std::uint8_t>(gen[idx]);
+  }
+  if (parity_bits() >= static_cast<std::size_t>(n)) {
+    throw std::invalid_argument("BchCode: t too large for this field (k <= 0)");
+  }
+}
+
+std::vector<std::uint8_t> BchCode::encode(
+    std::span<const std::uint8_t> data_bits) const {
+  if (data_bits.size() > k()) {
+    throw std::invalid_argument("BchCode::encode: data exceeds k bits");
+  }
+  const std::size_t r = parity_bits();
+  // Work buffer holds data followed by r zeros: coefficients of
+  // d(x) * x^r, highest degree first.  Long division by g(x) leaves the
+  // remainder (parity) in the trailing r positions.
+  std::vector<std::uint8_t> work(data_bits.begin(), data_bits.end());
+  work.resize(data_bits.size() + r, 0);
+
+  const std::size_t gdeg = r;  // deg(g) == number of parity bits
+  for (std::size_t i = 0; i < data_bits.size(); ++i) {
+    if (work[i] == 0) continue;
+    // Subtract g(x) aligned at this position.  generator_ is
+    // low-degree-first; position i corresponds to the x^(len-1-i) term, so
+    // g's leading (degree-gdeg) coefficient lines up with work[i].
+    for (std::size_t j = 0; j <= gdeg; ++j) {
+      work[i + j] ^= generator_[gdeg - j];
+    }
+  }
+
+  std::vector<std::uint8_t> codeword(data_bits.begin(), data_bits.end());
+  codeword.insert(codeword.end(), work.end() - static_cast<long>(r), work.end());
+  return codeword;
+}
+
+BchCode::DecodeResult BchCode::decode(
+    std::span<const std::uint8_t> codeword_bits) const {
+  DecodeResult result;
+  const std::size_t r = parity_bits();
+  if (codeword_bits.size() <= r || codeword_bits.size() > n()) {
+    return result;  // ok = false: not a valid shortened codeword length
+  }
+  const std::size_t len = codeword_bits.size();
+  std::vector<std::uint8_t> cw(codeword_bits.begin(), codeword_bits.end());
+
+  // Syndromes S_i = c(alpha^i), i = 1..2t.  Vector index j holds the
+  // coefficient of x^(len-1-j).
+  std::vector<std::uint32_t> syndromes(static_cast<std::size_t>(2 * t_), 0);
+  bool all_zero = true;
+  for (int i = 1; i <= 2 * t_; ++i) {
+    std::uint32_t s = 0;
+    for (std::size_t j = 0; j < len; ++j) {
+      if (cw[j] & 1) {
+        s = gf_.add(s, gf_.alpha_pow(i * static_cast<int>(len - 1 - j)));
+      }
+    }
+    syndromes[static_cast<std::size_t>(i - 1)] = s;
+    if (s != 0) all_zero = false;
+  }
+
+  if (all_zero) {
+    result.data_bits.assign(cw.begin(), cw.end() - static_cast<long>(r));
+    result.ok = true;
+    return result;
+  }
+
+  // Berlekamp-Massey: find the minimal error-locator polynomial Lambda(x).
+  std::vector<std::uint32_t> lambda = {1};
+  std::vector<std::uint32_t> prev = {1};
+  int l = 0;
+  int shift = 1;
+  std::uint32_t prev_delta = 1;
+  for (int step = 0; step < 2 * t_; ++step) {
+    std::uint32_t delta = syndromes[static_cast<std::size_t>(step)];
+    for (int i = 1; i <= l && i < static_cast<int>(lambda.size()); ++i) {
+      delta = gf_.add(delta,
+                      gf_.mul(lambda[static_cast<std::size_t>(i)],
+                              syndromes[static_cast<std::size_t>(step - i)]));
+    }
+    if (delta == 0) {
+      ++shift;
+      continue;
+    }
+    // lambda' = lambda - (delta/prev_delta) * x^shift * prev
+    std::vector<std::uint32_t> next = lambda;
+    const std::uint32_t coef = gf_.div(delta, prev_delta);
+    if (next.size() < prev.size() + static_cast<std::size_t>(shift)) {
+      next.resize(prev.size() + static_cast<std::size_t>(shift), 0);
+    }
+    for (std::size_t i = 0; i < prev.size(); ++i) {
+      next[i + static_cast<std::size_t>(shift)] =
+          gf_.add(next[i + static_cast<std::size_t>(shift)],
+                  gf_.mul(coef, prev[i]));
+    }
+    if (2 * l <= step) {
+      prev = lambda;
+      prev_delta = delta;
+      l = step + 1 - l;
+      shift = 1;
+    } else {
+      ++shift;
+    }
+    lambda = std::move(next);
+  }
+
+  // Trim trailing zeros; degree must equal the claimed error count.
+  while (lambda.size() > 1 && lambda.back() == 0) lambda.pop_back();
+  const int nu = static_cast<int>(lambda.size()) - 1;
+  if (nu > t_ || nu != l) {
+    return result;  // more errors than the design distance supports
+  }
+
+  // Chien search restricted to transmitted degrees [0, len).  An error at
+  // degree p means Lambda(alpha^-p) == 0.
+  int found = 0;
+  for (std::size_t p = 0; p < len && found < nu; ++p) {
+    std::uint32_t acc = 0;
+    for (std::size_t i = 0; i < lambda.size(); ++i) {
+      if (lambda[i] == 0) continue;
+      acc = gf_.add(acc, gf_.mul(lambda[i], gf_.alpha_pow(-static_cast<int>(
+                                                 i * p))));
+    }
+    if (acc == 0) {
+      cw[len - 1 - p] ^= 1;
+      ++found;
+    }
+  }
+  if (found != nu) {
+    return result;  // roots outside the shortened range: uncorrectable
+  }
+
+  // Verify the repair really zeroed the syndromes (guards against
+  // miscorrection just past the design distance).
+  for (int i = 1; i <= 2 * t_; ++i) {
+    std::uint32_t s = 0;
+    for (std::size_t j = 0; j < len; ++j) {
+      if (cw[j] & 1) {
+        s = gf_.add(s, gf_.alpha_pow(i * static_cast<int>(len - 1 - j)));
+      }
+    }
+    if (s != 0) return result;
+  }
+
+  result.data_bits.assign(cw.begin(), cw.end() - static_cast<long>(r));
+  result.corrected = found;
+  result.ok = true;
+  return result;
+}
+
+int BchCode::pick_t_for_codeword(int m, std::size_t codeword_bits,
+                                 double raw_ber, double margin_sigmas) {
+  const std::size_t n = (1ull << m) - 1;
+  if (codeword_bits == 0 || codeword_bits > n) return 0;
+  const double bits = static_cast<double>(codeword_bits);
+  const double mu = bits * raw_ber;
+  const double sigma = std::sqrt(bits * raw_ber * (1.0 - raw_ber));
+  const int t = static_cast<int>(std::ceil(mu + margin_sigmas * sigma));
+  if (t < 1) return 1;
+  // Parity may not consume the whole codeword (deg(g) <= m*t).
+  if (static_cast<std::size_t>(m) * static_cast<std::size_t>(t) >=
+      codeword_bits) {
+    return 0;
+  }
+  return t;
+}
+
+int BchCode::pick_t(int m, std::size_t data_len, double raw_ber,
+                    double margin_sigmas) {
+  const int n = (1 << m) - 1;
+  for (int t = 1; m * t < n - 1; ++t) {
+    const double total_bits =
+        static_cast<double>(data_len) + static_cast<double>(m * t);
+    if (total_bits > static_cast<double>(n)) break;
+    const double mu = total_bits * raw_ber;
+    const double sigma = std::sqrt(total_bits * raw_ber * (1.0 - raw_ber));
+    if (static_cast<double>(t) >= mu + margin_sigmas * sigma) return t;
+  }
+  return 0;
+}
+
+}  // namespace stash::ecc

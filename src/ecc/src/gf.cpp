@@ -1,0 +1,58 @@
+#include "stash/ecc/gf.hpp"
+
+#include <stdexcept>
+
+namespace stash::ecc {
+namespace {
+
+/// Primitive polynomials over GF(2), indexed by m; the value encodes the
+/// polynomial with the x^m term implicit (conventional representations).
+constexpr std::uint32_t kPrimitivePoly[17] = {
+    0, 0,
+    0x7,     // m=2:  x^2+x+1
+    0xb,     // m=3:  x^3+x+1
+    0x13,    // m=4:  x^4+x+1
+    0x25,    // m=5:  x^5+x^2+1
+    0x43,    // m=6:  x^6+x+1
+    0x89,    // m=7:  x^7+x^3+1
+    0x11d,   // m=8:  x^8+x^4+x^3+x^2+1
+    0x211,   // m=9:  x^9+x^4+1
+    0x409,   // m=10: x^10+x^3+1
+    0x805,   // m=11: x^11+x^2+1
+    0x1053,  // m=12: x^12+x^6+x^4+x+1
+    0x201b,  // m=13: x^13+x^4+x^3+x+1
+    0x4443,  // m=14: x^14+x^10+x^6+x+1
+    0x8003,  // m=15: x^15+x+1
+    0x1100b, // m=16: x^16+x^12+x^3+x+1
+};
+
+}  // namespace
+
+GaloisField::GaloisField(int m) : m_(m), n_((1 << m) - 1) {
+  if (m < 2 || m > 16) {
+    throw std::invalid_argument("GaloisField: m must be in [2, 16]");
+  }
+  antilog_.resize(static_cast<std::size_t>(n_));
+  log_.assign(static_cast<std::size_t>(n_) + 1, 0);
+
+  const std::uint32_t poly = kPrimitivePoly[m];
+  std::uint32_t x = 1;
+  for (int i = 0; i < n_; ++i) {
+    antilog_[static_cast<std::size_t>(i)] = x;
+    log_[x] = i;
+    x <<= 1;
+    if (x & (1u << m)) x ^= poly;
+  }
+}
+
+std::uint32_t GaloisField::eval_poly(const std::vector<std::uint32_t>& coeffs,
+                                     std::uint32_t x) const noexcept {
+  // Horner's rule, high degree first.
+  std::uint32_t acc = 0;
+  for (auto it = coeffs.rbegin(); it != coeffs.rend(); ++it) {
+    acc = add(mul(acc, x), *it);
+  }
+  return acc;
+}
+
+}  // namespace stash::ecc

@@ -1,0 +1,152 @@
+#include "stash/ecc/hamming.hpp"
+
+#include <stdexcept>
+
+namespace stash::ecc {
+namespace {
+
+// Layout: we keep data and parity separated (systematic) and compute the
+// syndrome over virtual Hamming positions.  Data bit i sits at the i-th
+// non-power-of-two position (1-based); parity bit j covers positions with
+// bit j set.
+
+std::size_t data_position(std::size_t i) noexcept {
+  // i-th (0-based) position in 1,2,3,... that is not a power of two.
+  std::size_t pos = 0;
+  std::size_t seen = 0;
+  while (true) {
+    ++pos;
+    if ((pos & (pos - 1)) != 0) {  // not a power of two
+      if (seen == i) return pos;
+      ++seen;
+    }
+  }
+}
+
+}  // namespace
+
+HammingSecDed::HammingSecDed(std::size_t data_bits) : k_(data_bits), r_(0) {
+  if (data_bits == 0 || data_bits > (1u << 16)) {
+    throw std::invalid_argument("HammingSecDed: unsupported data size");
+  }
+  // Smallest r with 2^r >= k + r + 1.
+  while ((1ull << r_) < k_ + static_cast<std::size_t>(r_) + 1) ++r_;
+}
+
+std::vector<std::uint8_t> HammingSecDed::encode(
+    std::span<const std::uint8_t> data) const {
+  if (data.size() != k_) {
+    throw std::invalid_argument("HammingSecDed::encode: wrong data length");
+  }
+  std::vector<std::uint8_t> parity(static_cast<std::size_t>(r_), 0);
+  std::uint8_t overall = 0;
+  for (std::size_t i = 0; i < k_; ++i) {
+    if (!(data[i] & 1)) continue;
+    const std::size_t pos = data_position(i);
+    for (int j = 0; j < r_; ++j) {
+      if (pos & (1ull << j)) parity[static_cast<std::size_t>(j)] ^= 1;
+    }
+    overall ^= 1;
+  }
+  for (std::uint8_t p : parity) overall ^= p;
+
+  std::vector<std::uint8_t> out(data.begin(), data.end());
+  out.insert(out.end(), parity.begin(), parity.end());
+  out.push_back(overall);
+  return out;
+}
+
+HammingSecDed::DecodeResult HammingSecDed::decode(
+    std::span<const std::uint8_t> codeword) const {
+  DecodeResult result;
+  if (codeword.size() != codeword_bits()) return result;
+
+  std::vector<std::uint8_t> data(codeword.begin(),
+                                 codeword.begin() + static_cast<long>(k_));
+  std::vector<std::uint8_t> parity(
+      codeword.begin() + static_cast<long>(k_),
+      codeword.begin() + static_cast<long>(k_ + static_cast<std::size_t>(r_)));
+  const std::uint8_t overall_received = codeword.back() & 1;
+
+  std::size_t syndrome = 0;
+  std::uint8_t overall = 0;
+  for (std::size_t i = 0; i < k_; ++i) {
+    if (data[i] & 1) {
+      syndrome ^= data_position(i);
+      overall ^= 1;
+    }
+  }
+  for (int j = 0; j < r_; ++j) {
+    if (parity[static_cast<std::size_t>(j)] & 1) {
+      syndrome ^= (1ull << j);
+      overall ^= 1;
+    }
+  }
+  overall ^= overall_received;
+
+  if (syndrome == 0 && overall == 0) {
+    result.data_bits = std::move(data);
+    result.ok = true;
+    return result;
+  }
+  if (overall == 0) {
+    // Nonzero syndrome with even overall parity: two errors, detected only.
+    return result;
+  }
+
+  // Single error: at Hamming position `syndrome`, or in the overall parity
+  // bit itself when the syndrome is zero.
+  if (syndrome != 0) {
+    if ((syndrome & (syndrome - 1)) == 0) {
+      // A parity position: data unaffected.
+    } else {
+      std::size_t seen = 0;
+      for (std::size_t pos = 1; pos <= syndrome; ++pos) {
+        if ((pos & (pos - 1)) != 0) {
+          if (pos == syndrome) {
+            if (seen >= k_) return result;  // corrupted beyond layout
+            data[seen] ^= 1;
+            break;
+          }
+          ++seen;
+        }
+      }
+    }
+  }
+  result.data_bits = std::move(data);
+  result.corrected = 1;
+  result.ok = true;
+  return result;
+}
+
+std::vector<std::uint8_t> ParityStripe::compute(
+    std::span<const std::vector<std::uint8_t>> buffers) {
+  if (buffers.empty()) throw std::invalid_argument("ParityStripe: no buffers");
+  std::vector<std::uint8_t> parity(buffers.front().size(), 0);
+  for (const auto& buf : buffers) {
+    if (buf.size() != parity.size()) {
+      throw std::invalid_argument("ParityStripe: buffer size mismatch");
+    }
+    for (std::size_t i = 0; i < buf.size(); ++i) parity[i] ^= buf[i];
+  }
+  return parity;
+}
+
+std::vector<std::uint8_t> ParityStripe::reconstruct(
+    std::span<const std::vector<std::uint8_t>> buffers,
+    std::span<const std::uint8_t> parity, std::size_t missing_index) {
+  if (missing_index >= buffers.size()) {
+    throw std::invalid_argument("ParityStripe: bad missing index");
+  }
+  std::vector<std::uint8_t> out(parity.begin(), parity.end());
+  for (std::size_t b = 0; b < buffers.size(); ++b) {
+    if (b == missing_index) continue;
+    if (buffers[b].size() != out.size()) {
+      throw std::invalid_argument("ParityStripe: buffer size mismatch");
+    }
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] ^= buffers[b][i];
+  }
+  return out;
+}
+
+}  // namespace stash::ecc

@@ -1,0 +1,122 @@
+#pragma once
+// Page-mapping flash translation layer (paper §3): logical pages are
+// remapped on every write, invalidated versions are garbage collected, and
+// wear is leveled across blocks.  The steganographic layer (§9.2) sits on
+// top of this and uses the relocation hook to re-embed hidden data before
+// the block containing it is erased (§5.1: "The HU must either re-embed the
+// hidden data in a new location ... before the old NU page containing it is
+// permanently erased").
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "stash/nand/chip.hpp"
+#include "stash/util/status.hpp"
+
+namespace stash::ftl {
+
+using util::Result;
+using util::Status;
+
+struct FtlConfig {
+  /// Fraction of physical blocks reserved as over-provisioning.
+  double overprovision = 0.125;
+  /// GC triggers when free blocks drop to this count.
+  std::uint32_t gc_low_watermark = 2;
+  /// Static wear leveling kicks in when (max PEC - min PEC) exceeds this.
+  std::uint32_t wear_delta_threshold = 100;
+};
+
+struct FtlStats {
+  std::uint64_t host_writes = 0;   // pages written by the host
+  std::uint64_t nand_writes = 0;   // pages physically programmed
+  std::uint64_t gc_runs = 0;
+  std::uint64_t relocations = 0;   // valid pages moved by GC/WL
+  std::uint64_t wear_swaps = 0;
+
+  [[nodiscard]] double write_amplification() const noexcept {
+    return host_writes ? static_cast<double>(nand_writes) /
+                             static_cast<double>(host_writes)
+                       : 0.0;
+  }
+};
+
+class PageMappedFtl {
+ public:
+  /// Called just before a valid page is relocated: (old physical address,
+  /// new physical address, page data being carried over).  The hidden-data
+  /// layer re-embeds here; the data itself may not be modified.
+  using RelocationHook = std::function<void(nand::PageAddr from,
+                                            nand::PageAddr to,
+                                            const std::vector<std::uint8_t>&)>;
+
+  /// Called once per victim block, before the first page moves and before
+  /// the erase — while every cell of the block is still physically intact.
+  /// This is the last chance to lift hidden data out of the block, and it
+  /// fires even when the block holds no valid public pages at all.
+  using PreEraseHook = std::function<void(std::uint32_t block)>;
+
+  PageMappedFtl(nand::FlashChip& chip, FtlConfig config = {});
+
+  /// Number of logical pages exposed to the host.
+  [[nodiscard]] std::uint64_t logical_pages() const noexcept {
+    return logical_pages_;
+  }
+  /// Bits (cells) per page — the host I/O unit.
+  [[nodiscard]] std::uint32_t page_bits() const noexcept {
+    return chip_->geometry().cells_per_page;
+  }
+
+  Status write(std::uint64_t lpn, std::span<const std::uint8_t> bits);
+  [[nodiscard]] Result<std::vector<std::uint8_t>> read(std::uint64_t lpn);
+  Status trim(std::uint64_t lpn);
+
+  /// Physical location of a logical page, if mapped.
+  [[nodiscard]] std::optional<nand::PageAddr> locate(std::uint64_t lpn) const;
+
+  void set_relocation_hook(RelocationHook hook) { hook_ = std::move(hook); }
+  void set_pre_erase_hook(PreEraseHook hook) {
+    pre_erase_hook_ = std::move(hook);
+  }
+
+  [[nodiscard]] const FtlStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint32_t free_blocks() const noexcept {
+    return static_cast<std::uint32_t>(free_.size());
+  }
+
+  /// Force a garbage-collection pass (also runs automatically on demand).
+  Status run_gc();
+
+ private:
+  static constexpr std::uint64_t kUnmapped = ~0ULL;
+
+  [[nodiscard]] std::uint64_t phys_index(nand::PageAddr addr) const noexcept {
+    return static_cast<std::uint64_t>(addr.block) *
+               chip_->geometry().pages_per_block +
+           addr.page;
+  }
+
+  Result<nand::PageAddr> allocate_page();
+  Status relocate_block(std::uint32_t victim);
+  Status maybe_wear_level();
+  [[nodiscard]] std::uint32_t pick_gc_victim() const;
+
+  nand::FlashChip* chip_;
+  FtlConfig config_;
+  std::uint64_t logical_pages_;
+
+  std::vector<std::uint64_t> l2p_;        // lpn -> phys index (or kUnmapped)
+  std::vector<std::uint64_t> p2l_;        // phys index -> lpn (or kUnmapped)
+  std::vector<std::uint32_t> valid_count_;  // per block
+  std::vector<std::uint32_t> free_;         // free block list
+  std::optional<std::uint32_t> active_block_;
+  std::uint32_t active_next_page_ = 0;
+  bool gc_active_ = false;  // prevents re-entrant collection
+  RelocationHook hook_;
+  PreEraseHook pre_erase_hook_;
+  FtlStats stats_;
+};
+
+}  // namespace stash::ftl

@@ -1,0 +1,226 @@
+#include "stash/ftl/ftl.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace stash::ftl {
+
+using nand::PageAddr;
+using util::ErrorCode;
+
+PageMappedFtl::PageMappedFtl(nand::FlashChip& chip, FtlConfig config)
+    : chip_(&chip), config_(config) {
+  const auto& geom = chip.geometry();
+  const auto op_blocks = static_cast<std::uint32_t>(
+      static_cast<double>(geom.blocks) * config_.overprovision);
+  const std::uint32_t user_blocks =
+      geom.blocks > op_blocks + 1 ? geom.blocks - op_blocks : 1;
+  logical_pages_ =
+      static_cast<std::uint64_t>(user_blocks) * geom.pages_per_block;
+
+  l2p_.assign(logical_pages_, kUnmapped);
+  p2l_.assign(static_cast<std::size_t>(geom.blocks) * geom.pages_per_block,
+              kUnmapped);
+  valid_count_.assign(geom.blocks, 0);
+  free_.resize(geom.blocks);
+  for (std::uint32_t b = 0; b < geom.blocks; ++b) {
+    free_[b] = geom.blocks - 1 - b;  // pop_back() hands out block 0 first
+  }
+}
+
+Result<PageAddr> PageMappedFtl::allocate_page() {
+  const auto& geom = chip_->geometry();
+  if (!active_block_ || active_next_page_ >= geom.pages_per_block) {
+    if (!gc_active_) {
+      // Collect until the free pool is healthy again.  Each pass frees its
+      // victim but may consume free space relocating valid pages, so guard
+      // against a stuck state where no pass makes net progress.
+      std::uint32_t guard = geom.blocks * 2;
+      while (free_.size() <= config_.gc_low_watermark && guard-- > 0) {
+        const Status collected = run_gc();
+        if (!collected.is_ok()) {
+          if (free_.empty()) return collected;
+          break;
+        }
+      }
+    }
+    if (free_.empty()) {
+      return Status{ErrorCode::kNoSpace, "no free blocks"};
+    }
+    active_block_ = free_.back();
+    free_.pop_back();
+    active_next_page_ = 0;
+  }
+  return PageAddr{*active_block_, active_next_page_++};
+}
+
+Status PageMappedFtl::write(std::uint64_t lpn,
+                            std::span<const std::uint8_t> bits) {
+  if (lpn >= logical_pages_) {
+    return {ErrorCode::kOutOfBounds, "lpn beyond logical capacity"};
+  }
+  if (bits.size() != page_bits()) {
+    return {ErrorCode::kInvalidArgument, "write size != page size"};
+  }
+
+  auto addr = allocate_page();
+  if (!addr.is_ok()) return addr.status();
+  const PageAddr dst = addr.value();
+
+  STASH_RETURN_IF_ERROR(chip_->program_page(dst.block, dst.page, bits));
+
+  // Invalidate the old copy after the new one is durable.
+  if (l2p_[lpn] != kUnmapped) {
+    const std::uint64_t old = l2p_[lpn];
+    p2l_[old] = kUnmapped;
+    const auto old_block =
+        static_cast<std::uint32_t>(old / chip_->geometry().pages_per_block);
+    --valid_count_[old_block];
+  }
+  l2p_[lpn] = phys_index(dst);
+  p2l_[phys_index(dst)] = lpn;
+  ++valid_count_[dst.block];
+  ++stats_.host_writes;
+  ++stats_.nand_writes;
+
+  STASH_RETURN_IF_ERROR(maybe_wear_level());
+  return Status::ok();
+}
+
+Result<std::vector<std::uint8_t>> PageMappedFtl::read(std::uint64_t lpn) {
+  if (lpn >= logical_pages_) {
+    return Status{ErrorCode::kOutOfBounds, "lpn beyond logical capacity"};
+  }
+  if (l2p_[lpn] == kUnmapped) {
+    return Status{ErrorCode::kNotFound, "logical page not written"};
+  }
+  const std::uint64_t phys = l2p_[lpn];
+  const auto& geom = chip_->geometry();
+  return chip_->read_page(
+      static_cast<std::uint32_t>(phys / geom.pages_per_block),
+      static_cast<std::uint32_t>(phys % geom.pages_per_block));
+}
+
+Status PageMappedFtl::trim(std::uint64_t lpn) {
+  if (lpn >= logical_pages_) {
+    return {ErrorCode::kOutOfBounds, "lpn beyond logical capacity"};
+  }
+  if (l2p_[lpn] != kUnmapped) {
+    const std::uint64_t old = l2p_[lpn];
+    p2l_[old] = kUnmapped;
+    --valid_count_[static_cast<std::uint32_t>(
+        old / chip_->geometry().pages_per_block)];
+    l2p_[lpn] = kUnmapped;
+  }
+  return Status::ok();
+}
+
+std::optional<PageAddr> PageMappedFtl::locate(std::uint64_t lpn) const {
+  if (lpn >= logical_pages_ || l2p_[lpn] == kUnmapped) return std::nullopt;
+  const auto& geom = chip_->geometry();
+  return PageAddr{
+      static_cast<std::uint32_t>(l2p_[lpn] / geom.pages_per_block),
+      static_cast<std::uint32_t>(l2p_[lpn] % geom.pages_per_block)};
+}
+
+std::uint32_t PageMappedFtl::pick_gc_victim() const {
+  // Greedy: the block with the fewest valid pages, excluding the active
+  // block and free blocks.
+  const auto& geom = chip_->geometry();
+  std::uint32_t best = geom.blocks;
+  std::uint32_t best_valid = std::numeric_limits<std::uint32_t>::max();
+  std::vector<bool> is_free(geom.blocks, false);
+  for (std::uint32_t b : free_) is_free[b] = true;
+  for (std::uint32_t b = 0; b < geom.blocks; ++b) {
+    if (is_free[b]) continue;
+    if (active_block_ && *active_block_ == b) continue;
+    // Only consider blocks that have been written to.
+    bool touched = false;
+    for (std::uint32_t p = 0; p < geom.pages_per_block && !touched; ++p) {
+      touched = p2l_[static_cast<std::uint64_t>(b) * geom.pages_per_block + p] !=
+                kUnmapped;
+    }
+    if (!touched && valid_count_[b] == 0) {
+      // Fully invalid (or never-used but not in free list): ideal victim.
+      return b;
+    }
+    if (valid_count_[b] < best_valid) {
+      best_valid = valid_count_[b];
+      best = b;
+    }
+  }
+  return best;
+}
+
+Status PageMappedFtl::relocate_block(std::uint32_t victim) {
+  const auto& geom = chip_->geometry();
+  if (pre_erase_hook_) pre_erase_hook_(victim);
+  for (std::uint32_t p = 0; p < geom.pages_per_block; ++p) {
+    const std::uint64_t phys =
+        static_cast<std::uint64_t>(victim) * geom.pages_per_block + p;
+    const std::uint64_t lpn = p2l_[phys];
+    if (lpn == kUnmapped) continue;
+
+    const auto data = chip_->read_page(victim, p);
+    auto dst = allocate_page();
+    if (!dst.is_ok()) return dst.status();
+    const PageAddr to = dst.value();
+    STASH_RETURN_IF_ERROR(chip_->program_page(to.block, to.page, data));
+    if (hook_) hook_(PageAddr{victim, p}, to, data);
+
+    p2l_[phys] = kUnmapped;
+    --valid_count_[victim];
+    l2p_[lpn] = phys_index(to);
+    p2l_[phys_index(to)] = lpn;
+    ++valid_count_[to.block];
+    ++stats_.nand_writes;
+    ++stats_.relocations;
+  }
+  STASH_RETURN_IF_ERROR(chip_->erase_block(victim));
+  free_.insert(free_.begin(), victim);  // FIFO-ish reuse spreads wear
+  return Status::ok();
+}
+
+Status PageMappedFtl::run_gc() {
+  if (gc_active_) return Status::ok();
+  const std::uint32_t victim = pick_gc_victim();
+  if (victim >= chip_->geometry().blocks) {
+    return {ErrorCode::kNoSpace, "no GC victim available"};
+  }
+  ++stats_.gc_runs;
+  gc_active_ = true;
+  const Status status = relocate_block(victim);
+  gc_active_ = false;
+  return status;
+}
+
+Status PageMappedFtl::maybe_wear_level() {
+  // Threshold-based static wear leveling: when the wear spread exceeds the
+  // configured delta, migrate the coldest (most-valid, least-worn) block's
+  // data onto the most-worn free block so cold data stops shielding it.
+  const auto& geom = chip_->geometry();
+  std::uint32_t min_pec = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t max_pec = 0;
+  std::uint32_t coldest = geom.blocks;
+  for (std::uint32_t b = 0; b < geom.blocks; ++b) {
+    const std::uint32_t pec = chip_->pec(b);
+    if (pec < min_pec && valid_count_[b] > 0) {
+      min_pec = pec;
+      coldest = b;
+    }
+    max_pec = std::max(max_pec, pec);
+  }
+  if (coldest >= geom.blocks ||
+      max_pec - std::min(min_pec, max_pec) < config_.wear_delta_threshold) {
+    return Status::ok();
+  }
+  if (active_block_ && *active_block_ == coldest) return Status::ok();
+  if (gc_active_) return Status::ok();
+  ++stats_.wear_swaps;
+  gc_active_ = true;
+  const Status status = relocate_block(coldest);
+  gc_active_ = false;
+  return status;
+}
+
+}  // namespace stash::ftl

@@ -1,0 +1,204 @@
+#pragma once
+// FlashChip: a cell-accurate, voltage-level NAND flash simulator.
+//
+// This is the substitute for the paper's real 1x-nm MLC packages + SigNAS-II
+// tester (DESIGN.md §1).  Every cell carries a continuous threshold voltage
+// on the tester's normalized 0-255 scale; operations reproduce the §4 noise
+// phenomenology: programming noise, manufacturing variation at chip / block
+// / page / cell granularity, program disturb, wear-induced right shift, and
+// retention charge leakage.
+//
+// Standard (ONFI-available) operations: erase_block, program_page,
+// read_page.  Vendor operations the paper obtained under NDA:
+// read_page_at (shifted reference read), probe_voltages (per-cell voltage
+// measurement), partial_program (PROGRAM aborted midway), and fine_program
+// (the controller-internal precise pass §6.2 argues vendors could expose).
+//
+// Blocks are lazily allocated: a full-geometry "8 GB" chip only pays for
+// blocks that are touched.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "stash/nand/geometry.hpp"
+#include "stash/nand/noise.hpp"
+#include "stash/util/histogram.hpp"
+#include "stash/util/rng.hpp"
+#include "stash/util/status.hpp"
+
+namespace stash::nand {
+
+using util::Status;
+
+enum class PageState : std::uint8_t { kErased, kProgrammed };
+
+class FlashChip {
+ public:
+  FlashChip(const Geometry& geometry, const NoiseModel& noise,
+            std::uint64_t serial_seed, OpCosts costs = OpCosts{});
+
+  FlashChip(const FlashChip&) = delete;
+  FlashChip& operator=(const FlashChip&) = delete;
+  FlashChip(FlashChip&&) = default;
+  FlashChip& operator=(FlashChip&&) = default;
+
+  [[nodiscard]] const Geometry& geometry() const noexcept { return geom_; }
+  [[nodiscard]] const NoiseModel& noise() const noexcept { return noise_; }
+  [[nodiscard]] std::uint64_t serial() const noexcept { return seed_; }
+
+  // ---- Standard flash operations ----------------------------------------
+
+  /// Erase a block: every page returns to the erased state, PEC increments.
+  Status erase_block(std::uint32_t block);
+
+  /// Program public data into an erased page.  `bits` holds one value per
+  /// cell: 1 = leave erased (logical '1'), 0 = charge (logical '0').
+  /// Rejects reprogramming (no in-place updates) and, when the geometry
+  /// demands it, out-of-order programming within the block.
+  Status program_page(std::uint32_t block, std::uint32_t page,
+                      std::span<const std::uint8_t> bits);
+
+  /// Read a page at the standard public reference voltage: 1 below, 0 above.
+  [[nodiscard]] std::vector<std::uint8_t> read_page(std::uint32_t block,
+                                                    std::uint32_t page);
+
+  // ---- Vendor operations (NDA commands on real hardware) -----------------
+
+  /// Read with a shifted reference voltage — the command VT-HI's decoder
+  /// uses.  Returns 1 for v < vref, 0 for v >= vref, per cell.
+  [[nodiscard]] std::vector<std::uint8_t> read_page_at(std::uint32_t block,
+                                                       std::uint32_t page,
+                                                       double vref);
+
+  /// Per-cell voltage measurement in the tester's discrete normalized units.
+  /// Costs one read operation.
+  [[nodiscard]] std::vector<int> probe_voltages(std::uint32_t block,
+                                                std::uint32_t page);
+
+  /// Partial program: a PROGRAM aborted midway (§6.2).  Applies one coarse,
+  /// noisy voltage increment to the listed cells and program-disturb to
+  /// adjacent wordlines.  Voltage can only increase.  `step_scale`
+  /// modulates the increment for earlier/later aborts (1.0 = the nominal
+  /// midway abort).
+  Status partial_program(std::uint32_t block, std::uint32_t page,
+                         std::span<const std::uint32_t> cells,
+                         double step_scale = 1.0);
+
+  /// Controller-internal precise programming pass (requires firmware
+  /// support; used by the paper's "enhanced capacity" configuration §8).
+  /// Each listed cell is charged toward N(target_mu, target_sigma) plus an
+  /// optional exponential spread of mean target_tail (lets the hiding
+  /// firmware shape the hidden population like the natural voltage tail),
+  /// never downward.  Costs one partial-program operation.
+  Status fine_program(std::uint32_t block, std::uint32_t page,
+                      std::span<const std::uint32_t> cells, double target_mu,
+                      double target_sigma, double target_tail = 0.0);
+
+  /// Apply `cycles` of extra program stress to the listed cells (the
+  /// physical channel PT-HI encodes in: heavy repeated programming
+  /// permanently changes a cell's programming speed).  Charges the ledger
+  /// for the equivalent program/erase traffic and wears the block.
+  Status stress_cells(std::uint32_t block, std::uint32_t page,
+                      std::span<const std::uint32_t> cells,
+                      std::uint32_t cycles);
+
+  /// Effective program speed of one cell (manufacturing trait + accumulated
+  /// stress).  This is what a PP-race decoder indirectly observes.
+  [[nodiscard]] double effective_speed(std::uint32_t block, std::uint32_t page,
+                                       std::uint32_t cell) const;
+
+  // ---- Wear and retention -------------------------------------------------
+
+  /// Fast-forward n program/erase cycles on a block (equivalent to cycling
+  /// it with random data, without paying the per-cycle simulation cost).
+  /// Leaves the block erased.  Pass charge_ledger=true when the cycles are
+  /// part of a measured workload (PT-HI's stress encoding) rather than
+  /// experiment setup.
+  Status age_cycles(std::uint32_t block, std::uint32_t n,
+                    bool charge_ledger = false);
+
+  /// Let `hours` of retention time pass for one block or the whole chip.
+  /// Charge leaks toward the erased level; leakage accelerates with wear.
+  void bake_block(std::uint32_t block, double hours);
+  void bake(double hours);
+
+  [[nodiscard]] std::uint32_t pec(std::uint32_t block) const;
+  [[nodiscard]] PageState page_state(std::uint32_t block,
+                                     std::uint32_t page) const;
+
+  // ---- Introspection -------------------------------------------------------
+
+  /// Voltage histogram of one block or one page over [0, 255] with the given
+  /// number of bins; counts every cell.  Does not charge ledger costs (it is
+  /// the analysis-side view an attacker or calibration script assembles from
+  /// probes).
+  [[nodiscard]] util::Histogram voltage_histogram(std::uint32_t block,
+                                                  std::size_t bins = 256) const;
+  [[nodiscard]] util::Histogram page_voltage_histogram(
+      std::uint32_t block, std::uint32_t page, std::size_t bins = 256) const;
+
+  [[nodiscard]] const CostLedger& ledger() const noexcept { return ledger_; }
+  void reset_ledger() noexcept { ledger_.clear(); }
+  [[nodiscard]] const OpCosts& costs() const noexcept { return costs_; }
+
+  /// Convenience: program every page of a block with pseudorandom data
+  /// (what encrypted public data looks like, §4).  Returns the data written.
+  std::vector<std::vector<std::uint8_t>> program_block_random(
+      std::uint32_t block, std::uint64_t data_seed);
+
+  /// Release the cell arrays of a block (it reads as uninitialized
+  /// afterwards).  Lets experiments stream over many blocks without
+  /// holding them all in memory.
+  void drop_block(std::uint32_t block);
+
+ private:
+  struct Block {
+    std::vector<float> v;               // cells_per_page * pages_per_block
+    std::vector<PageState> state;       // per page
+    std::vector<float> age_hours;       // per page, since last program/erase
+    /// Sparse per-cell stress (extra program cycles), keyed by
+    /// page * cells_per_page + cell.  Survives erase: it is permanent
+    /// physical wear, which is exactly why PT-HI can use it.
+    std::unordered_map<std::uint64_t, float> stress;
+    std::uint32_t pec = 0;
+    std::uint32_t next_program_page = 0;
+  };
+
+  [[nodiscard]] Status check_addr(std::uint32_t block, std::uint32_t page) const;
+  Block& touch(std::uint32_t block);
+  [[nodiscard]] const Block* peek(std::uint32_t block) const;
+
+  // Deterministic per-entity manufacturing traits (never stored).
+  [[nodiscard]] double chip_mu_offset() const noexcept;
+  [[nodiscard]] double block_mu_offset(std::uint32_t block) const noexcept;
+  [[nodiscard]] double page_mu_offset(std::uint32_t block,
+                                      std::uint32_t page) const noexcept;
+  [[nodiscard]] double cell_speed(std::uint32_t block, std::uint32_t page,
+                                  std::uint32_t cell) const noexcept;
+  [[nodiscard]] bool cell_is_weak(std::uint32_t block, std::uint32_t page,
+                                  std::uint32_t cell) const noexcept;
+  [[nodiscard]] double cell_leak_factor(std::uint32_t block, std::uint32_t page,
+                                        std::uint32_t cell) const noexcept;
+
+  /// Redraw every cell of a page from the erased-state distribution (used
+  /// by block construction, erase, and fast-forward aging).
+  void redraw_page_erased(Block& blk, std::uint32_t block,
+                          std::uint32_t page) noexcept;
+  void disturb_neighbors(Block& blk, std::uint32_t block, std::uint32_t page,
+                         double scale) noexcept;
+  void leak_page(Block& blk, std::uint32_t block, std::uint32_t page,
+                 double hours) noexcept;
+
+  Geometry geom_;
+  NoiseModel noise_;
+  OpCosts costs_;
+  std::uint64_t seed_;
+  util::Xoshiro256 rng_;
+  std::vector<std::unique_ptr<Block>> blocks_;
+  CostLedger ledger_;
+};
+
+}  // namespace stash::nand

@@ -1,0 +1,46 @@
+#pragma once
+// Device fingerprinting from flash process variation (paper §2/§9.1: the
+// same low-level variability VT-HI hides in has been used to derive unique,
+// unclonable device fingerprints for authentication — Wang et al. '12,
+// Prabhu et al. '11).  The fingerprint digests *stable manufacturing
+// structure* (per-page mean offsets and per-cell program-speed ordering),
+// not transient voltages, so it survives erases, rewrites, and wear.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "stash/nand/chip.hpp"
+
+namespace stash::nand {
+
+struct FingerprintConfig {
+  /// Blocks sampled (low block numbers exist on every geometry).
+  std::uint32_t blocks = 2;
+  /// Pages sampled per block.
+  std::uint32_t pages_per_block = 4;
+  /// Cells compared per page for the speed-ordering bits.
+  std::uint32_t cells_per_page = 256;
+  /// Measurements averaged per page to push readout noise below the
+  /// manufacturing signal.
+  int reads = 4;
+};
+
+/// A 256-bit device fingerprint plus the raw feature vector it was derived
+/// from (useful for fuzzy matching across heavy wear).
+struct DeviceFingerprint {
+  std::array<std::uint8_t, 32> id{};
+  std::vector<std::uint8_t> feature_bits;
+
+  /// Fraction of differing feature bits against another fingerprint taken
+  /// with the same configuration (0 = same device, ~0.5 = different).
+  [[nodiscard]] double distance(const DeviceFingerprint& other) const;
+};
+
+/// Extract a fingerprint.  Reads (probes) the sampled pages; the chip must
+/// allow erasing the sampled blocks (they are erased first so every device
+/// is measured in the same state).
+[[nodiscard]] DeviceFingerprint fingerprint_device(
+    FlashChip& chip, const FingerprintConfig& config = {});
+
+}  // namespace stash::nand

@@ -1,0 +1,140 @@
+#pragma once
+#include <cstdint>
+// Noise-model parameters for the voltage-level NAND simulator.  Every
+// constant models a phenomenon the paper's §4 characterization identifies;
+// DESIGN.md §4 records how the defaults were calibrated against the paper's
+// figures.  Voltages are in the tester's normalized units [0, 255].
+
+namespace stash::nand {
+
+struct NoiseModel {
+  // ---- Erased ('1') state ------------------------------------------------
+  /// Chip-family mean of the erased-state measured voltage.  Together with
+  /// ~+1.2 of accumulated program disturb this puts the bulk of
+  /// "non-programmed" cells around level 21 in a written block, leaving
+  /// ~0.5% of them naturally above the level-34 hiding threshold — the
+  /// §6.3 census ("a minimum of 700 cells" per 144384-cell page).
+  double erased_mu = 20.0;
+  /// Per-cell programming/readout noise around the page mean.
+  double erased_cell_sigma = 3.2;
+  /// Occasional heavy right tail (gives Fig. 2a its 40-70 reach and the
+  /// natural population of erased cells above the hiding threshold).
+  double erased_tail_prob = 0.025;
+  double erased_tail_mean = 7.5;
+  /// Lognormal spread of the tail mass across blocks/pages (§4: error and
+  /// distribution characteristics vary noticeably between hardware units).
+  /// This unit-to-unit variance is what gives the hidden-cell population
+  /// its cover: the mass VT-HI adds above the threshold stays within the
+  /// natural block-to-block spread of that same tail.
+  double tail_block_sigma = 1.00;
+  double tail_page_sigma = 0.35;
+  /// Per-block lognormal spread of the tail decay length (units vary in
+  /// shape, not just mass).
+  double tail_mean_block_sigma = 0.20;
+  /// Wear-induced right shift of the erased state, units per 1000 PEC.
+  double erased_wear_shift_per_kpec = 0.5;
+
+  // ---- Programmed ('0') state ---------------------------------------------
+  double prog_mu = 163.0;
+  double prog_cell_sigma = 7.5;
+  /// Wear-induced right shift of the programmed state (Fig. 3b).
+  double prog_wear_shift_per_kpec = 2.2;
+  /// Wear-induced distribution widening, sigma units per 1000 PEC.
+  double wear_sigma_per_kpec = 1.0;
+  /// Rare weak cells that program low (dominate fresh-chip public BER).
+  double weak_cell_prob = 1e-4;
+  double weak_cell_mu = 136.0;
+  double weak_cell_sigma = 6.0;
+
+  // ---- Manufacturing variation (§4: chip/block/page-level differences) ----
+  double chip_mu_sigma = 1.2;
+  double block_mu_sigma = 1.0;
+  double page_mu_sigma = 1.2;
+  /// Per-cell program-speed spread (multiplier sigma around 1.0); the trait
+  /// PT-HI's covert channel is built on.
+  double cell_speed_sigma = 0.06;
+  /// How much extra program stress shifts a cell's speed (PT-HI encoding).
+  double stress_speed_shift_per_kcycle = 0.45;
+  /// Random program-speed drift accumulated with wear (sigma per 1000 PEC,
+  /// linear in PEC).  This is what makes PT-HI's covert channel decay after
+  /// a few hundred public P/E cycles (§2, §8).
+  double speed_wear_sigma = 0.15;
+
+  // ---- Partial programming (§6.2: coarse, imprecise) ----------------------
+  double pp_step_mu = 5.5;
+  double pp_step_sigma = 3.0;
+  /// Program-disturb applied to erased cells on adjacent wordlines per PP
+  /// or program operation on a page.
+  double disturb_mu = 0.6;
+  double disturb_sigma = 0.5;
+  /// Zero-mean jitter disturb on programmed neighbours.
+  double disturb_prog_sigma = 0.5;
+
+  // ---- Read disturb --------------------------------------------------------
+  double read_disturb_prob = 2e-5;   // per erased cell per read
+  double read_disturb_mu = 0.30;
+
+  // ---- Retention (charge leakage; calibrated against Fig. 11) -------------
+  /// v -= leak_rate * sqrt(v - leak_floor) * dlog1p(t/tau) * wear_accel(pec)
+  double leak_rate = 0.0052;
+  double leak_floor = 12.0;
+  double leak_tau_hours = 24.0;
+  /// wear_accel = leak_wear_base + (pec/1000)^2 — fresh cells barely leak,
+  /// worn cells leak fast (trapped-charge assisted leakage, §8).
+  double leak_wear_base = 0.05;
+  /// Per-cell leak-factor spread (lognormal sigma).
+  double leak_cell_sigma = 0.30;
+
+  // ---- Read reference thresholds -------------------------------------------
+  /// SLC public read reference (between erased and programmed states).
+  double public_read_vref = 127.0;
+
+  /// Defaults above model the paper's primary ("vendor A") chip family.
+  [[nodiscard]] static NoiseModel vendor_a() noexcept { return {}; }
+
+  /// Second-vendor chip: same physics, different constants (§8
+  /// applicability).  Slightly hotter programming, wider pages, weaker
+  /// disturb isolation.
+  [[nodiscard]] static NoiseModel vendor_b() noexcept {
+    NoiseModel m;
+    m.erased_mu = 21.5;
+    m.erased_cell_sigma = 3.6;
+    m.erased_tail_prob = 0.03;
+    m.erased_tail_mean = 6.0;
+    m.prog_mu = 168.0;
+    m.prog_cell_sigma = 8.5;
+    m.page_mu_sigma = 1.8;
+    m.pp_step_mu = 6.0;
+    m.pp_step_sigma = 2.8;
+    m.disturb_mu = 1.2;
+    m.leak_rate = 0.0060;
+    return m;
+  }
+};
+
+/// Per-operation latency (µs) and energy (µJ), from the paper §6.1/§8.
+struct OpCosts {
+  double read_us = 90.0;
+  double program_us = 1200.0;
+  double erase_us = 5000.0;
+  double partial_program_us = 600.0;  // PROGRAM aborted midway (§8 arithmetic)
+
+  double read_uj = 50.0;
+  double program_uj = 68.0;
+  double erase_uj = 190.0;
+  double partial_program_uj = 34.0;  // half an aborted program
+};
+
+/// Accumulated cost of the operations issued against a chip.
+struct CostLedger {
+  double time_us = 0.0;
+  double energy_uj = 0.0;
+  std::uint64_t reads = 0;
+  std::uint64_t programs = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t partial_programs = 0;
+
+  void clear() noexcept { *this = CostLedger{}; }
+};
+
+}  // namespace stash::nand

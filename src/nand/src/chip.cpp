@@ -1,0 +1,518 @@
+#include "stash/nand/chip.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stash::nand {
+namespace {
+
+using util::ErrorCode;
+using util::hash_words;
+using util::Xoshiro256;
+
+constexpr double kVmax = 255.0;
+
+/// Standard-normal deviate derived deterministically from a hash (used for
+/// never-stored manufacturing traits).  Sum of four uniforms, variance
+/// corrected: cheap, bounded, and plenty for trait generation.
+double hash_normal(std::uint64_t h) noexcept {
+  double s = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    h = util::splitmix64(h);
+    s += static_cast<double>(h >> 11) * 0x1.0p-53;
+  }
+  // Sum of 4 U(0,1): mean 2, variance 4/12.
+  return (s - 2.0) / std::sqrt(4.0 / 12.0);
+}
+
+double hash_uniform(std::uint64_t h) noexcept {
+  return static_cast<double>(util::splitmix64(h) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FlashChip::FlashChip(const Geometry& geometry, const NoiseModel& noise,
+                     std::uint64_t serial_seed, OpCosts costs)
+    : geom_(geometry),
+      noise_(noise),
+      costs_(costs),
+      seed_(serial_seed),
+      rng_(hash_words(serial_seed, 0xF1A5ULL)),
+      blocks_(geometry.blocks) {}
+
+Status FlashChip::check_addr(std::uint32_t block, std::uint32_t page) const {
+  if (block >= geom_.blocks || page >= geom_.pages_per_block) {
+    return {ErrorCode::kOutOfBounds, "address outside chip geometry"};
+  }
+  return Status::ok();
+}
+
+FlashChip::Block& FlashChip::touch(std::uint32_t block) {
+  auto& slot = blocks_[block];
+  if (!slot) {
+    slot = std::make_unique<Block>();
+    slot->state.assign(geom_.pages_per_block, PageState::kErased);
+    slot->age_hours.assign(geom_.pages_per_block, 0.0f);
+    slot->v.resize(static_cast<std::size_t>(geom_.pages_per_block) *
+                   geom_.cells_per_page);
+    // A fresh (never-cycled) block sits in the erased state.
+    for (std::uint32_t p = 0; p < geom_.pages_per_block; ++p) {
+      redraw_page_erased(*slot, block, p);
+    }
+  }
+  return *slot;
+}
+
+const FlashChip::Block* FlashChip::peek(std::uint32_t block) const {
+  return block < blocks_.size() ? blocks_[block].get() : nullptr;
+}
+
+// ---- Deterministic manufacturing traits ------------------------------------
+
+double FlashChip::chip_mu_offset() const noexcept {
+  return noise_.chip_mu_sigma * hash_normal(hash_words(seed_, 0xC41FULL));
+}
+
+double FlashChip::block_mu_offset(std::uint32_t block) const noexcept {
+  return noise_.block_mu_sigma *
+         hash_normal(hash_words(seed_, 0xB10CULL, block));
+}
+
+double FlashChip::page_mu_offset(std::uint32_t block,
+                                 std::uint32_t page) const noexcept {
+  return noise_.page_mu_sigma *
+         hash_normal(hash_words(seed_, 0x9A6EULL, block, page));
+}
+
+double FlashChip::cell_speed(std::uint32_t block, std::uint32_t page,
+                             std::uint32_t cell) const noexcept {
+  return 1.0 + noise_.cell_speed_sigma *
+                   hash_normal(hash_words(seed_, 0x59EEDULL, block, page, cell));
+}
+
+bool FlashChip::cell_is_weak(std::uint32_t block, std::uint32_t page,
+                             std::uint32_t cell) const noexcept {
+  return hash_uniform(hash_words(seed_, 0x3EAFULL, block, page, cell)) <
+         noise_.weak_cell_prob;
+}
+
+double FlashChip::cell_leak_factor(std::uint32_t block, std::uint32_t page,
+                                   std::uint32_t cell) const noexcept {
+  return std::exp(noise_.leak_cell_sigma *
+                  hash_normal(hash_words(seed_, 0x1EA4ULL, block, page, cell)));
+}
+
+double FlashChip::effective_speed(std::uint32_t block, std::uint32_t page,
+                                  std::uint32_t cell) const {
+  double speed = cell_speed(block, page, cell);
+  if (const Block* blk = peek(block)) {
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(page) * geom_.cells_per_page + cell;
+    if (auto it = blk->stress.find(key); it != blk->stress.end()) {
+      speed += noise_.stress_speed_shift_per_kcycle *
+               static_cast<double>(it->second) / 1000.0;
+    }
+    // Wear-induced random speed drift: grows with PEC and decorrelates over
+    // time (bucketized), gradually burying any deliberate stress signal.
+    if (blk->pec > 0) {
+      const std::uint64_t bucket = blk->pec / 100;
+      speed += noise_.speed_wear_sigma *
+               (static_cast<double>(blk->pec) / 1000.0) *
+               hash_normal(hash_words(seed_, 0x77EA4ULL, block, page, cell,
+                                      bucket));
+    }
+  }
+  return speed;
+}
+
+// ---- Voltage drawing --------------------------------------------------------
+
+void FlashChip::redraw_page_erased(Block& blk, std::uint32_t block,
+                                   std::uint32_t page) noexcept {
+  const double mu = noise_.erased_mu + chip_mu_offset() +
+                    block_mu_offset(block) + page_mu_offset(block, page) +
+                    noise_.erased_wear_shift_per_kpec *
+                        static_cast<double>(blk.pec) / 1000.0;
+  // Unit-dependent tail mass: each block/page carries its own lognormal
+  // multiplier on the tail probability (§4 unit-to-unit variation).
+  const double tail_scale =
+      std::exp(noise_.tail_block_sigma *
+                   hash_normal(hash_words(seed_, 0x7A11ULL, block)) +
+               noise_.tail_page_sigma *
+                   hash_normal(hash_words(seed_, 0x7A12ULL, block, page)));
+  const double tail_prob = std::min(0.2, noise_.erased_tail_prob * tail_scale);
+  const double tail_mean =
+      noise_.erased_tail_mean *
+      std::exp(noise_.tail_mean_block_sigma *
+               hash_normal(hash_words(seed_, 0x7A13ULL, block)));
+
+  float* row =
+      blk.v.data() + static_cast<std::size_t>(page) * geom_.cells_per_page;
+  for (std::uint32_t c = 0; c < geom_.cells_per_page; ++c) {
+    double v = rng_.normal(mu, noise_.erased_cell_sigma);
+    if (rng_.bernoulli(tail_prob)) {
+      v += rng_.exponential(tail_mean);
+    }
+    // The erased state physically cannot hold half-programmed charge: cap
+    // the tail well below any read reference (Fig. 2a's ~70-level reach).
+    row[c] = static_cast<float>(std::clamp(v, 0.0, 80.0));
+  }
+}
+
+// ---- Standard operations ------------------------------------------------------
+
+Status FlashChip::erase_block(std::uint32_t block) {
+  STASH_RETURN_IF_ERROR(check_addr(block, 0));
+  Block& blk = touch(block);
+  if (blk.pec >= geom_.pec_limit * 2) {
+    return {ErrorCode::kWornOut, "block exceeded twice its rated lifetime"};
+  }
+  ++blk.pec;
+  blk.next_program_page = 0;
+  for (std::uint32_t p = 0; p < geom_.pages_per_block; ++p) {
+    blk.state[p] = PageState::kErased;
+    blk.age_hours[p] = 0.0f;
+    redraw_page_erased(blk, block, p);
+  }
+  ledger_.time_us += costs_.erase_us;
+  ledger_.energy_uj += costs_.erase_uj;
+  ++ledger_.erases;
+  return Status::ok();
+}
+
+Status FlashChip::program_page(std::uint32_t block, std::uint32_t page,
+                               std::span<const std::uint8_t> bits) {
+  STASH_RETURN_IF_ERROR(check_addr(block, page));
+  if (bits.size() != geom_.cells_per_page) {
+    return {ErrorCode::kInvalidArgument, "bit buffer != cells per page"};
+  }
+  Block& blk = touch(block);
+  if (blk.state[page] != PageState::kErased) {
+    return {ErrorCode::kProgramFail, "page already programmed (no in-place update)"};
+  }
+  if (geom_.enforce_sequential_program && page != blk.next_program_page) {
+    return {ErrorCode::kProgramFail, "pages must be programmed in order"};
+  }
+
+  const double wear_k = static_cast<double>(blk.pec) / 1000.0;
+  const double mu = noise_.prog_mu + chip_mu_offset() + block_mu_offset(block) +
+                    page_mu_offset(block, page) +
+                    noise_.prog_wear_shift_per_kpec * wear_k;
+  const double sigma =
+      noise_.prog_cell_sigma + noise_.wear_sigma_per_kpec * wear_k;
+
+  float* row = blk.v.data() + static_cast<std::size_t>(page) * geom_.cells_per_page;
+  for (std::uint32_t c = 0; c < geom_.cells_per_page; ++c) {
+    if (bits[c] & 1) continue;  // logical '1': leave the cell erased
+    double target;
+    if (cell_is_weak(block, page, c)) {
+      // Weak cells program low, and wear makes them weaker still — the
+      // public-data BER growth of §8.
+      target = rng_.normal(noise_.weak_cell_mu - 2.0 * wear_k,
+                           noise_.weak_cell_sigma);
+    } else {
+      target = rng_.normal(mu, sigma);
+    }
+    // ISPP never lowers a cell's voltage.
+    row[c] = static_cast<float>(
+        std::clamp(std::max(static_cast<double>(row[c]), target), 0.0, kVmax));
+  }
+  blk.state[page] = PageState::kProgrammed;
+  blk.age_hours[page] = 0.0f;
+  blk.next_program_page = std::max(blk.next_program_page, page + 1);
+
+  disturb_neighbors(blk, block, page, 1.0);
+
+  ledger_.time_us += costs_.program_us;
+  ledger_.energy_uj += costs_.program_uj;
+  ++ledger_.programs;
+  return Status::ok();
+}
+
+std::vector<std::uint8_t> FlashChip::read_page(std::uint32_t block,
+                                               std::uint32_t page) {
+  return read_page_at(block, page, noise_.public_read_vref);
+}
+
+std::vector<std::uint8_t> FlashChip::read_page_at(std::uint32_t block,
+                                                  std::uint32_t page,
+                                                  double vref) {
+  if (!check_addr(block, page).is_ok()) return {};
+  Block& blk = touch(block);
+  const float* row =
+      blk.v.data() + static_cast<std::size_t>(page) * geom_.cells_per_page;
+  std::vector<std::uint8_t> out(geom_.cells_per_page);
+  for (std::uint32_t c = 0; c < geom_.cells_per_page; ++c) {
+    out[c] = row[c] < vref ? 1 : 0;
+  }
+
+  // Read disturb: a handful of erased-level cells gain a whisker of charge.
+  const double expected =
+      noise_.read_disturb_prob * static_cast<double>(geom_.cells_per_page);
+  const auto events = static_cast<std::uint32_t>(
+      expected + (rng_.uniform() < (expected - std::floor(expected)) ? 1 : 0));
+  float* mrow =
+      blk.v.data() + static_cast<std::size_t>(page) * geom_.cells_per_page;
+  for (std::uint32_t i = 0; i < events; ++i) {
+    const auto c = static_cast<std::uint32_t>(rng_.below(geom_.cells_per_page));
+    if (mrow[c] < 90.0f) {
+      mrow[c] = static_cast<float>(std::clamp(
+          mrow[c] + std::max(0.0, rng_.normal(noise_.read_disturb_mu, 0.2)),
+          0.0, kVmax));
+    }
+  }
+
+  ledger_.time_us += costs_.read_us;
+  ledger_.energy_uj += costs_.read_uj;
+  ++ledger_.reads;
+  return out;
+}
+
+std::vector<int> FlashChip::probe_voltages(std::uint32_t block,
+                                           std::uint32_t page) {
+  if (!check_addr(block, page).is_ok()) return {};
+  Block& blk = touch(block);
+  const float* row =
+      blk.v.data() + static_cast<std::size_t>(page) * geom_.cells_per_page;
+  std::vector<int> out(geom_.cells_per_page);
+  for (std::uint32_t c = 0; c < geom_.cells_per_page; ++c) {
+    out[c] = static_cast<int>(std::lround(row[c]));
+  }
+  ledger_.time_us += costs_.read_us;
+  ledger_.energy_uj += costs_.read_uj;
+  ++ledger_.reads;
+  return out;
+}
+
+// ---- Vendor programming ---------------------------------------------------
+
+Status FlashChip::partial_program(std::uint32_t block, std::uint32_t page,
+                                  std::span<const std::uint32_t> cells,
+                                  double step_scale) {
+  STASH_RETURN_IF_ERROR(check_addr(block, page));
+  if (step_scale <= 0.0) {
+    return {ErrorCode::kInvalidArgument, "step_scale must be positive"};
+  }
+  Block& blk = touch(block);
+  float* row =
+      blk.v.data() + static_cast<std::size_t>(page) * geom_.cells_per_page;
+  for (std::uint32_t c : cells) {
+    if (c >= geom_.cells_per_page) {
+      return {ErrorCode::kOutOfBounds, "cell index outside page"};
+    }
+    const double speed = effective_speed(block, page, c);
+    const double inc = std::max(
+        0.0, rng_.normal(noise_.pp_step_mu * speed * step_scale,
+                         noise_.pp_step_sigma * step_scale));
+    row[c] = static_cast<float>(std::clamp(row[c] + inc, 0.0, kVmax));
+  }
+  // An aborted program still stresses neighbouring wordlines, just far
+  // less than a full program pass (the charge pump aborts early).
+  disturb_neighbors(blk, block, page, 0.02);
+
+  ledger_.time_us += costs_.partial_program_us;
+  ledger_.energy_uj += costs_.partial_program_uj;
+  ++ledger_.partial_programs;
+  return Status::ok();
+}
+
+Status FlashChip::fine_program(std::uint32_t block, std::uint32_t page,
+                               std::span<const std::uint32_t> cells,
+                               double target_mu, double target_sigma,
+                               double target_tail) {
+  STASH_RETURN_IF_ERROR(check_addr(block, page));
+  Block& blk = touch(block);
+  float* row =
+      blk.v.data() + static_cast<std::size_t>(page) * geom_.cells_per_page;
+  for (std::uint32_t c : cells) {
+    if (c >= geom_.cells_per_page) {
+      return {ErrorCode::kOutOfBounds, "cell index outside page"};
+    }
+    double target = rng_.normal(target_mu, target_sigma);
+    if (target_tail > 0.0) target += rng_.exponential(target_tail);
+    // The precise pass never drives an erased-level cell anywhere near the
+    // read window — cap at the erased-state ceiling (cf. redraw_page_erased)
+    // so hidden cells remain cleanly inside the non-programmed band.
+    target = std::min(target, 80.0);
+    row[c] = static_cast<float>(
+        std::clamp(std::max(static_cast<double>(row[c]), target), 0.0, kVmax));
+  }
+  disturb_neighbors(blk, block, page, 0.01);
+
+  ledger_.time_us += costs_.partial_program_us;
+  ledger_.energy_uj += costs_.partial_program_uj;
+  ++ledger_.partial_programs;
+  return Status::ok();
+}
+
+Status FlashChip::stress_cells(std::uint32_t block, std::uint32_t page,
+                               std::span<const std::uint32_t> cells,
+                               std::uint32_t cycles) {
+  STASH_RETURN_IF_ERROR(check_addr(block, page));
+  Block& blk = touch(block);
+  for (std::uint32_t c : cells) {
+    if (c >= geom_.cells_per_page) {
+      return {ErrorCode::kOutOfBounds, "cell index outside page"};
+    }
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(page) * geom_.cells_per_page + c;
+    blk.stress[key] += static_cast<float>(cycles);
+  }
+  // Ledger: PT-HI pays one program per stress cycle on this page.
+  ledger_.time_us += costs_.program_us * cycles;
+  ledger_.energy_uj += costs_.program_uj * cycles;
+  ledger_.programs += cycles;
+  return Status::ok();
+}
+
+// ---- Disturb ---------------------------------------------------------------
+
+void FlashChip::disturb_neighbors(Block& blk, std::uint32_t block,
+                                  std::uint32_t page, double scale) noexcept {
+  for (int d = -1; d <= 1; d += 2) {
+    const long npl = static_cast<long>(page) + d;
+    if (npl < 0 || npl >= static_cast<long>(geom_.pages_per_block)) continue;
+    const auto np = static_cast<std::uint32_t>(npl);
+    float* row =
+        blk.v.data() + static_cast<std::size_t>(np) * geom_.cells_per_page;
+    for (std::uint32_t c = 0; c < geom_.cells_per_page; ++c) {
+      if (row[c] < 90.0f) {
+        // Erased-level cells accumulate positive disturb charge (Fig. 2a's
+        // partially-charged non-programmed cells).
+        const double inc = std::max(
+            0.0, rng_.normal(noise_.disturb_mu * scale,
+                             noise_.disturb_sigma * scale));
+        row[c] = static_cast<float>(std::clamp(row[c] + inc, 0.0, kVmax));
+      } else {
+        // Programmed cells: rare pass-voltage-assisted charge de-trapping —
+        // the mechanism behind the public-BER inflation VT-HI's page
+        // interval controls (§6.3; calibrated so interval-0 hiding inflates
+        // public BER by roughly the paper's 20%).
+        if (rng_.uniform() < 1.2e-6) {
+          const double drop = rng_.exponential(15.0);
+          row[c] = static_cast<float>(
+              std::clamp(row[c] - drop, 0.0, kVmax));
+        }
+      }
+    }
+  }
+  (void)block;
+}
+
+// ---- Wear and retention -----------------------------------------------------
+
+Status FlashChip::age_cycles(std::uint32_t block, std::uint32_t n,
+                             bool charge_ledger) {
+  STASH_RETURN_IF_ERROR(check_addr(block, 0));
+  Block& blk = touch(block);
+  blk.pec += n;
+  if (charge_ledger) {
+    ledger_.time_us += costs_.erase_us * n;
+    ledger_.energy_uj += costs_.erase_uj * n;
+    ledger_.erases += n;
+  }
+  // Equivalent end state of n random-data cycles: block left erased.
+  blk.next_program_page = 0;
+  for (std::uint32_t p = 0; p < geom_.pages_per_block; ++p) {
+    blk.state[p] = PageState::kErased;
+    blk.age_hours[p] = 0.0f;
+    redraw_page_erased(blk, block, p);
+  }
+  return Status::ok();
+}
+
+void FlashChip::leak_page(Block& blk, std::uint32_t block, std::uint32_t page,
+                          double hours) noexcept {
+  const double t0 = blk.age_hours[page];
+  const double t1 = t0 + hours;
+  const double df = std::log1p(t1 / noise_.leak_tau_hours) -
+                    std::log1p(t0 / noise_.leak_tau_hours);
+  const double kpec = static_cast<double>(blk.pec) / 1000.0;
+  const double wear_accel = noise_.leak_wear_base + kpec * kpec;
+  const double base = noise_.leak_rate * df * wear_accel;
+  blk.age_hours[page] = static_cast<float>(t1);
+  if (base <= 0.0) return;
+
+  float* row =
+      blk.v.data() + static_cast<std::size_t>(page) * geom_.cells_per_page;
+  for (std::uint32_t c = 0; c < geom_.cells_per_page; ++c) {
+    const double headroom = static_cast<double>(row[c]) - noise_.leak_floor;
+    if (headroom <= 0.0) continue;
+    const double drop =
+        base * std::sqrt(headroom) * cell_leak_factor(block, page, c);
+    row[c] = static_cast<float>(std::max(0.0, row[c] - drop));
+  }
+}
+
+void FlashChip::bake_block(std::uint32_t block, double hours) {
+  if (!check_addr(block, 0).is_ok() || hours <= 0.0) return;
+  Block& blk = touch(block);
+  for (std::uint32_t p = 0; p < geom_.pages_per_block; ++p) {
+    leak_page(blk, block, p, hours);
+  }
+}
+
+void FlashChip::bake(double hours) {
+  for (std::uint32_t b = 0; b < geom_.blocks; ++b) {
+    if (blocks_[b]) bake_block(b, hours);
+  }
+}
+
+std::uint32_t FlashChip::pec(std::uint32_t block) const {
+  const Block* blk = peek(block);
+  return blk ? blk->pec : 0;
+}
+
+PageState FlashChip::page_state(std::uint32_t block, std::uint32_t page) const {
+  const Block* blk = peek(block);
+  if (!blk || page >= geom_.pages_per_block) return PageState::kErased;
+  return blk->state[page];
+}
+
+// ---- Introspection -----------------------------------------------------------
+
+util::Histogram FlashChip::voltage_histogram(std::uint32_t block,
+                                             std::size_t bins) const {
+  util::Histogram h(0.0, 256.0, bins);
+  const Block* blk = peek(block);
+  if (!blk) return h;
+  for (float v : blk->v) h.add(static_cast<double>(v));
+  return h;
+}
+
+util::Histogram FlashChip::page_voltage_histogram(std::uint32_t block,
+                                                  std::uint32_t page,
+                                                  std::size_t bins) const {
+  util::Histogram h(0.0, 256.0, bins);
+  const Block* blk = peek(block);
+  if (!blk || page >= geom_.pages_per_block) return h;
+  const float* row =
+      blk->v.data() + static_cast<std::size_t>(page) * geom_.cells_per_page;
+  for (std::uint32_t c = 0; c < geom_.cells_per_page; ++c) {
+    h.add(static_cast<double>(row[c]));
+  }
+  return h;
+}
+
+std::vector<std::vector<std::uint8_t>> FlashChip::program_block_random(
+    std::uint32_t block, std::uint64_t data_seed) {
+  std::vector<std::vector<std::uint8_t>> written;
+  written.reserve(geom_.pages_per_block);
+  Xoshiro256 data_rng(hash_words(data_seed, block));
+  for (std::uint32_t p = 0; p < geom_.pages_per_block; ++p) {
+    std::vector<std::uint8_t> bits(geom_.cells_per_page);
+    for (auto& b : bits) b = static_cast<std::uint8_t>(data_rng() & 1);
+    if (Status s = program_page(block, p, bits); !s.is_ok()) {
+      written.clear();
+      return written;
+    }
+    written.push_back(std::move(bits));
+  }
+  return written;
+}
+
+void FlashChip::drop_block(std::uint32_t block) {
+  if (block < blocks_.size()) blocks_[block].reset();
+}
+
+}  // namespace stash::nand

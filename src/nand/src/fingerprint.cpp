@@ -1,0 +1,124 @@
+#include "stash/nand/fingerprint.hpp"
+
+#include <algorithm>
+
+#include "stash/crypto/sha256.hpp"
+#include "stash/util/stats.hpp"
+
+namespace stash::nand {
+
+namespace {
+
+/// Per-page stable observables: the erased-state mean (manufacturing page
+/// offset) and the tail mass (per-page tail scale), both averaged over
+/// several probes to suppress readout noise.
+struct PageTrait {
+  double mean = 0.0;
+  double tail = 0.0;  // fraction of cells at or above level 34
+};
+
+PageTrait measure_page(FlashChip& chip, std::uint32_t block,
+                       std::uint32_t page, int reads) {
+  PageTrait trait;
+  double n = 0.0;
+  for (int r = 0; r < std::max(1, reads); ++r) {
+    const auto volts = chip.probe_voltages(block, page);
+    for (int v : volts) {
+      trait.mean += v;
+      trait.tail += v >= 34;
+      n += 1.0;
+    }
+  }
+  trait.mean /= n;
+  trait.tail /= n;
+  return trait;
+}
+
+/// Cluster program-speed bits: race 16-cell clusters with a few PP steps
+/// and compare adjacent clusters' mean voltage gain.  Speed is a permanent
+/// per-cell trait, so the ordering reproduces across extractions (with a
+/// few percent of fuzzy bits near ties).
+std::vector<std::uint8_t> speed_bits(FlashChip& chip, std::uint32_t block,
+                                     std::uint32_t page,
+                                     std::uint32_t cells, int reads) {
+  constexpr std::uint32_t kCluster = 16;
+  constexpr int kSteps = 6;
+  const std::uint32_t usable =
+      std::min(cells, chip.geometry().cells_per_page) / kCluster * kCluster;
+  std::vector<double> gain(usable / kCluster, 0.0);
+
+  for (int r = 0; r < std::max(1, reads); ++r) {
+    (void)chip.erase_block(block);
+    const auto before = chip.probe_voltages(block, page);
+    std::vector<std::uint32_t> targets(usable);
+    for (std::uint32_t c = 0; c < usable; ++c) targets[c] = c;
+    for (int s = 0; s < kSteps; ++s) {
+      (void)chip.partial_program(block, page, targets);
+    }
+    const auto after = chip.probe_voltages(block, page);
+    for (std::uint32_t c = 0; c < usable; ++c) {
+      gain[c / kCluster] += after[c] - before[c];
+    }
+  }
+
+  std::vector<std::uint8_t> bits;
+  bits.reserve(gain.size() / 2);
+  for (std::size_t i = 0; i + 1 < gain.size(); i += 2) {
+    bits.push_back(gain[i] > gain[i + 1] ? 1 : 0);
+  }
+  return bits;
+}
+
+}  // namespace
+
+double DeviceFingerprint::distance(const DeviceFingerprint& other) const {
+  if (feature_bits.empty() || feature_bits.size() != other.feature_bits.size()) {
+    return 1.0;
+  }
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < feature_bits.size(); ++i) {
+    diff += (feature_bits[i] ^ other.feature_bits[i]) & 1;
+  }
+  return static_cast<double>(diff) / static_cast<double>(feature_bits.size());
+}
+
+DeviceFingerprint fingerprint_device(FlashChip& chip,
+                                     const FingerprintConfig& config) {
+  DeviceFingerprint fp;
+  const auto& geom = chip.geometry();
+  const std::uint32_t blocks = std::min(config.blocks, geom.blocks);
+  const std::uint32_t pages =
+      std::min(config.pages_per_block, geom.pages_per_block);
+
+  // Measure every sampled page in the same (freshly erased) state.
+  std::vector<PageTrait> traits;
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    (void)chip.erase_block(b);
+    for (std::uint32_t p = 0; p < pages; ++p) {
+      traits.push_back(measure_page(chip, b, p, config.reads));
+    }
+  }
+
+  // Pairwise orderings of the page means and tail masses: common-mode wear
+  // shifts cancel, the manufacturing offsets remain.
+  for (std::size_t i = 0; i < traits.size(); ++i) {
+    for (std::size_t j = i + 1; j < traits.size(); ++j) {
+      fp.feature_bits.push_back(traits[i].mean > traits[j].mean ? 1 : 0);
+      fp.feature_bits.push_back(traits[i].tail > traits[j].tail ? 1 : 0);
+    }
+  }
+
+  // Cluster speed-race bits from the first sampled page of each block.
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    const auto bits =
+        speed_bits(chip, b, 0, config.cells_per_page, config.reads);
+    fp.feature_bits.insert(fp.feature_bits.end(), bits.begin(), bits.end());
+    (void)chip.erase_block(b);  // leave the block clean
+  }
+
+  const auto digest = crypto::Sha256::hash(fp.feature_bits);
+  std::copy(digest.begin(), digest.end(), fp.id.begin());
+  return fp;
+}
+
+}  // namespace stash::nand

@@ -1,0 +1,110 @@
+#pragma once
+// StegoVolume: the §9.2 steganographic system sketched by the paper, made
+// concrete.  A publicly visible volume (page-mapped FTL over the flash
+// chip, assumed encrypted by the normal user) coexists with a hidden volume
+// embedded in the voltage levels of the public pages via VT-HI.
+//
+// Properties reproduced from the paper:
+//  * Key-only recovery: no persistent metadata — mounting scans candidate
+//    blocks and authenticates chunks with the hiding key (§9.2 "Metadata
+//    Persistence and Security").
+//  * Migration survival: when the FTL garbage-collects or wear-levels a
+//    block carrying hidden data, the volume rescues the chunk before the
+//    erase and re-embeds it into freshly written public data (§5.1).
+//  * Panic erase: destroying the hidden volume is one erase per block
+//    ("almost instantaneous", §1).
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "stash/crypto/drbg.hpp"
+#include "stash/ftl/ftl.hpp"
+#include "stash/nand/chip.hpp"
+#include "stash/util/status.hpp"
+#include "stash/vthi/codec.hpp"
+
+namespace stash::stego {
+
+using util::Result;
+using util::Status;
+
+struct StegoStats {
+  std::uint64_t rescues = 0;      // hidden chunks lifted out of GC victims
+  std::uint64_t reembeds = 0;     // chunks re-embedded into new blocks
+  std::uint64_t lost_chunks = 0;  // chunks that could not be re-homed
+};
+
+class StegoVolume {
+ public:
+  StegoVolume(nand::FlashChip& chip, const crypto::HidingKey& key,
+              ftl::FtlConfig ftl_config = {},
+              vthi::VthiConfig vthi_config = vthi::VthiConfig::production());
+
+  // ---- Public (normal user) volume ---------------------------------------
+  Status write_public(std::uint64_t lpn, std::span<const std::uint8_t> bits);
+  Result<std::vector<std::uint8_t>> read_public(std::uint64_t lpn);
+  [[nodiscard]] std::uint64_t public_pages() const noexcept {
+    return ftl_.logical_pages();
+  }
+  [[nodiscard]] std::uint32_t page_bits() const noexcept {
+    return ftl_.page_bits();
+  }
+
+  // ---- Hidden (hiding user) volume ---------------------------------------
+
+  /// Store (or replace) the hidden payload.  Splits it into per-block
+  /// chunks and embeds each into a block full of public data.
+  Status store_hidden(std::span<const std::uint8_t> data);
+
+  /// Recover the hidden payload with nothing but the key: scans candidate
+  /// blocks, authenticates each chunk, reassembles in order.
+  Result<std::vector<std::uint8_t>> load_hidden();
+
+  /// Destroy all hidden data (and the public data sharing its blocks).
+  Status panic_erase();
+
+  /// Re-embed any chunks rescued from relocated blocks.  Called
+  /// automatically after public writes; exposed for deterministic tests.
+  Status reembed_pending();
+
+  [[nodiscard]] std::size_t hidden_chunk_capacity() const;
+  [[nodiscard]] const StegoStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ftl::FtlStats& ftl_stats() const noexcept {
+    return ftl_.stats();
+  }
+  [[nodiscard]] const std::set<std::uint32_t>& hidden_blocks() const noexcept {
+    return hidden_blocks_;
+  }
+
+ private:
+  struct Chunk {
+    std::uint16_t index = 0;
+    std::uint16_t total = 0;
+    std::vector<std::uint8_t> data;
+  };
+
+  static constexpr std::size_t kChunkHeaderBytes = 4;
+
+  [[nodiscard]] std::vector<std::uint8_t> pack_chunk(const Chunk& chunk) const;
+  [[nodiscard]] static std::optional<Chunk> unpack_chunk(
+      std::span<const std::uint8_t> payload);
+
+  /// Blocks whose hidden pages are all programmed with public data and that
+  /// do not already carry a hidden chunk.
+  [[nodiscard]] std::vector<std::uint32_t> eligible_blocks() const;
+  [[nodiscard]] bool block_fully_programmed(std::uint32_t block) const;
+
+  void on_relocation(nand::PageAddr from);
+
+  nand::FlashChip* chip_;
+  ftl::PageMappedFtl ftl_;
+  vthi::VthiCodec codec_;
+  std::set<std::uint32_t> hidden_blocks_;
+  std::vector<Chunk> pending_;  // rescued, waiting for a new home
+  StegoStats stats_;
+};
+
+}  // namespace stash::stego

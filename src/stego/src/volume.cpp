@@ -1,0 +1,200 @@
+#include "stash/stego/volume.hpp"
+
+#include <algorithm>
+
+namespace stash::stego {
+
+using util::ErrorCode;
+
+StegoVolume::StegoVolume(nand::FlashChip& chip, const crypto::HidingKey& key,
+                         ftl::FtlConfig ftl_config,
+                         vthi::VthiConfig vthi_config)
+    : chip_(&chip), ftl_(chip, ftl_config), codec_(chip, key, vthi_config) {
+  // Rescue on the pre-erase hook: it fires exactly once per victim block,
+  // before any cell is touched — even for blocks whose public pages are all
+  // invalid (a relocation hook alone would miss those and the erase would
+  // silently destroy the hidden chunk).
+  ftl_.set_pre_erase_hook(
+      [this](std::uint32_t block) { on_relocation({block, 0}); });
+}
+
+Status StegoVolume::write_public(std::uint64_t lpn,
+                                 std::span<const std::uint8_t> bits) {
+  STASH_RETURN_IF_ERROR(ftl_.write(lpn, bits));
+  // New public data may have created room to re-home rescued chunks.
+  return reembed_pending();
+}
+
+Result<std::vector<std::uint8_t>> StegoVolume::read_public(std::uint64_t lpn) {
+  return ftl_.read(lpn);
+}
+
+std::size_t StegoVolume::hidden_chunk_capacity() const {
+  const std::size_t block_capacity = codec_.capacity_bytes();
+  return block_capacity > kChunkHeaderBytes ? block_capacity - kChunkHeaderBytes
+                                            : 0;
+}
+
+std::vector<std::uint8_t> StegoVolume::pack_chunk(const Chunk& chunk) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(kChunkHeaderBytes + chunk.data.size());
+  out.push_back(static_cast<std::uint8_t>(chunk.index));
+  out.push_back(static_cast<std::uint8_t>(chunk.index >> 8));
+  out.push_back(static_cast<std::uint8_t>(chunk.total));
+  out.push_back(static_cast<std::uint8_t>(chunk.total >> 8));
+  out.insert(out.end(), chunk.data.begin(), chunk.data.end());
+  return out;
+}
+
+std::optional<StegoVolume::Chunk> StegoVolume::unpack_chunk(
+    std::span<const std::uint8_t> payload) {
+  if (payload.size() < kChunkHeaderBytes) return std::nullopt;
+  Chunk chunk;
+  chunk.index = static_cast<std::uint16_t>(payload[0] |
+                                           (static_cast<unsigned>(payload[1]) << 8));
+  chunk.total = static_cast<std::uint16_t>(payload[2] |
+                                           (static_cast<unsigned>(payload[3]) << 8));
+  if (chunk.total == 0 || chunk.index >= chunk.total) return std::nullopt;
+  chunk.data.assign(payload.begin() + kChunkHeaderBytes, payload.end());
+  return chunk;
+}
+
+bool StegoVolume::block_fully_programmed(std::uint32_t block) const {
+  const auto& geom = chip_->geometry();
+  for (std::uint32_t p = 0; p < geom.pages_per_block; ++p) {
+    if (chip_->page_state(block, p) != nand::PageState::kProgrammed) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::uint32_t> StegoVolume::eligible_blocks() const {
+  std::vector<std::uint32_t> blocks;
+  for (std::uint32_t b = 0; b < chip_->geometry().blocks; ++b) {
+    if (hidden_blocks_.count(b)) continue;
+    if (block_fully_programmed(b)) blocks.push_back(b);
+  }
+  return blocks;
+}
+
+Status StegoVolume::store_hidden(std::span<const std::uint8_t> data) {
+  const std::size_t per_chunk = hidden_chunk_capacity();
+  if (per_chunk == 0) {
+    return {ErrorCode::kNoSpace, "hidden chunk capacity is zero"};
+  }
+  const std::size_t chunks =
+      std::max<std::size_t>(1, (data.size() + per_chunk - 1) / per_chunk);
+  if (chunks > 0xffff) {
+    return {ErrorCode::kNoSpace, "hidden payload needs too many chunks"};
+  }
+
+  const auto targets = eligible_blocks();
+  if (targets.size() < chunks) {
+    return {ErrorCode::kNoSpace,
+            "not enough public-data blocks to carry the hidden payload"};
+  }
+
+  for (std::size_t i = 0; i < chunks; ++i) {
+    Chunk chunk;
+    chunk.index = static_cast<std::uint16_t>(i);
+    chunk.total = static_cast<std::uint16_t>(chunks);
+    const std::size_t begin = i * per_chunk;
+    const std::size_t end = std::min(data.size(), begin + per_chunk);
+    if (begin < end) {
+      chunk.data.assign(data.begin() + static_cast<long>(begin),
+                        data.begin() + static_cast<long>(end));
+    }
+    auto hidden = codec_.hide(targets[i], pack_chunk(chunk));
+    if (!hidden.is_ok()) return hidden.status();
+    hidden_blocks_.insert(targets[i]);
+  }
+  return Status::ok();
+}
+
+Result<std::vector<std::uint8_t>> StegoVolume::load_hidden() {
+  // Key-only mount: reveal every candidate block; the MAC rejects blocks
+  // without (our) hidden data.  When this instance already tracks hidden
+  // blocks, restrict to those; otherwise scan everything fully programmed.
+  const bool scanning = hidden_blocks_.empty();
+  std::vector<Chunk> found;
+  std::vector<std::uint32_t> discovered;
+  for (std::uint32_t b = 0; b < chip_->geometry().blocks; ++b) {
+    if (!scanning && !hidden_blocks_.count(b)) continue;
+    if (scanning && !block_fully_programmed(b)) continue;
+    auto revealed = codec_.reveal(b);
+    if (!revealed.is_ok()) continue;
+    if (auto chunk = unpack_chunk(revealed.value())) {
+      found.push_back(std::move(*chunk));
+      if (scanning) discovered.push_back(b);
+    }
+  }
+  hidden_blocks_.insert(discovered.begin(), discovered.end());
+  if (found.empty()) {
+    return Status{ErrorCode::kNotFound, "no hidden volume under this key"};
+  }
+
+  const std::uint16_t total = found.front().total;
+  std::vector<const Chunk*> ordered(total, nullptr);
+  for (const auto& chunk : found) {
+    if (chunk.total != total || chunk.index >= total) {
+      return Status{ErrorCode::kCorrupted, "inconsistent hidden chunk set"};
+    }
+    ordered[chunk.index] = &chunk;
+  }
+  std::vector<std::uint8_t> out;
+  for (std::uint16_t i = 0; i < total; ++i) {
+    if (!ordered[i]) {
+      return Status{ErrorCode::kCorrupted,
+                    "hidden chunk " + std::to_string(i) + " missing"};
+    }
+    out.insert(out.end(), ordered[i]->data.begin(), ordered[i]->data.end());
+  }
+  return out;
+}
+
+Status StegoVolume::panic_erase() {
+  for (std::uint32_t b : hidden_blocks_) {
+    STASH_RETURN_IF_ERROR(chip_->erase_block(b));
+  }
+  hidden_blocks_.clear();
+  pending_.clear();
+  return Status::ok();
+}
+
+void StegoVolume::on_relocation(nand::PageAddr from) {
+  // First relocation out of a hidden block: the victim's cells are still
+  // intact (erase happens after all pages move), so rescue the chunk now.
+  if (!hidden_blocks_.count(from.block)) return;
+  hidden_blocks_.erase(from.block);
+  auto revealed = codec_.reveal(from.block);
+  if (!revealed.is_ok()) {
+    ++stats_.lost_chunks;
+    return;
+  }
+  if (auto chunk = unpack_chunk(revealed.value())) {
+    pending_.push_back(std::move(*chunk));
+    ++stats_.rescues;
+  } else {
+    ++stats_.lost_chunks;
+  }
+}
+
+Status StegoVolume::reembed_pending() {
+  if (pending_.empty()) return Status::ok();
+  auto targets = eligible_blocks();
+  std::size_t used = 0;
+  while (!pending_.empty() && used < targets.size()) {
+    const Chunk& chunk = pending_.back();
+    auto hidden = codec_.hide(targets[used], pack_chunk(chunk));
+    if (hidden.is_ok()) {
+      hidden_blocks_.insert(targets[used]);
+      pending_.pop_back();
+      ++stats_.reembeds;
+    }
+    ++used;
+  }
+  return Status::ok();
+}
+
+}  // namespace stash::stego

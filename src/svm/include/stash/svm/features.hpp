@@ -1,0 +1,31 @@
+#pragma once
+// Feature extractors turning flash voltage measurements into SVM inputs,
+// mirroring the paper's two detectability analyses (§7): (1) the full
+// voltage-level distribution of a block or page, and (2) summary
+// characteristics of public data (BER, mean voltage, standard deviation).
+
+#include <vector>
+
+#include "stash/nand/chip.hpp"
+
+namespace stash::svm {
+
+/// Normalized voltage histogram of a whole block (default 64 bins over the
+/// 0-255 scale — fine enough to see state structure, coarse enough to
+/// train on dozens of samples).
+[[nodiscard]] std::vector<double> block_histogram_features(
+    const nand::FlashChip& chip, std::uint32_t block, std::size_t bins = 64);
+
+/// Normalized voltage histogram of a single page.
+[[nodiscard]] std::vector<double> page_histogram_features(
+    const nand::FlashChip& chip, std::uint32_t block, std::uint32_t page,
+    std::size_t bins = 64);
+
+/// The paper's alternate attack: classify on public-data characteristics —
+/// measured public BER plus the mean and standard deviation of the cell
+/// voltages (per voltage state), rather than the full distribution.
+[[nodiscard]] std::vector<double> summary_features(
+    nand::FlashChip& chip, std::uint32_t block,
+    const std::vector<std::vector<std::uint8_t>>& written_data);
+
+}  // namespace stash::svm

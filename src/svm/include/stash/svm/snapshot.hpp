@@ -1,0 +1,64 @@
+#pragma once
+// Multiple-snapshot adversary (paper §9.2): an attacker who can image the
+// device's voltage levels at two points in time.  Hidden-data writes that
+// are not covered by public-data activity leave a telltale signature —
+// erased-level cells whose charge rose although the page was never
+// (re)programmed.  The stego layer defeats this by piggybacking hiding on
+// genuine public writes (cover traffic), which is what StegoVolume's
+// store/rescue/re-embed flow does.
+
+#include <cstdint>
+#include <vector>
+
+#include "stash/nand/chip.hpp"
+
+namespace stash::svm {
+
+/// A full voltage image of selected blocks, as the paper's probing
+/// adversary would capture with the vendor characterization command.
+struct VoltageSnapshot {
+  std::vector<std::uint32_t> blocks;
+  /// volts[i] holds block blocks[i], page-major.
+  std::vector<std::vector<int>> volts;
+
+  [[nodiscard]] static VoltageSnapshot capture(
+      nand::FlashChip& chip, const std::vector<std::uint32_t>& blocks);
+};
+
+struct SnapshotDiff {
+  std::uint32_t block = 0;
+  /// Cells whose measured level rose while staying inside the erased band
+  /// (the fingerprint of partial programming).
+  std::size_t raised_erased_cells = 0;
+  /// Cells that moved between the erased and programmed bands (evidence of
+  /// ordinary program/erase activity — innocent cover).
+  std::size_t reprogrammed_cells = 0;
+  /// Fraction of suspicious cells among all erased-band cells.
+  double suspicion = 0.0;
+};
+
+class SnapshotAdversary {
+ public:
+  /// `rise_threshold`: minimum level increase that counts as deliberate
+  /// charging (set above disturb/readout noise).  `suspicion_threshold`:
+  /// fraction of in-band raised cells above which a block is flagged.
+  explicit SnapshotAdversary(double rise_threshold = 4.0,
+                             double suspicion_threshold = 5e-4)
+      : rise_threshold_(rise_threshold),
+        suspicion_threshold_(suspicion_threshold) {}
+
+  /// Per-block diff between two snapshots of the same block set.
+  [[nodiscard]] std::vector<SnapshotDiff> diff(
+      const VoltageSnapshot& before, const VoltageSnapshot& after) const;
+
+  /// Blocks whose erased-band cells gained charge without block-level
+  /// program/erase cover.
+  [[nodiscard]] std::vector<std::uint32_t> suspicious_blocks(
+      const VoltageSnapshot& before, const VoltageSnapshot& after) const;
+
+ private:
+  double rise_threshold_;
+  double suspicion_threshold_;
+};
+
+}  // namespace stash::svm

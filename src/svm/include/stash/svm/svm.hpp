@@ -1,0 +1,89 @@
+#pragma once
+// Soft-margin support vector machine trained with (simplified) SMO, written
+// from scratch.  This is the attacker's tool in the paper's detectability
+// methodology (§7, following Wang et al.): given voltage-level features of
+// flash blocks/pages, predict whether they carry hidden data.  An accuracy
+// of ~50% means the hiding scheme leaves no learnable trace.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace stash::svm {
+
+enum class KernelType { kLinear, kRbf };
+
+struct KernelParams {
+  KernelType type = KernelType::kRbf;
+  double gamma = 0.1;  // RBF only
+};
+
+struct Dataset {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;  // labels in {-1, +1}
+
+  [[nodiscard]] std::size_t size() const noexcept { return x.size(); }
+  void add(std::vector<double> features, int label) {
+    x.push_back(std::move(features));
+    y.push_back(label);
+  }
+};
+
+/// Z-score feature scaler (fit on training data, apply everywhere).
+class StandardScaler {
+ public:
+  void fit(const std::vector<std::vector<double>>& x);
+  [[nodiscard]] std::vector<double> transform(std::span<const double> v) const;
+  void transform_in_place(std::vector<std::vector<double>>& x) const;
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+};
+
+struct SvmConfig {
+  double c = 1.0;          // soft-margin penalty
+  KernelParams kernel;
+  double tol = 1e-3;
+  int max_passes = 8;      // SMO termination (full sweeps without progress)
+  std::uint64_t seed = 42;
+};
+
+class SvmModel {
+ public:
+  /// Train on a dataset with labels in {-1, +1}.
+  static SvmModel train(const Dataset& data, const SvmConfig& config);
+
+  [[nodiscard]] double decision(std::span<const double> v) const;
+  [[nodiscard]] int predict(std::span<const double> v) const {
+    return decision(v) >= 0.0 ? +1 : -1;
+  }
+
+  [[nodiscard]] double accuracy(const Dataset& data) const;
+  [[nodiscard]] std::size_t n_support_vectors() const noexcept {
+    return support_.size();
+  }
+
+ private:
+  KernelParams kernel_;
+  std::vector<std::vector<double>> support_;
+  std::vector<double> coeff_;  // alpha_i * y_i
+  double bias_ = 0.0;
+};
+
+/// k-fold cross-validated accuracy (features must be pre-scaled).
+[[nodiscard]] double cross_validate(const Dataset& data, const SvmConfig& config,
+                                    int folds, std::uint64_t seed = 7);
+
+struct GridSearchResult {
+  SvmConfig best;
+  double best_cv_accuracy = 0.0;
+};
+
+/// Paper §7: "the classifier used optimal parameters obtained using grid
+/// search" with three-fold cross-validation.  Sweeps C (and gamma for RBF).
+[[nodiscard]] GridSearchResult grid_search(const Dataset& data,
+                                           KernelType kernel, int folds = 3,
+                                           std::uint64_t seed = 7);
+
+}  // namespace stash::svm

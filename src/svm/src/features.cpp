@@ -1,0 +1,51 @@
+#include "stash/svm/features.hpp"
+
+#include "stash/util/bitvec.hpp"
+#include "stash/util/stats.hpp"
+
+namespace stash::svm {
+
+std::vector<double> block_histogram_features(const nand::FlashChip& chip,
+                                             std::uint32_t block,
+                                             std::size_t bins) {
+  return chip.voltage_histogram(block, bins).normalized();
+}
+
+std::vector<double> page_histogram_features(const nand::FlashChip& chip,
+                                            std::uint32_t block,
+                                            std::uint32_t page,
+                                            std::size_t bins) {
+  return chip.page_voltage_histogram(block, page, bins).normalized();
+}
+
+std::vector<double> summary_features(
+    nand::FlashChip& chip, std::uint32_t block,
+    const std::vector<std::vector<std::uint8_t>>& written_data) {
+  // Public BER across the block.
+  std::size_t errors = 0;
+  std::size_t total = 0;
+  util::RunningStats erased_stats, programmed_stats;
+  for (std::uint32_t p = 0; p < chip.geometry().pages_per_block &&
+                            p < written_data.size();
+       ++p) {
+    const auto readback = chip.read_page(block, p);
+    const auto& sent = written_data[p];
+    const auto volts = chip.probe_voltages(block, p);
+    for (std::size_t c = 0; c < readback.size() && c < sent.size(); ++c) {
+      errors += ((readback[c] ^ sent[c]) & 1) != 0;
+      ++total;
+      if (sent[c] & 1) {
+        erased_stats.add(static_cast<double>(volts[c]));
+      } else {
+        programmed_stats.add(static_cast<double>(volts[c]));
+      }
+    }
+  }
+  const double ber =
+      total ? static_cast<double>(errors) / static_cast<double>(total) : 0.0;
+  return {ber,
+          erased_stats.mean(),     erased_stats.stddev(),
+          programmed_stats.mean(), programmed_stats.stddev()};
+}
+
+}  // namespace stash::svm

@@ -1,0 +1,77 @@
+#include "stash/svm/snapshot.hpp"
+
+namespace stash::svm {
+
+namespace {
+constexpr double kErasedBandCeiling = 90.0;
+}
+
+VoltageSnapshot VoltageSnapshot::capture(
+    nand::FlashChip& chip, const std::vector<std::uint32_t>& blocks) {
+  VoltageSnapshot snap;
+  snap.blocks = blocks;
+  snap.volts.reserve(blocks.size());
+  for (std::uint32_t b : blocks) {
+    std::vector<int> cells;
+    cells.reserve(static_cast<std::size_t>(chip.geometry().pages_per_block) *
+                  chip.geometry().cells_per_page);
+    for (std::uint32_t p = 0; p < chip.geometry().pages_per_block; ++p) {
+      const auto page = chip.probe_voltages(b, p);
+      cells.insert(cells.end(), page.begin(), page.end());
+    }
+    snap.volts.push_back(std::move(cells));
+  }
+  return snap;
+}
+
+std::vector<SnapshotDiff> SnapshotAdversary::diff(
+    const VoltageSnapshot& before, const VoltageSnapshot& after) const {
+  std::vector<SnapshotDiff> diffs;
+  const std::size_t n = std::min(before.blocks.size(), after.blocks.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (before.blocks[i] != after.blocks[i] ||
+        before.volts[i].size() != after.volts[i].size()) {
+      continue;
+    }
+    SnapshotDiff d;
+    d.block = before.blocks[i];
+    std::size_t erased_band = 0;
+    for (std::size_t c = 0; c < before.volts[i].size(); ++c) {
+      const double v0 = before.volts[i][c];
+      const double v1 = after.volts[i][c];
+      const bool was_erased = v0 < kErasedBandCeiling;
+      const bool is_erased = v1 < kErasedBandCeiling;
+      if (was_erased != is_erased) {
+        ++d.reprogrammed_cells;
+        continue;
+      }
+      if (was_erased) {
+        ++erased_band;
+        if (v1 - v0 >= rise_threshold_) ++d.raised_erased_cells;
+      }
+    }
+    // Block-level erase/program activity explains any in-band movement:
+    // when a substantial fraction of cells changed bands, the block was
+    // rewritten and in-band rises are expected (fresh erase/program noise).
+    const bool rewritten =
+        d.reprogrammed_cells >
+        before.volts[i].size() / 50;  // >2% of cells switched bands
+    d.suspicion = (erased_band && !rewritten)
+                      ? static_cast<double>(d.raised_erased_cells) /
+                            static_cast<double>(erased_band)
+                      : 0.0;
+    diffs.push_back(d);
+  }
+  return diffs;
+}
+
+std::vector<std::uint32_t> SnapshotAdversary::suspicious_blocks(
+    const VoltageSnapshot& before, const VoltageSnapshot& after) const {
+  std::vector<std::uint32_t> flagged;
+  for (const auto& d : diff(before, after)) {
+    if (d.suspicion > suspicion_threshold_) flagged.push_back(d.block);
+  }
+  return flagged;
+}
+
+}  // namespace stash::svm

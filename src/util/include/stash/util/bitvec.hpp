@@ -1,0 +1,31 @@
+#pragma once
+// Bit-level helpers shared by the codecs: data moves between byte buffers
+// (what users hand us) and bit vectors (what per-cell flash operations and
+// the BCH codec consume).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace stash::util {
+
+/// Expand bytes into bits, MSB first within each byte.
+[[nodiscard]] std::vector<std::uint8_t> bytes_to_bits(
+    std::span<const std::uint8_t> bytes);
+
+/// Pack bits (MSB first) back into bytes.  Trailing partial bytes are
+/// zero-padded in the low positions.
+[[nodiscard]] std::vector<std::uint8_t> bits_to_bytes(
+    std::span<const std::uint8_t> bits);
+
+/// Number of positions at which the two spans differ (up to the shorter
+/// length) plus the length difference.
+[[nodiscard]] std::size_t hamming_distance(std::span<const std::uint8_t> a,
+                                           std::span<const std::uint8_t> b);
+
+/// Bit error rate between two equal-length bit vectors; 0 for empty input.
+[[nodiscard]] double bit_error_rate(std::span<const std::uint8_t> sent,
+                                    std::span<const std::uint8_t> received);
+
+}  // namespace stash::util

@@ -1,0 +1,123 @@
+#pragma once
+// Deterministic pseudo-random number generation used throughout the simulator.
+//
+// Reproducibility is a hard requirement: the NAND simulator derives per-cell
+// manufacturing traits lazily from (seed, block, page, cell) so that an 8 GB
+// chip never needs to persist per-cell attributes.  Everything here is fully
+// deterministic given its seed and independent of the standard library's
+// unspecified distribution implementations.
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace stash::util {
+
+/// SplitMix64: tiny, statistically strong 64-bit mixer.  Used both as a seed
+/// expander and as a stateless hash for deriving per-cell traits.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Hash an arbitrary number of 64-bit words into one, order-sensitive.
+template <typename... Words>
+[[nodiscard]] constexpr std::uint64_t hash_words(std::uint64_t first,
+                                                 Words... rest) noexcept {
+  std::uint64_t h = splitmix64(first);
+  ((h = splitmix64(h ^ splitmix64(static_cast<std::uint64_t>(rest)))), ...);
+  return h;
+}
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 256-bit state.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x5eedULL) noexcept {
+    std::uint64_t x = seed;
+    for (auto& w : state_) w = x = splitmix64(x);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t below(std::uint64_t n) noexcept {
+    // Lemire's nearly-divisionless bounded generation.
+    __uint128_t m = static_cast<__uint128_t>((*this)()) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t t = (0 - n) % n;
+      while (lo < t) {
+        m = static_cast<__uint128_t>((*this)()) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal deviate (Marsaglia polar method, cached pair).
+  double normal() noexcept {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    has_spare_ = true;
+    return u * mul;
+  }
+
+  double normal(double mean, double sigma) noexcept {
+    return mean + sigma * normal();
+  }
+
+  /// Exponential deviate with the given mean.
+  double exponential(double mean) noexcept {
+    return -mean * std::log1p(-uniform());
+  }
+
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace stash::util

@@ -1,0 +1,70 @@
+#pragma once
+// Small descriptive-statistics helpers used by the simulator calibration
+// tests, the SVM feature extractors, and the benchmark harnesses.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace stash::util {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  void merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(n_ + other.n_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ +
+           delta * delta * static_cast<double>(n_) *
+               static_cast<double>(other.n_) / total;
+    mean_ += delta * static_cast<double>(other.n_) / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+[[nodiscard]] double variance(std::span<const double> xs) noexcept;
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// q-th quantile (0 <= q <= 1) with linear interpolation; copies the input.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Pearson correlation coefficient; 0 for degenerate inputs.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys) noexcept;
+
+}  // namespace stash::util

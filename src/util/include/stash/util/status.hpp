@@ -1,0 +1,102 @@
+#pragma once
+// Lightweight error-handling vocabulary.  Storage-layer operations report
+// failure through Status / Result<T> rather than exceptions so that callers
+// (FTL, VT-HI codec) can branch on error categories like a device driver
+// would; programming errors (bad arguments, violated preconditions) still
+// throw.
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace stash::util {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something out of range
+  kOutOfBounds,       // address outside device geometry
+  kProgramFail,       // NAND reported a program failure
+  kEraseFail,         // NAND reported an erase failure
+  kUncorrectable,     // ECC could not repair the payload
+  kNotFound,          // no such logical page / hidden object
+  kNoSpace,           // device or hidden capacity exhausted
+  kWornOut,           // block exceeded its PEC budget
+  kCorrupted,         // structural metadata failed validation
+  kAuthFailure,       // MAC / key check failed
+  kUnsupported,       // operation not available in this configuration
+};
+
+[[nodiscard]] const char* error_code_name(ErrorCode code) noexcept;
+
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return {}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const noexcept { return is_ok(); }
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    if (is_ok()) return "OK";
+    std::string s = error_code_name(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(v_).is_ok()) {
+      throw std::logic_error("Result constructed from OK status without value");
+    }
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    if (!is_ok()) throw std::runtime_error("Result::value on error: " + status().to_string());
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] T& value() & {
+    if (!is_ok()) throw std::runtime_error("Result::value on error: " + status().to_string());
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] T&& take() && {
+    if (!is_ok()) throw std::runtime_error("Result::take on error: " + status().to_string());
+    return std::get<T>(std::move(v_));
+  }
+
+  [[nodiscard]] Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(v_);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace stash::util
+
+/// Propagate a non-OK Status out of the current function.
+#define STASH_RETURN_IF_ERROR(expr)                        \
+  do {                                                     \
+    ::stash::util::Status stash_status_ = (expr);          \
+    if (!stash_status_.is_ok()) return stash_status_;      \
+  } while (false)

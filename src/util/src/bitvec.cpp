@@ -1,0 +1,49 @@
+#include "stash/util/bitvec.hpp"
+
+#include <algorithm>
+
+namespace stash::util {
+
+std::vector<std::uint8_t> bytes_to_bits(std::span<const std::uint8_t> bytes) {
+  std::vector<std::uint8_t> bits;
+  bits.reserve(bytes.size() * 8);
+  for (std::uint8_t byte : bytes) {
+    for (int i = 7; i >= 0; --i) {
+      bits.push_back(static_cast<std::uint8_t>((byte >> i) & 1));
+    }
+  }
+  return bits;
+}
+
+std::vector<std::uint8_t> bits_to_bytes(std::span<const std::uint8_t> bits) {
+  std::vector<std::uint8_t> bytes((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] & 1) {
+      bytes[i / 8] |= static_cast<std::uint8_t>(1u << (7 - (i % 8)));
+    }
+  }
+  return bytes;
+}
+
+std::size_t hamming_distance(std::span<const std::uint8_t> a,
+                             std::span<const std::uint8_t> b) {
+  const std::size_t common = std::min(a.size(), b.size());
+  std::size_t d = a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
+  for (std::size_t i = 0; i < common; ++i) {
+    d += static_cast<std::size_t>(
+        __builtin_popcount(static_cast<unsigned>(a[i] ^ b[i])));
+  }
+  return d;
+}
+
+double bit_error_rate(std::span<const std::uint8_t> sent,
+                      std::span<const std::uint8_t> received) {
+  if (sent.empty() || sent.size() != received.size()) return sent.empty() ? 0.0 : 1.0;
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    errors += ((sent[i] ^ received[i]) & 1) != 0;
+  }
+  return static_cast<double>(errors) / static_cast<double>(sent.size());
+}
+
+}  // namespace stash::util

@@ -1,0 +1,80 @@
+#include "stash/util/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace stash::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+}
+
+std::size_t Histogram::bin_of(double x) const noexcept {
+  if (x <= lo_) return 0;
+  if (x >= hi_) return counts_.size() - 1;
+  auto b = static_cast<std::size_t>((x - lo_) / width_);
+  return std::min(b, counts_.size() - 1);
+}
+
+void Histogram::add(double x) noexcept {
+  ++counts_[bin_of(x)];
+  ++total_;
+}
+
+void Histogram::add(std::span<const double> xs) noexcept {
+  for (double x : xs) add(x);
+}
+
+void Histogram::add_count(std::size_t bin, std::uint64_t count) noexcept {
+  if (bin >= counts_.size()) bin = counts_.size() - 1;
+  counts_[bin] += count;
+  total_ += count;
+}
+
+std::vector<double> Histogram::normalized() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+double Histogram::fraction_at_or_above(double x) const noexcept {
+  if (total_ == 0) return 0.0;
+  std::uint64_t above = 0;
+  const std::size_t start = bin_of(x);
+  for (std::size_t i = start; i < counts_.size(); ++i) above += counts_[i];
+  return static_cast<double>(above) / static_cast<double>(total_);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.counts_.size() != counts_.size() || other.lo_ != lo_ ||
+      other.hi_ != hi_) {
+    throw std::invalid_argument("Histogram::merge: incompatible binning");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+std::string Histogram::to_tsv(const std::string& label) const {
+  std::string out;
+  const auto norm = normalized();
+  char buf[128];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (!label.empty()) {
+      std::snprintf(buf, sizeof buf, "%s\t%.1f\t%.6f\n", label.c_str(),
+                    bin_center(i), norm[i]);
+    } else {
+      std::snprintf(buf, sizeof buf, "%.1f\t%.6f\n", bin_center(i), norm[i]);
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace stash::util

@@ -1,0 +1,23 @@
+#include "stash/util/status.hpp"
+
+namespace stash::util {
+
+const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kOutOfBounds: return "OUT_OF_BOUNDS";
+    case ErrorCode::kProgramFail: return "PROGRAM_FAIL";
+    case ErrorCode::kEraseFail: return "ERASE_FAIL";
+    case ErrorCode::kUncorrectable: return "UNCORRECTABLE";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kNoSpace: return "NO_SPACE";
+    case ErrorCode::kWornOut: return "WORN_OUT";
+    case ErrorCode::kCorrupted: return "CORRUPTED";
+    case ErrorCode::kAuthFailure: return "AUTH_FAILURE";
+    case ErrorCode::kUnsupported: return "UNSUPPORTED";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace stash::util

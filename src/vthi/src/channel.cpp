@@ -1,0 +1,152 @@
+#include "stash/vthi/channel.hpp"
+
+#include <string>
+
+namespace stash::vthi {
+
+using util::ErrorCode;
+
+VthiChannel::VthiChannel(nand::FlashChip& chip,
+                         std::array<std::uint8_t, 32> selection_key,
+                         ChannelConfig config)
+    : chip_(&chip), selection_key_(selection_key), config_(config) {}
+
+std::vector<std::uint32_t> VthiChannel::select_from_voltages(
+    std::uint32_t block, std::uint32_t page, std::uint32_t count,
+    const std::vector<int>& volts) const {
+  // Keyed, page-personalized DRBG walk over the whole cell range.  A cell
+  // is eligible iff it currently measures below the selection guard, i.e.
+  // it is an erased-level ("non-programmed") cell.  Eligibility is stable
+  // across retention and partial programming, so the decoder re-derives the
+  // identical list from its own probe.
+  const std::string personalization =
+      "vt-hi/b" + std::to_string(block) + "/p" + std::to_string(page);
+  crypto::Sha256Drbg drbg(selection_key_, personalization);
+
+  const auto cells = static_cast<std::uint32_t>(volts.size());
+  std::vector<std::uint8_t> seen(cells, 0);
+  std::vector<std::uint32_t> chosen;
+  chosen.reserve(count);
+  // The walk terminates: every cell is visited at most once, and we stop
+  // early once enough eligible cells were found.
+  std::uint32_t visited = 0;
+  while (chosen.size() < count && visited < cells) {
+    const auto c = static_cast<std::uint32_t>(drbg.below(cells));
+    if (seen[c]) continue;
+    seen[c] = 1;
+    ++visited;
+    if (static_cast<double>(volts[c]) < config_.select_guard) {
+      chosen.push_back(c);
+    }
+  }
+  return chosen;
+}
+
+Result<std::vector<std::uint32_t>> VthiChannel::select_cells(
+    std::uint32_t block, std::uint32_t page, std::uint32_t count) {
+  const auto volts = chip_->probe_voltages(block, page);
+  if (volts.empty()) {
+    return Status{ErrorCode::kOutOfBounds, "bad page address"};
+  }
+  auto chosen = select_from_voltages(block, page, count, volts);
+  if (chosen.size() < count) {
+    return Status{ErrorCode::kNoSpace, "not enough eligible cells in page"};
+  }
+  return chosen;
+}
+
+Result<EmbedSession> VthiChannel::begin(std::uint32_t block,
+                                        std::uint32_t page,
+                                        std::span<const std::uint8_t> bits) {
+  auto cells = select_cells(block, page, static_cast<std::uint32_t>(bits.size()));
+  if (!cells.is_ok()) return cells.status();
+  EmbedSession session;
+  session.block = block;
+  session.page = page;
+  session.cells = std::move(cells).take();
+  session.bits.assign(bits.begin(), bits.end());
+  return session;
+}
+
+Result<int> VthiChannel::step(EmbedSession& session) {
+  // One Algorithm-1 round, one read + (at most) one program: probe the
+  // page, then partially program every hidden-'0' cell still below vth.
+  // Returns the number of cells that were below vth at probe time; 0 means
+  // the previous rounds already converged and nothing was programmed.
+  const auto volts = chip_->probe_voltages(session.block, session.page);
+  if (volts.empty()) {
+    return Status{ErrorCode::kOutOfBounds, "bad page address"};
+  }
+  std::vector<std::uint32_t> pending;
+  for (std::size_t i = 0; i < session.cells.size(); ++i) {
+    if ((session.bits[i] & 1) == 0 &&
+        static_cast<double>(volts[session.cells[i]]) < config_.vth) {
+      pending.push_back(session.cells[i]);
+    }
+  }
+  if (pending.empty()) {
+    session.converged = true;
+    return 0;
+  }
+
+  Status programmed;
+  if (config_.use_fine_program) {
+    programmed = chip_->fine_program(session.block, session.page, pending,
+                                     config_.vth + config_.fine_target_delta,
+                                     config_.fine_target_sigma,
+                                     config_.fine_target_tail);
+  } else {
+    programmed = chip_->partial_program(session.block, session.page, pending);
+  }
+  if (!programmed.is_ok()) return programmed;
+  ++session.steps_taken;
+  return static_cast<int>(pending.size());
+}
+
+Result<EmbedSession> VthiChannel::embed(std::uint32_t block,
+                                        std::uint32_t page,
+                                        std::span<const std::uint8_t> bits) {
+  auto begun = begin(block, page, bits);
+  if (!begun.is_ok()) return begun.status();
+  EmbedSession session = std::move(begun).take();
+  for (int s = 0; s < config_.max_pp_steps && !session.converged; ++s) {
+    auto stepped = step(session);
+    if (!stepped.is_ok()) return stepped.status();
+  }
+  return session;
+}
+
+Result<std::vector<std::uint8_t>> VthiChannel::extract(std::uint32_t block,
+                                                       std::uint32_t page,
+                                                       std::uint32_t count) {
+  // Single probe: yields the eligible-cell list and every hidden bit.
+  const auto volts = chip_->probe_voltages(block, page);
+  if (volts.empty()) {
+    return Status{ErrorCode::kOutOfBounds, "bad page address"};
+  }
+  const auto chosen = select_from_voltages(block, page, count, volts);
+  if (chosen.size() < count) {
+    return Status{ErrorCode::kNoSpace, "not enough eligible cells in page"};
+  }
+  std::vector<std::uint8_t> bits(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    bits[i] = static_cast<double>(volts[chosen[i]]) >= config_.vth ? 0 : 1;
+  }
+  return bits;
+}
+
+Result<std::size_t> VthiChannel::natural_above_threshold(std::uint32_t block,
+                                                         std::uint32_t page) {
+  const auto volts = chip_->probe_voltages(block, page);
+  if (volts.empty()) {
+    return Status{ErrorCode::kOutOfBounds, "bad page address"};
+  }
+  std::size_t count = 0;
+  for (int v : volts) {
+    const auto vd = static_cast<double>(v);
+    if (vd >= config_.vth && vd < config_.select_guard) ++count;
+  }
+  return count;
+}
+
+}  // namespace stash::vthi

@@ -1,0 +1,369 @@
+// ECC substrate tests: GF(2^m) field axioms (parameterized over m), BCH
+// encode/decode round trips with random error injection up to and beyond t,
+// Hamming SEC-DED behaviour, and parity-stripe reconstruction.
+
+#include <gtest/gtest.h>
+
+#include "stash/ecc/bch.hpp"
+#include "stash/ecc/gf.hpp"
+#include "stash/ecc/hamming.hpp"
+#include "stash/util/rng.hpp"
+
+namespace stash::ecc {
+namespace {
+
+using stash::util::Xoshiro256;
+
+// ---------------- Galois field ----------------
+
+class GaloisFieldTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GaloisFieldTest, AlphaGeneratesWholeField) {
+  GaloisField gf(GetParam());
+  std::vector<bool> seen(static_cast<std::size_t>(gf.n()) + 1, false);
+  for (int i = 0; i < gf.n(); ++i) {
+    const auto e = gf.alpha_pow(i);
+    ASSERT_GT(e, 0u);
+    ASSERT_LE(e, static_cast<std::uint32_t>(gf.n()));
+    ASSERT_FALSE(seen[e]) << "alpha^" << i << " repeats";
+    seen[e] = true;
+  }
+}
+
+TEST_P(GaloisFieldTest, MultiplicationAgreesWithLogs) {
+  GaloisField gf(GetParam());
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = static_cast<std::uint32_t>(1 + rng.below(gf.n()));
+    const auto b = static_cast<std::uint32_t>(1 + rng.below(gf.n()));
+    const auto prod = gf.mul(a, b);
+    EXPECT_EQ(gf.log(prod), (gf.log(a) + gf.log(b)) % gf.n());
+  }
+}
+
+TEST_P(GaloisFieldTest, InverseAndDivision) {
+  GaloisField gf(GetParam());
+  Xoshiro256 rng(6);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = static_cast<std::uint32_t>(1 + rng.below(gf.n()));
+    EXPECT_EQ(gf.mul(a, gf.inv(a)), 1u);
+    const auto b = static_cast<std::uint32_t>(1 + rng.below(gf.n()));
+    EXPECT_EQ(gf.mul(gf.div(a, b), b), a);
+  }
+}
+
+TEST_P(GaloisFieldTest, DistributiveLaw) {
+  GaloisField gf(GetParam());
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = static_cast<std::uint32_t>(rng.below(gf.n() + 1));
+    const auto b = static_cast<std::uint32_t>(rng.below(gf.n() + 1));
+    const auto c = static_cast<std::uint32_t>(rng.below(gf.n() + 1));
+    EXPECT_EQ(gf.mul(a, gf.add(b, c)), gf.add(gf.mul(a, b), gf.mul(a, c)));
+  }
+}
+
+TEST_P(GaloisFieldTest, PowMatchesRepeatedMul) {
+  GaloisField gf(GetParam());
+  const std::uint32_t a = gf.alpha_pow(1);
+  std::uint32_t acc = 1;
+  for (int e = 0; e < 20; ++e) {
+    EXPECT_EQ(gf.pow(a, e), acc);
+    acc = gf.mul(acc, a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFieldSizes, GaloisFieldTest,
+                         ::testing::Values(3, 4, 5, 8, 10, 13));
+
+TEST(GaloisField, RejectsBadM) {
+  EXPECT_THROW(GaloisField(1), std::invalid_argument);
+  EXPECT_THROW(GaloisField(17), std::invalid_argument);
+}
+
+TEST(GaloisField, EvalPolyHorner) {
+  GaloisField gf(4);
+  // p(x) = 1 + x: p(alpha) = 1 ^ alpha.
+  const std::vector<std::uint32_t> p = {1, 1};
+  EXPECT_EQ(gf.eval_poly(p, gf.alpha_pow(1)), 1u ^ gf.alpha_pow(1));
+  EXPECT_EQ(gf.eval_poly(p, 1), 0u);  // 1 + 1 = 0 in GF(2^m)
+}
+
+// ---------------- BCH ----------------
+
+struct BchCase {
+  int m;
+  int t;
+  std::size_t data_len;
+};
+
+class BchRoundTrip : public ::testing::TestWithParam<BchCase> {};
+
+TEST_P(BchRoundTrip, CorrectsUpToTErrors) {
+  const auto [m, t, data_len] = GetParam();
+  BchCode code(m, t);
+  ASSERT_LE(data_len, code.k());
+  Xoshiro256 rng(100 + static_cast<std::uint64_t>(m * 100 + t));
+
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::uint8_t> data(data_len);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng() & 1);
+    auto codeword = code.encode(data);
+    ASSERT_EQ(codeword.size(), data_len + code.parity_bits());
+
+    // Inject exactly `errors` distinct bit flips.
+    const int errors = trial % (t + 1);
+    std::vector<std::size_t> positions;
+    while (static_cast<int>(positions.size()) < errors) {
+      const auto p = static_cast<std::size_t>(rng.below(codeword.size()));
+      if (std::find(positions.begin(), positions.end(), p) == positions.end()) {
+        positions.push_back(p);
+        codeword[p] ^= 1;
+      }
+    }
+
+    const auto decoded = code.decode(codeword);
+    ASSERT_TRUE(decoded.ok) << "m=" << m << " t=" << t << " errors=" << errors;
+    EXPECT_EQ(decoded.corrected, errors);
+    EXPECT_EQ(decoded.data_bits, data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, BchRoundTrip,
+    ::testing::Values(BchCase{5, 1, 20}, BchCase{6, 2, 40}, BchCase{8, 3, 100},
+                      BchCase{8, 8, 150}, BchCase{10, 5, 500},
+                      BchCase{10, 20, 700}, BchCase{13, 10, 4000},
+                      BchCase{13, 60, 7000}));
+
+TEST(Bch, ZeroErrorsFastPath) {
+  BchCode code(8, 4);
+  std::vector<std::uint8_t> data(100, 0);
+  data[3] = 1;
+  data[77] = 1;
+  const auto cw = code.encode(data);
+  const auto decoded = code.decode(cw);
+  ASSERT_TRUE(decoded.ok);
+  EXPECT_EQ(decoded.corrected, 0);
+  EXPECT_EQ(decoded.data_bits, data);
+}
+
+TEST(Bch, DetectsBeyondTMostOfTheTime) {
+  // Past the design distance, decoding must either report failure or,
+  // rarely, miscorrect — it must never crash or loop.
+  BchCode code(8, 2);
+  Xoshiro256 rng(321);
+  int failures_reported = 0;
+  const int trials = 50;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<std::uint8_t> data(100);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng() & 1);
+    auto cw = code.encode(data);
+    // 6 errors >> t=2.
+    for (int e = 0; e < 6; ++e) {
+      cw[rng.below(cw.size())] ^= 1;
+    }
+    const auto decoded = code.decode(cw);
+    if (!decoded.ok || decoded.data_bits != data) ++failures_reported;
+  }
+  // Should virtually always fail to silently "repair" to the original.
+  EXPECT_GT(failures_reported, trials - 3);
+}
+
+TEST(Bch, ShorteningPreservesCorrection) {
+  BchCode code(10, 4);
+  // Same code, several shortened lengths.
+  for (std::size_t len : {32u, 100u, 500u, 900u}) {
+    Xoshiro256 rng(len);
+    std::vector<std::uint8_t> data(len);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng() & 1);
+    auto cw = code.encode(data);
+    cw[0] ^= 1;
+    cw[cw.size() - 1] ^= 1;
+    const auto decoded = code.decode(cw);
+    ASSERT_TRUE(decoded.ok) << "len=" << len;
+    EXPECT_EQ(decoded.data_bits, data);
+  }
+}
+
+TEST(Bch, ParityBitsAtMostMTimesT) {
+  for (int t : {1, 3, 8}) {
+    BchCode code(10, t);
+    EXPECT_LE(code.parity_bits(), static_cast<std::size_t>(10 * t));
+    EXPECT_GE(code.parity_bits(), static_cast<std::size_t>(t));
+  }
+}
+
+TEST(Bch, PickTCoversExpectedErrors) {
+  // 256-bit payloads at the paper's production raw BER (~0.5%).
+  const int t = BchCode::pick_t(9, 256, 0.005);
+  ASSERT_GT(t, 0);
+  // Must exceed the expected error count with margin.
+  EXPECT_GE(t, 3);
+  EXPECT_LE(t, 12);
+  // Higher BER demands more correction.
+  EXPECT_GT(BchCode::pick_t(9, 256, 0.02), t);
+}
+
+TEST(Bch, PickTReturnsZeroWhenHopeless) {
+  EXPECT_EQ(BchCode::pick_t(4, 14, 0.45), 0);
+}
+
+TEST(Bch, PickTForCodewordCoversExpectedErrors) {
+  // Fixed-codeword sizing (the VT-HI layout path): t must exceed the mean
+  // error count with margin and leave room for data.
+  const std::size_t cw = 5120;
+  const double p = 0.02;
+  const int t = BchCode::pick_t_for_codeword(13, cw, p);
+  ASSERT_GT(t, 0);
+  EXPECT_GT(t, static_cast<int>(cw * p));                   // > mean
+  EXPECT_LT(static_cast<std::size_t>(13 * t), cw);          // data remains
+  // Higher margin, higher t.
+  EXPECT_GT(BchCode::pick_t_for_codeword(13, cw, p, 5.0), t);
+}
+
+TEST(Bch, PickTForCodewordRejectsInfeasible) {
+  // Codeword longer than the field allows.
+  EXPECT_EQ(BchCode::pick_t_for_codeword(8, 300, 0.02), 0);
+  // Error rate so high that parity would consume the codeword.
+  EXPECT_EQ(BchCode::pick_t_for_codeword(13, 4000, 0.10), 0);
+  // Empty codeword.
+  EXPECT_EQ(BchCode::pick_t_for_codeword(10, 0, 0.01), 0);
+}
+
+TEST(Bch, PickTForCodewordSurvivesChannelSimulation) {
+  // End-to-end: size t for a 2% channel, push 30 random codewords through
+  // it, expect at most one decode failure (3-sigma design point).
+  const std::size_t cw_bits = 2000;
+  const double p = 0.02;
+  const int t = BchCode::pick_t_for_codeword(11, cw_bits, p);
+  ASSERT_GT(t, 0);
+  BchCode code(11, t);
+  const std::size_t data_len = cw_bits - code.parity_bits();
+  Xoshiro256 rng(2024);
+  int failures = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::uint8_t> data(data_len);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng() & 1);
+    auto cw = code.encode(data);
+    for (auto& bit : cw) {
+      if (rng.uniform() < p) bit ^= 1;
+    }
+    const auto decoded = code.decode(cw);
+    failures += !(decoded.ok && decoded.data_bits == data);
+  }
+  EXPECT_LE(failures, 1);
+}
+
+TEST(Bch, RejectsOversizedData) {
+  BchCode code(5, 1);
+  std::vector<std::uint8_t> too_big(code.k() + 1, 0);
+  EXPECT_THROW((void)code.encode(too_big), std::invalid_argument);
+}
+
+TEST(Bch, RandomBerSurvivalSweep) {
+  // Statistical property: at raw BER p and t picked by pick_t, nearly all
+  // codewords decode.  Mirrors the codec's operating point.
+  const double p = 0.008;
+  const std::size_t data_len = 2000;
+  const int t = BchCode::pick_t(13, data_len, p);
+  ASSERT_GT(t, 0);
+  BchCode code(13, t);
+  Xoshiro256 rng(777);
+  int ok = 0;
+  const int trials = 20;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<std::uint8_t> data(data_len);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng() & 1);
+    auto cw = code.encode(data);
+    for (auto& bit : cw) {
+      if (rng.uniform() < p) bit ^= 1;
+    }
+    const auto decoded = code.decode(cw);
+    ok += decoded.ok && decoded.data_bits == data;
+  }
+  EXPECT_GE(ok, trials - 1);
+}
+
+// ---------------- Hamming SEC-DED ----------------
+
+class HammingTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HammingTest, RoundTripNoErrors) {
+  HammingSecDed code(GetParam());
+  Xoshiro256 rng(GetParam());
+  std::vector<std::uint8_t> data(GetParam());
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng() & 1);
+  const auto cw = code.encode(data);
+  ASSERT_EQ(cw.size(), code.codeword_bits());
+  const auto decoded = code.decode(cw);
+  ASSERT_TRUE(decoded.ok);
+  EXPECT_EQ(decoded.corrected, 0);
+  EXPECT_EQ(decoded.data_bits, data);
+}
+
+TEST_P(HammingTest, CorrectsEverySingleBitError) {
+  HammingSecDed code(GetParam());
+  Xoshiro256 rng(GetParam() * 3);
+  std::vector<std::uint8_t> data(GetParam());
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng() & 1);
+  const auto cw = code.encode(data);
+  for (std::size_t pos = 0; pos < cw.size(); ++pos) {
+    auto corrupted = cw;
+    corrupted[pos] ^= 1;
+    const auto decoded = code.decode(corrupted);
+    ASSERT_TRUE(decoded.ok) << "flip at " << pos;
+    EXPECT_EQ(decoded.corrected, 1);
+    EXPECT_EQ(decoded.data_bits, data);
+  }
+}
+
+TEST_P(HammingTest, DetectsDoubleBitErrors) {
+  HammingSecDed code(GetParam());
+  Xoshiro256 rng(GetParam() * 7);
+  std::vector<std::uint8_t> data(GetParam());
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng() & 1);
+  const auto cw = code.encode(data);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto corrupted = cw;
+    const auto p1 = static_cast<std::size_t>(rng.below(cw.size()));
+    auto p2 = static_cast<std::size_t>(rng.below(cw.size()));
+    while (p2 == p1) p2 = static_cast<std::size_t>(rng.below(cw.size()));
+    corrupted[p1] ^= 1;
+    corrupted[p2] ^= 1;
+    const auto decoded = code.decode(corrupted);
+    EXPECT_FALSE(decoded.ok) << "flips at " << p1 << "," << p2;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HammingTest,
+                         ::testing::Values(4, 11, 26, 57, 64, 120, 247));
+
+// ---------------- Parity stripe ----------------
+
+TEST(ParityStripe, ReconstructsAnyMissingBuffer) {
+  Xoshiro256 rng(99);
+  std::vector<std::vector<std::uint8_t>> buffers(5,
+                                                 std::vector<std::uint8_t>(64));
+  for (auto& buf : buffers) {
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng());
+  }
+  const auto parity = ParityStripe::compute(buffers);
+  for (std::size_t missing = 0; missing < buffers.size(); ++missing) {
+    const auto rebuilt = ParityStripe::reconstruct(buffers, parity, missing);
+    EXPECT_EQ(rebuilt, buffers[missing]);
+  }
+}
+
+TEST(ParityStripe, RejectsSizeMismatch) {
+  std::vector<std::vector<std::uint8_t>> buffers = {{1, 2, 3}, {1, 2}};
+  EXPECT_THROW((void)ParityStripe::compute(buffers), std::invalid_argument);
+}
+
+TEST(ParityStripe, SingleBufferParityIsIdentity) {
+  std::vector<std::vector<std::uint8_t>> buffers = {{9, 8, 7}};
+  EXPECT_EQ(ParityStripe::compute(buffers), buffers[0]);
+}
+
+}  // namespace
+}  // namespace stash::ecc

@@ -1,0 +1,213 @@
+// Tests for the paper's §8/§9 extension features: in-place hidden-data
+// refresh, the §6.3 census-based capacity rule, and the multiple-snapshot
+// adversary with cover traffic (§9.2).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stash/svm/snapshot.hpp"
+#include "stash/vthi/codec.hpp"
+
+namespace stash {
+namespace {
+
+using crypto::HidingKey;
+using nand::FlashChip;
+using nand::Geometry;
+using nand::NoiseModel;
+
+HidingKey test_key(std::uint8_t fill = 0x8d) {
+  std::array<std::uint8_t, 32> raw{};
+  raw.fill(fill);
+  return HidingKey(raw);
+}
+
+Geometry ext_geometry() {
+  Geometry geom;
+  geom.blocks = 8;
+  geom.pages_per_block = 16;
+  geom.cells_per_page = 8192;
+  return geom;
+}
+
+// ---------------- Refresh (§8 retention countermeasure) ----------------
+
+TEST(Refresh, RestoresLeakedHiddenCells) {
+  // Paper §8: at higher wear the hidden BER degrades within months
+  // (Fig. 11), so the hiding user refreshes periodically — here a
+  // 1000-PEC block refreshed every two months survives a full year.
+  FlashChip chip(ext_geometry(), NoiseModel::vendor_a(), 301);
+  ASSERT_TRUE(chip.age_cycles(0, 1000).is_ok());
+  (void)chip.program_block_random(0, 301);
+  vthi::VthiConfig config = vthi::VthiConfig::production();
+  config.raw_ber_estimate = 0.02;  // worn-block budget
+  vthi::VthiCodec codec(chip, test_key(), config);
+  std::vector<std::uint8_t> payload(codec.capacity_bytes() / 2, 0x5c);
+  ASSERT_TRUE(codec.hide(0, payload).is_ok());
+
+  for (int interval = 0; interval < 6; ++interval) {
+    chip.bake_block(0, 24.0 * 60);
+    const auto refreshed = codec.refresh(0);
+    ASSERT_TRUE(refreshed.is_ok())
+        << "interval " << interval << ": " << refreshed.status().to_string();
+  }
+  const auto revealed = codec.reveal(0);
+  ASSERT_TRUE(revealed.is_ok());
+  EXPECT_EQ(revealed.value(), payload);
+}
+
+TEST(Refresh, ReducesRawErrorsComparedToNoRefresh) {
+  // Two identical chips; one refreshes quarterly, the other never.  After a
+  // year at PEC 2000, the refreshed copy has far fewer raw channel errors.
+  auto raw_errors_after_year = [](bool with_refresh) {
+    FlashChip chip(ext_geometry(), NoiseModel::vendor_a(), 302);
+    EXPECT_TRUE(chip.age_cycles(0, 1000).is_ok());
+    (void)chip.program_block_random(0, 302);
+    vthi::VthiConfig config = vthi::VthiConfig::production();
+    config.raw_ber_estimate = 0.02;
+    vthi::VthiCodec codec(chip, test_key(), config);
+    std::vector<std::uint8_t> payload(codec.capacity_bytes() / 2, 0x7e);
+    EXPECT_TRUE(codec.hide(0, payload).is_ok());
+    int total_unconverged = 0;
+    for (int quarter = 0; quarter < 6; ++quarter) {
+      chip.bake_block(0, 24.0 * 60);
+      if (with_refresh) {
+        auto r = codec.refresh(0);
+        EXPECT_TRUE(r.is_ok());
+      }
+    }
+    // Measure accumulated raw errors via the ECC's repair count.
+    int corrected = 0;
+    auto revealed = codec.reveal(0, &corrected);
+    if (!revealed.is_ok()) return 1 << 20;  // effectively infinite
+    total_unconverged = corrected;
+    return total_unconverged;
+  };
+  const int refreshed = raw_errors_after_year(true);
+  const int unrefreshed = raw_errors_after_year(false);
+  EXPECT_LT(refreshed, unrefreshed);
+}
+
+TEST(Refresh, FailsOnBlockWithoutHiddenData) {
+  FlashChip chip(ext_geometry(), NoiseModel::vendor_a(), 303);
+  (void)chip.program_block_random(0, 303);
+  vthi::VthiCodec codec(chip, test_key());
+  EXPECT_FALSE(codec.refresh(0).is_ok());
+}
+
+// ---------------- Census capacity rule (§6.3) ----------------
+
+TEST(Census, RecommendationTracksNaturalPopulation) {
+  FlashChip chip(ext_geometry(), NoiseModel::vendor_a(), 304);
+  (void)chip.program_block_random(0, 304);
+  vthi::VthiCodec codec(chip, test_key());
+  const auto recommended = codec.recommended_bits_per_page(0);
+  ASSERT_TRUE(recommended.is_ok());
+  // Must be positive and a small fraction of the page (paper: 512 of
+  // 144384 cells at most).
+  EXPECT_GT(recommended.value(), 0u);
+  EXPECT_LT(recommended.value(), chip.geometry().cells_per_page / 20);
+
+  // Safety factor scales the budget.
+  const auto strict = codec.recommended_bits_per_page(0, 0.25);
+  ASSERT_TRUE(strict.is_ok());
+  EXPECT_LE(strict.value(), recommended.value());
+}
+
+TEST(Census, RecommendationIsUsable) {
+  // Hiding at the recommended density round-trips.
+  FlashChip chip(ext_geometry(), NoiseModel::vendor_a(), 305);
+  (void)chip.program_block_random(0, 305);
+  vthi::VthiCodec probe_codec(chip, test_key());
+  const auto recommended = probe_codec.recommended_bits_per_page(0);
+  ASSERT_TRUE(recommended.is_ok());
+
+  vthi::VthiConfig config = vthi::VthiConfig::production();
+  config.hidden_bits_per_page = std::max(64u, recommended.value());
+  vthi::VthiCodec codec(chip, test_key(), config);
+  ASSERT_GT(codec.capacity_bytes(), 0u);
+  std::vector<std::uint8_t> payload(codec.capacity_bytes() / 2, 0x19);
+  ASSERT_TRUE(codec.hide(0, payload).is_ok());
+  const auto revealed = codec.reveal(0);
+  ASSERT_TRUE(revealed.is_ok());
+  EXPECT_EQ(revealed.value(), payload);
+}
+
+// ---------------- Multiple-snapshot adversary (§9.2) ----------------
+
+TEST(SnapshotAdversary, DetectsUncoveredHiding) {
+  // Snapshot, hide with no public activity, snapshot again: the raised
+  // erased-level cells betray the manipulation (the §9.2 threat).
+  FlashChip chip(ext_geometry(), NoiseModel::vendor_a(), 306);
+  std::vector<std::uint32_t> blocks = {0, 1, 2, 3};
+  for (std::uint32_t b : blocks) (void)chip.program_block_random(b, 306 + b);
+
+  const auto before = svm::VoltageSnapshot::capture(chip, blocks);
+  vthi::VthiCodec codec(chip, test_key());
+  std::vector<std::uint8_t> payload(codec.capacity_bytes() / 2, 0x3b);
+  ASSERT_TRUE(codec.hide(2, payload).is_ok());
+  const auto after = svm::VoltageSnapshot::capture(chip, blocks);
+
+  svm::SnapshotAdversary adversary;
+  const auto flagged = adversary.suspicious_blocks(before, after);
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0], 2u);
+}
+
+TEST(SnapshotAdversary, QuietDeviceRaisesNoFlags) {
+  FlashChip chip(ext_geometry(), NoiseModel::vendor_a(), 307);
+  std::vector<std::uint32_t> blocks = {0, 1, 2};
+  for (std::uint32_t b : blocks) (void)chip.program_block_random(b, 307 + b);
+  const auto before = svm::VoltageSnapshot::capture(chip, blocks);
+  // Ordinary reads only.
+  for (std::uint32_t b : blocks) (void)chip.read_page(b, 0);
+  const auto after = svm::VoltageSnapshot::capture(chip, blocks);
+  svm::SnapshotAdversary adversary;
+  EXPECT_TRUE(adversary.suspicious_blocks(before, after).empty());
+}
+
+TEST(SnapshotAdversary, CoverTrafficExplainsHiding) {
+  // The §9.2 mitigation: piggyback hiding on a genuine public rewrite of
+  // the same block.  The band-switching rewrite is innocent cover; the
+  // adversary cannot separate the hiding from it.
+  FlashChip chip(ext_geometry(), NoiseModel::vendor_a(), 308);
+  std::vector<std::uint32_t> blocks = {0, 1, 2, 3};
+  for (std::uint32_t b : blocks) (void)chip.program_block_random(b, 308 + b);
+
+  const auto before = svm::VoltageSnapshot::capture(chip, blocks);
+  // Public rewrite of block 2 (what an FTL relocation or user update does),
+  // immediately followed by re-embedding the hidden data (§5.1).
+  ASSERT_TRUE(chip.erase_block(2).is_ok());
+  (void)chip.program_block_random(2, 999);
+  vthi::VthiCodec codec(chip, test_key());
+  std::vector<std::uint8_t> payload(codec.capacity_bytes() / 2, 0x44);
+  ASSERT_TRUE(codec.hide(2, payload).is_ok());
+  const auto after = svm::VoltageSnapshot::capture(chip, blocks);
+
+  svm::SnapshotAdversary adversary;
+  EXPECT_TRUE(adversary.suspicious_blocks(before, after).empty());
+  // And the hidden data is still there.
+  EXPECT_TRUE(codec.reveal(2).is_ok());
+}
+
+TEST(SnapshotAdversary, DiffReportsReprogrammedCells) {
+  FlashChip chip(ext_geometry(), NoiseModel::vendor_a(), 309);
+  std::vector<std::uint32_t> blocks = {0};
+  (void)chip.program_block_random(0, 309);
+  const auto before = svm::VoltageSnapshot::capture(chip, blocks);
+  ASSERT_TRUE(chip.erase_block(0).is_ok());
+  (void)chip.program_block_random(0, 310);
+  const auto after = svm::VoltageSnapshot::capture(chip, blocks);
+  svm::SnapshotAdversary adversary;
+  const auto diffs = adversary.diff(before, after);
+  ASSERT_EQ(diffs.size(), 1u);
+  // Roughly half the cells flip bands when random data is rewritten.
+  EXPECT_GT(diffs[0].reprogrammed_cells,
+            static_cast<std::size_t>(chip.geometry().cells_per_page) *
+                chip.geometry().pages_per_block / 5);
+  EXPECT_DOUBLE_EQ(diffs[0].suspicion, 0.0);
+}
+
+}  // namespace
+}  // namespace stash

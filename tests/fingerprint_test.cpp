@@ -1,0 +1,93 @@
+// Device-fingerprint tests (paper §2/§9.1: process variation as a PUF).
+// The fingerprint must reproduce on the same device — across extractions,
+// erases, rewrites, and wear — while staying far from other devices'.
+
+#include <gtest/gtest.h>
+
+#include "stash/nand/fingerprint.hpp"
+
+namespace stash::nand {
+namespace {
+
+Geometry fp_geometry() {
+  Geometry geom;
+  geom.blocks = 4;
+  geom.pages_per_block = 8;
+  geom.cells_per_page = 8192;
+  return geom;
+}
+
+TEST(Fingerprint, SameDeviceReproduces) {
+  FlashChip chip(fp_geometry(), NoiseModel::vendor_a(), 701);
+  const auto first = fingerprint_device(chip);
+  const auto second = fingerprint_device(chip);
+  ASSERT_FALSE(first.feature_bits.empty());
+  EXPECT_LT(first.distance(second), 0.15);
+}
+
+TEST(Fingerprint, DifferentDevicesAreFar) {
+  FlashChip a(fp_geometry(), NoiseModel::vendor_a(), 702);
+  FlashChip b(fp_geometry(), NoiseModel::vendor_a(), 703);
+  const auto fa = fingerprint_device(a);
+  const auto fb = fingerprint_device(b);
+  EXPECT_GT(fa.distance(fb), 0.3);
+  EXPECT_NE(fa.id, fb.id);
+}
+
+TEST(Fingerprint, SurvivesRewritesAndModerateWear) {
+  FlashChip chip(fp_geometry(), NoiseModel::vendor_a(), 704);
+  const auto enrolled = fingerprint_device(chip);
+  // A life of use: wear, random rewrites, retention.
+  for (std::uint32_t b = 0; b < fp_geometry().blocks; ++b) {
+    ASSERT_TRUE(chip.age_cycles(b, 800).is_ok());
+    (void)chip.program_block_random(b, 704 + b);
+  }
+  chip.bake(24.0 * 30);
+  const auto later = fingerprint_device(chip);
+  EXPECT_LT(enrolled.distance(later), 0.2);
+}
+
+TEST(Fingerprint, ManyDevicesPairwiseSeparable) {
+  // Enrollment study: 6 devices, all pairwise distances must be clearly
+  // larger than every same-device re-extraction distance.
+  std::vector<DeviceFingerprint> enrolled;
+  std::vector<DeviceFingerprint> re_extracted;
+  for (std::uint64_t serial = 710; serial < 716; ++serial) {
+    FlashChip chip(fp_geometry(), NoiseModel::vendor_a(), serial);
+    enrolled.push_back(fingerprint_device(chip));
+    re_extracted.push_back(fingerprint_device(chip));
+  }
+  double max_same = 0.0;
+  double min_cross = 1.0;
+  for (std::size_t i = 0; i < enrolled.size(); ++i) {
+    max_same = std::max(max_same, enrolled[i].distance(re_extracted[i]));
+    for (std::size_t j = i + 1; j < enrolled.size(); ++j) {
+      min_cross = std::min(min_cross, enrolled[i].distance(enrolled[j]));
+    }
+  }
+  EXPECT_LT(max_same, min_cross)
+      << "same-device max " << max_same << " vs cross-device min " << min_cross;
+  EXPECT_LT(max_same, 0.2);
+  EXPECT_GT(min_cross, 0.3);
+}
+
+TEST(Fingerprint, DistanceOfMismatchedConfigsIsMax) {
+  FlashChip chip(fp_geometry(), NoiseModel::vendor_a(), 717);
+  FingerprintConfig small;
+  small.blocks = 1;
+  const auto a = fingerprint_device(chip);
+  const auto b = fingerprint_device(chip, small);
+  EXPECT_DOUBLE_EQ(a.distance(b), 1.0);
+}
+
+TEST(Fingerprint, ConfigClampsToGeometry) {
+  FlashChip chip(fp_geometry(), NoiseModel::vendor_a(), 718);
+  FingerprintConfig oversized;
+  oversized.blocks = 100;
+  oversized.pages_per_block = 100;
+  const auto fp = fingerprint_device(chip, oversized);
+  EXPECT_FALSE(fp.feature_bits.empty());
+}
+
+}  // namespace
+}  // namespace stash::nand

@@ -1,0 +1,193 @@
+// FTL tests: mapping correctness against a reference model, GC invariants,
+// trim, wear leveling, relocation hook, and no-space behaviour.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "stash/ftl/ftl.hpp"
+#include "stash/util/rng.hpp"
+
+namespace stash::ftl {
+namespace {
+
+using nand::FlashChip;
+using nand::Geometry;
+using nand::NoiseModel;
+using util::ErrorCode;
+
+std::vector<std::uint8_t> pattern_page(std::uint32_t bits, std::uint64_t tag) {
+  util::Xoshiro256 rng(tag);
+  std::vector<std::uint8_t> page(bits);
+  for (auto& b : page) b = static_cast<std::uint8_t>(rng() & 1);
+  return page;
+}
+
+/// Count mismatched bits; FTL reads can carry the chip's tiny raw BER.
+std::size_t diff_bits(const std::vector<std::uint8_t>& a,
+                      const std::vector<std::uint8_t>& b) {
+  std::size_t d = a.size() == b.size() ? 0 : SIZE_MAX;
+  for (std::size_t i = 0; i < a.size() && d != SIZE_MAX; ++i) d += a[i] != b[i];
+  return d;
+}
+
+TEST(Ftl, WriteReadRoundTrip) {
+  FlashChip chip(Geometry::tiny(), NoiseModel::vendor_a(), 41);
+  PageMappedFtl ftl(chip);
+  const auto page = pattern_page(ftl.page_bits(), 1);
+  ASSERT_TRUE(ftl.write(0, page).is_ok());
+  const auto readback = ftl.read(0);
+  ASSERT_TRUE(readback.is_ok());
+  EXPECT_LE(diff_bits(readback.value(), page), 2u);
+}
+
+TEST(Ftl, UnwrittenPageIsNotFound) {
+  FlashChip chip(Geometry::tiny(), NoiseModel::vendor_a(), 42);
+  PageMappedFtl ftl(chip);
+  EXPECT_EQ(ftl.read(5).status().code(), ErrorCode::kNotFound);
+}
+
+TEST(Ftl, OverwriteReturnsLatestVersion) {
+  FlashChip chip(Geometry::tiny(), NoiseModel::vendor_a(), 43);
+  PageMappedFtl ftl(chip);
+  const auto v1 = pattern_page(ftl.page_bits(), 10);
+  const auto v2 = pattern_page(ftl.page_bits(), 20);
+  ASSERT_TRUE(ftl.write(7, v1).is_ok());
+  const auto first = ftl.locate(7);
+  ASSERT_TRUE(ftl.write(7, v2).is_ok());
+  const auto second = ftl.locate(7);
+  ASSERT_TRUE(first.has_value() && second.has_value());
+  EXPECT_NE(*first, *second);  // out-of-place update
+  const auto readback = ftl.read(7);
+  ASSERT_TRUE(readback.is_ok());
+  EXPECT_LE(diff_bits(readback.value(), v2), 2u);
+}
+
+TEST(Ftl, BoundsChecking) {
+  FlashChip chip(Geometry::tiny(), NoiseModel::vendor_a(), 44);
+  PageMappedFtl ftl(chip);
+  const auto page = pattern_page(ftl.page_bits(), 30);
+  EXPECT_EQ(ftl.write(ftl.logical_pages(), page).code(),
+            ErrorCode::kOutOfBounds);
+  EXPECT_EQ(ftl.read(ftl.logical_pages()).status().code(),
+            ErrorCode::kOutOfBounds);
+  std::vector<std::uint8_t> short_page(3, 1);
+  EXPECT_EQ(ftl.write(0, short_page).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Ftl, TrimInvalidatesMapping) {
+  FlashChip chip(Geometry::tiny(), NoiseModel::vendor_a(), 45);
+  PageMappedFtl ftl(chip);
+  const auto page = pattern_page(ftl.page_bits(), 40);
+  ASSERT_TRUE(ftl.write(3, page).is_ok());
+  ASSERT_TRUE(ftl.trim(3).is_ok());
+  EXPECT_EQ(ftl.read(3).status().code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(ftl.locate(3).has_value());
+}
+
+TEST(Ftl, RandomWorkloadMatchesReferenceModel) {
+  FlashChip chip(Geometry::tiny(), NoiseModel::vendor_a(), 46);
+  PageMappedFtl ftl(chip);
+  std::map<std::uint64_t, std::uint64_t> reference;  // lpn -> tag
+  util::Xoshiro256 rng(46);
+  const std::uint64_t lpns = ftl.logical_pages() / 2;  // keep utilization sane
+  for (int op = 0; op < 400; ++op) {
+    const std::uint64_t lpn = rng.below(lpns);
+    if (rng.uniform() < 0.85 || !reference.count(lpn)) {
+      const std::uint64_t tag = rng();
+      ASSERT_TRUE(ftl.write(lpn, pattern_page(ftl.page_bits(), tag)).is_ok())
+          << "op " << op;
+      reference[lpn] = tag;
+    } else {
+      ASSERT_TRUE(ftl.trim(lpn).is_ok());
+      reference.erase(lpn);
+    }
+  }
+  for (const auto& [lpn, tag] : reference) {
+    const auto readback = ftl.read(lpn);
+    ASSERT_TRUE(readback.is_ok()) << "lpn " << lpn;
+    EXPECT_LE(diff_bits(readback.value(), pattern_page(ftl.page_bits(), tag)),
+              4u)
+        << "lpn " << lpn;
+  }
+}
+
+TEST(Ftl, GarbageCollectionReclaimsSpace) {
+  FlashChip chip(Geometry::tiny(), NoiseModel::vendor_a(), 47);
+  PageMappedFtl ftl(chip);
+  // Hammer one logical page far beyond a block's worth of writes; without
+  // GC the device would run out of blocks.
+  const std::uint64_t writes =
+      static_cast<std::uint64_t>(chip.geometry().blocks) *
+      chip.geometry().pages_per_block * 2;
+  for (std::uint64_t i = 0; i < writes; ++i) {
+    ASSERT_TRUE(ftl.write(0, pattern_page(ftl.page_bits(), i)).is_ok())
+        << "write " << i;
+  }
+  EXPECT_GT(ftl.stats().gc_runs, 0u);
+  EXPECT_GE(ftl.stats().write_amplification(), 1.0);
+}
+
+TEST(Ftl, WriteAmplificationNearOneForSequentialOverwrite) {
+  // Overwriting the same small working set invalidates whole blocks, so GC
+  // rarely needs to move valid data.
+  FlashChip chip(Geometry::tiny(), NoiseModel::vendor_a(), 48);
+  PageMappedFtl ftl(chip);
+  const std::uint64_t working_set = 8;
+  for (int round = 0; round < 40; ++round) {
+    for (std::uint64_t lpn = 0; lpn < working_set; ++lpn) {
+      ASSERT_TRUE(
+          ftl.write(lpn, pattern_page(ftl.page_bits(),
+                                      static_cast<std::uint64_t>(round) * 100 +
+                                          lpn))
+              .is_ok());
+    }
+  }
+  EXPECT_LT(ftl.stats().write_amplification(), 1.6);
+}
+
+TEST(Ftl, RelocationHookFiresWithValidData) {
+  FlashChip chip(Geometry::tiny(), NoiseModel::vendor_a(), 49);
+  PageMappedFtl ftl(chip);
+  std::uint64_t hook_calls = 0;
+  ftl.set_relocation_hook([&](nand::PageAddr from, nand::PageAddr to,
+                              const std::vector<std::uint8_t>& data) {
+    ++hook_calls;
+    EXPECT_NE(from, to);
+    EXPECT_EQ(data.size(), ftl.page_bits());
+  });
+  // Interleave cold pages (written once) with hot pages so every block
+  // holds a mix: GC victims then always carry valid data to relocate.
+  std::uint64_t cold = 0;
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    const std::uint64_t lpn = (i % 2 == 0 && cold < 20) ? 10 + cold++ : i % 4;
+    ASSERT_TRUE(ftl.write(lpn, pattern_page(ftl.page_bits(), 900 + lpn)).is_ok());
+  }
+  const std::uint64_t writes =
+      static_cast<std::uint64_t>(chip.geometry().blocks) *
+      chip.geometry().pages_per_block * 3;
+  for (std::uint64_t i = 0; i < writes; ++i) {
+    ASSERT_TRUE(ftl.write(i % 4, pattern_page(ftl.page_bits(), i)).is_ok());
+  }
+  EXPECT_EQ(hook_calls, ftl.stats().relocations);
+  EXPECT_GT(hook_calls, 0u);
+  // Every cold page survived the relocations.
+  for (std::uint64_t lpn = 10; lpn < 10 + cold; ++lpn) {
+    EXPECT_TRUE(ftl.read(lpn).is_ok()) << "lpn " << lpn;
+  }
+}
+
+TEST(Ftl, LogicalCapacityReflectsOverprovisioning) {
+  FlashChip chip(Geometry::tiny(), NoiseModel::vendor_a(), 50);
+  FtlConfig config;
+  config.overprovision = 0.25;
+  PageMappedFtl ftl(chip, config);
+  const std::uint64_t physical_pages =
+      static_cast<std::uint64_t>(chip.geometry().blocks) *
+      chip.geometry().pages_per_block;
+  EXPECT_LT(ftl.logical_pages(), physical_pages);
+  EXPECT_GE(ftl.logical_pages(), physical_pages / 2);
+}
+
+}  // namespace
+}  // namespace stash::ftl

@@ -1,0 +1,191 @@
+// Calibration tests: pin the simulator's distributions to the operating
+// points DESIGN.md §4 derives from the paper.  These are the tests that keep
+// every downstream experiment (Figs. 6-12, Table 1) on the paper's shapes.
+
+#include <gtest/gtest.h>
+
+#include "stash/nand/chip.hpp"
+#include "stash/util/stats.hpp"
+
+namespace stash::nand {
+namespace {
+
+Geometry calib_geometry() {
+  Geometry geom;
+  geom.blocks = 16;
+  geom.pages_per_block = 32;
+  geom.cells_per_page = 8192;
+  return geom;
+}
+
+TEST(Calibration, ErasedDistributionShape) {
+  FlashChip chip(calib_geometry(), NoiseModel::vendor_a(), 21);
+  (void)chip.probe_voltages(0, 0);
+  util::RunningStats stats;
+  std::size_t above_guard = 0;
+  std::size_t total = 0;
+  for (std::uint32_t p = 0; p < chip.geometry().pages_per_block; ++p) {
+    for (int v : chip.probe_voltages(p % 2, p)) {
+      stats.add(v);
+      ++total;
+      above_guard += v >= 90;
+    }
+  }
+  // Erased state sits in the paper's [0, 70] band with mean in the 20s.
+  EXPECT_GT(stats.mean(), 18.0);
+  EXPECT_LT(stats.mean(), 32.0);
+  EXPECT_LT(stats.max(), 120.0);
+  // Essentially no erased cell ever crosses the selection guard.
+  EXPECT_EQ(above_guard, 0u);
+  (void)total;
+}
+
+TEST(Calibration, NaturalFractionAboveHidingThreshold) {
+  // §6.3: some erased cells sit naturally above the level-34 threshold (the
+  // "minimum of 700 cells per page" census).  Our operating point is
+  // 0.3%-3% of cells.
+  FlashChip chip(calib_geometry(), NoiseModel::vendor_a(), 22);
+  std::size_t above = 0;
+  std::size_t total = 0;
+  for (std::uint32_t b = 0; b < 4; ++b) {
+    for (std::uint32_t p = 0; p < chip.geometry().pages_per_block; ++p) {
+      for (int v : chip.probe_voltages(b, p)) {
+        above += (v >= 34 && v < 90);
+        ++total;
+      }
+    }
+  }
+  const double fraction = static_cast<double>(above) / static_cast<double>(total);
+  EXPECT_GT(fraction, 0.0012);
+  EXPECT_LT(fraction, 0.02);
+}
+
+TEST(Calibration, ProgrammedDistributionShape) {
+  FlashChip chip(calib_geometry(), NoiseModel::vendor_a(), 23);
+  const std::vector<std::uint8_t> zeros(chip.geometry().cells_per_page, 0);
+  util::RunningStats stats;
+  for (std::uint32_t p = 0; p < chip.geometry().pages_per_block; ++p) {
+    ASSERT_TRUE(chip.program_page(0, p, zeros).is_ok());
+  }
+  for (std::uint32_t p = 0; p < chip.geometry().pages_per_block; ++p) {
+    for (int v : chip.probe_voltages(0, p)) stats.add(v);
+  }
+  // Fig. 2b band: programmed cells concentrate in [120, 210].
+  EXPECT_GT(stats.mean(), 150.0);
+  EXPECT_LT(stats.mean(), 175.0);
+  EXPECT_GT(stats.min(), 100.0);
+  EXPECT_LT(stats.max(), 230.0);
+}
+
+TEST(Calibration, PublicBerFreshChipIsTiny) {
+  FlashChip chip(calib_geometry(), NoiseModel::vendor_a(), 24);
+  std::size_t errors = 0;
+  std::uint64_t total = 0;
+  for (std::uint32_t b = 0; b < 8; ++b) {
+    const auto written = chip.program_block_random(b, 1000 + b);
+    ASSERT_FALSE(written.empty());
+    for (std::uint32_t p = 0; p < chip.geometry().pages_per_block; ++p) {
+      const auto readback = chip.read_page(b, p);
+      for (std::size_t c = 0; c < readback.size(); ++c) {
+        errors += readback[c] != written[p][c];
+        ++total;
+      }
+    }
+  }
+  const double ber = static_cast<double>(errors) / static_cast<double>(total);
+  // Paper-scale public BER: order 1e-5 or below on a fresh chip.
+  EXPECT_LT(ber, 2e-4);
+}
+
+TEST(Calibration, PublicBerGrowsWithWearAndRetention) {
+  // §8: normal-data BER roughly doubles over 4 months at PEC 2000.
+  auto run = [](std::uint32_t pec, double bake_hours, std::uint64_t seed) {
+    FlashChip chip(calib_geometry(), NoiseModel::vendor_a(), seed);
+    std::size_t errors = 0;
+    std::uint64_t total = 0;
+    for (std::uint32_t b = 0; b < 8; ++b) {
+      if (pec) {
+        EXPECT_TRUE(chip.age_cycles(b, pec).is_ok());
+      }
+      const auto written = chip.program_block_random(b, seed + b);
+      if (bake_hours > 0) chip.bake_block(b, bake_hours);
+      for (std::uint32_t p = 0; p < chip.geometry().pages_per_block; ++p) {
+        const auto readback = chip.read_page(b, p);
+        for (std::size_t c = 0; c < readback.size(); ++c) {
+          errors += readback[c] != written[p][c];
+          ++total;
+        }
+      }
+    }
+    return static_cast<double>(errors) / static_cast<double>(total);
+  };
+  const double fresh = run(0, 0.0, 31);
+  const double worn = run(2000, 0.0, 31);
+  const double worn_baked = run(2000, 24.0 * 120, 31);
+  EXPECT_GE(worn, fresh);
+  EXPECT_GT(worn_baked, worn);
+  // The worn+baked error rate stays in the "normal data" regime — far
+  // below a percent (the paper reports 7.5e-5).
+  EXPECT_LT(worn_baked, 2e-3);
+}
+
+TEST(Calibration, ErasedMeanShiftsRightWithWear) {
+  // Fig. 3a: modest right shift of the erased state over 3000 PEC.
+  FlashChip chip(calib_geometry(), NoiseModel::vendor_a(), 26);
+  util::RunningStats fresh, worn;
+  for (int v : chip.probe_voltages(0, 3)) fresh.add(v);
+  ASSERT_TRUE(chip.age_cycles(0, 3000).is_ok());
+  for (int v : chip.probe_voltages(0, 3)) worn.add(v);
+  const double shift = worn.mean() - fresh.mean();
+  EXPECT_GT(shift, 1.0);
+  EXPECT_LT(shift, 6.0);
+}
+
+TEST(Calibration, PartialProgramStepSizeIsCoarse) {
+  // §6.2: PP is coarse — mean increment of several units with wide spread.
+  FlashChip chip(calib_geometry(), NoiseModel::vendor_a(), 27);
+  std::vector<std::uint32_t> cells(2000);
+  for (std::uint32_t i = 0; i < cells.size(); ++i) cells[i] = i;
+  const auto before = chip.probe_voltages(0, 0);
+  ASSERT_TRUE(chip.partial_program(0, 0, cells).is_ok());
+  const auto after = chip.probe_voltages(0, 0);
+  util::RunningStats inc;
+  for (std::uint32_t c : cells) inc.add(after[c] - before[c]);
+  EXPECT_GT(inc.mean(), 3.5);
+  EXPECT_LT(inc.mean(), 8.0);
+  EXPECT_GT(inc.stddev(), 1.2);
+}
+
+TEST(Calibration, BlocksDifferButModestly) {
+  // §4: samples/blocks differ noticeably (manufacturing variation), enough
+  // to mask small hidden-data shifts but not so much that the chip is
+  // unusable.
+  FlashChip chip(calib_geometry(), NoiseModel::vendor_a(), 28);
+  std::vector<double> block_means;
+  for (std::uint32_t b = 0; b < 8; ++b) {
+    util::RunningStats stats;
+    for (std::uint32_t p = 0; p < chip.geometry().pages_per_block; ++p) {
+      for (int v : chip.probe_voltages(b, p)) stats.add(v);
+    }
+    block_means.push_back(stats.mean());
+  }
+  const double spread = util::stddev(block_means);
+  EXPECT_GT(spread, 0.3);
+  EXPECT_LT(spread, 4.0);
+}
+
+TEST(Calibration, VendorBDiffersFromVendorA) {
+  FlashChip a(calib_geometry(), NoiseModel::vendor_a(), 29);
+  FlashChip b(calib_geometry(), NoiseModel::vendor_b(), 29);
+  util::RunningStats sa, sb;
+  for (std::uint32_t blk = 0; blk < 4; ++blk) {
+    for (std::uint32_t p = 0; p < a.geometry().pages_per_block; ++p) {
+      for (int v : a.probe_voltages(blk, p)) sa.add(v);
+      for (int v : b.probe_voltages(blk, p)) sb.add(v);
+    }
+  }
+  EXPECT_GT(sb.mean(), sa.mean() + 0.8);  // vendor B erases hotter
+}
+
+}  // namespace
+}  // namespace stash::nand

@@ -1,0 +1,339 @@
+// Robustness battery: failure injection, endurance workloads, burst-error
+// behaviour, and statistical properties that the per-module suites do not
+// cover.  Everything here exercises a path a long-lived deployment would
+// hit: worn devices, hostile inputs, partial hardware failures.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "stash/ecc/bch.hpp"
+#include "stash/ftl/ftl.hpp"
+#include "stash/stego/volume.hpp"
+#include "stash/svm/snapshot.hpp"
+#include "stash/vthi/codec.hpp"
+
+namespace stash {
+namespace {
+
+using crypto::HidingKey;
+using nand::FlashChip;
+using nand::Geometry;
+using nand::NoiseModel;
+using util::ErrorCode;
+
+HidingKey rb_key(std::uint8_t fill = 0xa7) {
+  std::array<std::uint8_t, 32> raw{};
+  raw.fill(fill);
+  return HidingKey(raw);
+}
+
+std::vector<std::uint8_t> rand_bits(std::uint32_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng() & 1);
+  return bits;
+}
+
+// ---------------- ECC: burst errors and interleaving ----------------
+
+TEST(EccRobustness, ContiguousBurstWithinTIsCorrected) {
+  // BCH corrects any error pattern up to t, including a contiguous burst —
+  // the shape a desynced page produces.
+  ecc::BchCode code(10, 12);
+  auto data = rand_bits(500, 1);
+  auto cw = code.encode(data);
+  for (std::size_t i = 100; i < 112; ++i) cw[i] ^= 1;
+  const auto decoded = code.decode(cw);
+  ASSERT_TRUE(decoded.ok);
+  EXPECT_EQ(decoded.corrected, 12);
+  EXPECT_EQ(decoded.data_bits, data);
+}
+
+TEST(EccRobustness, ParityOnlyCorruptionStillRecoversData) {
+  ecc::BchCode code(10, 4);
+  auto data = rand_bits(300, 2);
+  auto cw = code.encode(data);
+  // Flip bits only inside the parity region.
+  for (std::size_t i = cw.size() - 4; i < cw.size(); ++i) cw[i] ^= 1;
+  const auto decoded = code.decode(cw);
+  ASSERT_TRUE(decoded.ok);
+  EXPECT_EQ(decoded.data_bits, data);
+}
+
+TEST(EccRobustness, AllZeroAndAllOneCodewordsRoundTrip) {
+  ecc::BchCode code(8, 3);
+  for (std::uint8_t fill : {0, 1}) {
+    std::vector<std::uint8_t> data(120, fill);
+    auto cw = code.encode(data);
+    cw[5] ^= 1;
+    cw[60] ^= 1;
+    const auto decoded = code.decode(cw);
+    ASSERT_TRUE(decoded.ok) << "fill " << int(fill);
+    EXPECT_EQ(decoded.data_bits, data);
+  }
+}
+
+TEST(EccRobustness, CodecInterleavingSpreadsPageBursts) {
+  // Corrupt one whole hidden page's worth of cells after hiding: the
+  // round-robin interleaving spreads the burst over all codewords, and the
+  // payload still reveals.
+  Geometry geom;
+  geom.blocks = 2;
+  geom.pages_per_block = 16;
+  geom.cells_per_page = 8192;
+  FlashChip chip(geom, NoiseModel::vendor_a(), 601);
+  (void)chip.program_block_random(0, 601);
+  vthi::VthiConfig config = vthi::VthiConfig::production();
+  config.raw_ber_estimate = 0.03;  // headroom for the injected burst
+  vthi::VthiCodec codec(chip, rb_key(), config);
+  std::vector<std::uint8_t> payload(codec.capacity_bytes() / 2, 0x66);
+  ASSERT_TRUE(codec.hide(0, payload).is_ok());
+
+  // Failure injection: partial-program a slice of the selected cells of
+  // page 2 so ~20% of its hidden bits flip to '0'.  Four rounds lift the
+  // victims past Vth=34 while keeping them inside the erased band (more
+  // would cross the selection guard — a different, catastrophic failure).
+  auto cells = codec.channel().select_cells(0, 2, 256).value();
+  std::vector<std::uint32_t> victims(cells.begin(), cells.begin() + 50);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(chip.partial_program(0, 2, victims).is_ok());
+  }
+  const auto revealed = codec.reveal(0);
+  ASSERT_TRUE(revealed.is_ok()) << revealed.status().to_string();
+  EXPECT_EQ(revealed.value(), payload);
+}
+
+// ---------------- FTL: endurance and hostile patterns ----------------
+
+TEST(FtlRobustness, SustainedRandomWorkloadToThousandsOfWrites) {
+  FlashChip chip(Geometry::tiny(), NoiseModel::vendor_a(), 602);
+  ftl::PageMappedFtl ftl(chip);
+  util::Xoshiro256 rng(602);
+  std::map<std::uint64_t, std::uint64_t> reference;
+  const std::uint64_t lpns = ftl.logical_pages() * 3 / 4;
+  for (int op = 0; op < 3000; ++op) {
+    const std::uint64_t lpn = rng.below(lpns);
+    const std::uint64_t tag = rng();
+    util::Xoshiro256 data_rng(tag);
+    std::vector<std::uint8_t> page(ftl.page_bits());
+    for (auto& b : page) b = static_cast<std::uint8_t>(data_rng() & 1);
+    ASSERT_TRUE(ftl.write(lpn, page).is_ok()) << "op " << op;
+    reference[lpn] = tag;
+  }
+  // Spot-check a sample of the final state.
+  int checked = 0;
+  for (const auto& [lpn, tag] : reference) {
+    if (++checked % 7 != 0) continue;
+    const auto read = ftl.read(lpn);
+    ASSERT_TRUE(read.is_ok());
+    util::Xoshiro256 data_rng(tag);
+    std::size_t diffs = 0;
+    for (std::size_t c = 0; c < read.value().size(); ++c) {
+      diffs += read.value()[c] != static_cast<std::uint8_t>(data_rng() & 1);
+    }
+    EXPECT_LE(diffs, 4u) << "lpn " << lpn;
+  }
+  EXPECT_GT(ftl.stats().gc_runs, 10u);
+}
+
+TEST(FtlRobustness, WearLevelingBoundsPecSpread) {
+  // Hot/cold split workload: without static wear leveling the cold block
+  // would pin its PEC at ~0 while hot blocks churn.
+  FlashChip chip(Geometry::tiny(), NoiseModel::vendor_a(), 603);
+  ftl::FtlConfig config;
+  config.wear_delta_threshold = 20;
+  ftl::PageMappedFtl ftl(chip, config);
+  // Cold data once.
+  for (std::uint64_t lpn = 0; lpn < 8; ++lpn) {
+    ASSERT_TRUE(ftl.write(lpn, rand_bits(ftl.page_bits(), lpn)).is_ok());
+  }
+  // Hot churn.
+  util::Xoshiro256 rng(603);
+  for (int op = 0; op < 2500; ++op) {
+    const std::uint64_t lpn = 8 + rng.below(4);
+    ASSERT_TRUE(ftl.write(lpn, rand_bits(ftl.page_bits(), 1000 + op)).is_ok());
+  }
+  EXPECT_GT(ftl.stats().wear_swaps, 0u);
+  std::uint32_t min_pec = ~0u, max_pec = 0;
+  for (std::uint32_t b = 0; b < chip.geometry().blocks; ++b) {
+    min_pec = std::min(min_pec, chip.pec(b));
+    max_pec = std::max(max_pec, chip.pec(b));
+  }
+  // The spread stays within a few multiples of the threshold.
+  EXPECT_LT(max_pec - min_pec, 4 * config.wear_delta_threshold);
+  // Cold data survived the shuffling.
+  for (std::uint64_t lpn = 0; lpn < 8; ++lpn) {
+    EXPECT_TRUE(ftl.read(lpn).is_ok()) << "lpn " << lpn;
+  }
+}
+
+TEST(FtlRobustness, FillToCapacityThenNoSpace) {
+  FlashChip chip(Geometry::tiny(), NoiseModel::vendor_a(), 604);
+  ftl::PageMappedFtl ftl(chip);
+  std::uint64_t written = 0;
+  for (std::uint64_t lpn = 0; lpn < ftl.logical_pages(); ++lpn) {
+    const auto status = ftl.write(lpn, rand_bits(ftl.page_bits(), lpn));
+    if (!status.is_ok()) break;
+    ++written;
+  }
+  // Nearly all of the advertised logical space must be writable.
+  EXPECT_GE(written, ftl.logical_pages() * 9 / 10);
+  // Updates still work at full utilization (GC reclaims stale copies).
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(ftl.write(static_cast<std::uint64_t>(i),
+                          rand_bits(ftl.page_bits(), 9000 + i))
+                    .is_ok())
+        << "update " << i;
+  }
+}
+
+// ---------------- Stego: hostile and edge conditions ----------------
+
+TEST(StegoRobustness, EmptyHiddenPayloadRoundTrips) {
+  Geometry geom;
+  geom.blocks = 8;
+  geom.pages_per_block = 8;
+  geom.cells_per_page = 8192;
+  FlashChip chip(geom, NoiseModel::vendor_a(), 605);
+  stego::StegoVolume volume(chip, rb_key());
+  for (std::uint64_t lpn = 0; lpn < 16; ++lpn) {
+    ASSERT_TRUE(
+        volume.write_public(lpn, rand_bits(volume.page_bits(), lpn)).is_ok());
+  }
+  ASSERT_TRUE(volume.store_hidden({}).is_ok());
+  const auto loaded = volume.load_hidden();
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_TRUE(loaded.value().empty());
+}
+
+TEST(StegoRobustness, RestoreAfterPartialBlockLoss) {
+  // One hidden block is erased behind the volume's back (bad block, other
+  // software).  load_hidden reports the missing chunk rather than silently
+  // returning truncated data.
+  Geometry geom;
+  geom.blocks = 12;
+  geom.pages_per_block = 8;
+  geom.cells_per_page = 8192;
+  FlashChip chip(geom, NoiseModel::vendor_a(), 606);
+  std::vector<std::uint8_t> secret;
+  {
+    stego::StegoVolume volume(chip, rb_key());
+    for (std::uint64_t lpn = 0; lpn < 40; ++lpn) {
+      ASSERT_TRUE(
+          volume.write_public(lpn, rand_bits(volume.page_bits(), lpn)).is_ok());
+    }
+    secret.assign(volume.hidden_chunk_capacity() + 10, 0x5d);
+    ASSERT_TRUE(volume.store_hidden(secret).is_ok());
+    ASSERT_GE(volume.hidden_blocks().size(), 2u);
+    ASSERT_TRUE(chip.erase_block(*volume.hidden_blocks().begin()).is_ok());
+  }
+  stego::StegoVolume reader(chip, rb_key());
+  const auto loaded = reader.load_hidden();
+  ASSERT_FALSE(loaded.is_ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kCorrupted);
+}
+
+TEST(StegoRobustness, PublicVolumeUnaffectedByHiddenOperations) {
+  Geometry geom;
+  geom.blocks = 12;
+  geom.pages_per_block = 8;
+  geom.cells_per_page = 8192;
+  FlashChip chip(geom, NoiseModel::vendor_a(), 607);
+  stego::StegoVolume volume(chip, rb_key());
+  std::vector<std::uint64_t> tags;
+  for (std::uint64_t lpn = 0; lpn < 30; ++lpn) {
+    tags.push_back(700 + lpn);
+    ASSERT_TRUE(
+        volume.write_public(lpn, rand_bits(volume.page_bits(), tags.back()))
+            .is_ok());
+  }
+  const std::vector<std::uint8_t> secret(48, 0x21);
+  ASSERT_TRUE(volume.store_hidden(secret).is_ok());
+  (void)volume.load_hidden();
+  for (std::uint64_t lpn = 0; lpn < 30; ++lpn) {
+    const auto read = volume.read_public(lpn);
+    ASSERT_TRUE(read.is_ok());
+    const auto expect = rand_bits(volume.page_bits(), tags[lpn]);
+    std::size_t diffs = 0;
+    for (std::size_t c = 0; c < expect.size(); ++c) {
+      diffs += read.value()[c] != expect[c];
+    }
+    EXPECT_LE(diffs, 4u) << "lpn " << lpn;
+  }
+}
+
+// ---------------- Snapshot adversary: sensitivity bounds ----------------
+
+TEST(SnapshotRobustness, ThresholdsControlSensitivity) {
+  Geometry geom;
+  geom.blocks = 4;
+  geom.pages_per_block = 8;
+  geom.cells_per_page = 8192;
+  FlashChip chip(geom, NoiseModel::vendor_a(), 608);
+  std::vector<std::uint32_t> blocks = {0, 1};
+  for (std::uint32_t b : blocks) (void)chip.program_block_random(b, 608 + b);
+  const auto before = svm::VoltageSnapshot::capture(chip, blocks);
+  vthi::VthiCodec codec(chip, rb_key());
+  std::vector<std::uint8_t> payload(16, 0x4e);
+  ASSERT_TRUE(codec.hide(1, payload).is_ok());
+  const auto after = svm::VoltageSnapshot::capture(chip, blocks);
+
+  // A sensitive adversary catches even this small payload...
+  svm::SnapshotAdversary sharp(4.0, 1e-5);
+  EXPECT_FALSE(sharp.suspicious_blocks(before, after).empty());
+  // ...an adversary requiring large per-block change fractions misses it.
+  svm::SnapshotAdversary dull(4.0, 0.5);
+  EXPECT_TRUE(dull.suspicious_blocks(before, after).empty());
+}
+
+TEST(SnapshotRobustness, MismatchedSnapshotsAreIgnoredNotCrashed) {
+  Geometry geom = Geometry::tiny();
+  FlashChip chip(geom, NoiseModel::vendor_a(), 609);
+  (void)chip.program_block_random(0, 609);
+  const auto a = svm::VoltageSnapshot::capture(chip, {0});
+  const auto b = svm::VoltageSnapshot::capture(chip, {1});
+  svm::SnapshotAdversary adversary;
+  EXPECT_TRUE(adversary.diff(a, b).empty());
+}
+
+// ---------------- DRBG statistical sanity ----------------
+
+TEST(DrbgRobustness, SelectionStreamHasNoObviousBias) {
+  // The cell-selection DRBG must cover the page uniformly: chi-square over
+  // 32 buckets of its below() outputs stays within generous bounds.
+  const std::vector<std::uint8_t> seed(32, 0x5f);
+  crypto::Sha256Drbg drbg(seed, "bias-check");
+  constexpr int kBuckets = 32;
+  constexpr int kDraws = 64000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[drbg.below(kBuckets)];
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // 31 dof: p=0.001 critical value is ~61.1.
+  EXPECT_LT(chi2, 61.1);
+}
+
+TEST(DrbgRobustness, PersonalizationActsAsDomainSeparator) {
+  const std::vector<std::uint8_t> seed(32, 0x60);
+  crypto::Sha256Drbg a(seed, "vt-hi/b0/p0");
+  crypto::Sha256Drbg b(seed, "vt-hi/b0/p1");
+  crypto::Sha256Drbg c(seed, "vt-hi/b1/p0");
+  int collisions = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto va = a.next_u64();
+    collisions += (va == b.next_u64());
+    collisions += (va == c.next_u64());
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+}  // namespace
+}  // namespace stash

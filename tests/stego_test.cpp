@@ -1,0 +1,170 @@
+// StegoVolume tests: public I/O passthrough, hidden store/load with
+// key-only discovery, chunking across blocks, GC rescue + re-embedding,
+// panic erase, and wrong-key behaviour.
+
+#include <gtest/gtest.h>
+
+#include "stash/stego/volume.hpp"
+
+namespace stash::stego {
+namespace {
+
+using crypto::HidingKey;
+using nand::FlashChip;
+using nand::Geometry;
+using nand::NoiseModel;
+using util::ErrorCode;
+
+HidingKey test_key(std::uint8_t fill = 0x7c) {
+  std::array<std::uint8_t, 32> raw{};
+  raw.fill(fill);
+  return HidingKey(raw);
+}
+
+Geometry stego_geometry() {
+  Geometry geom;
+  geom.blocks = 12;
+  geom.pages_per_block = 8;
+  geom.cells_per_page = 8192;
+  return geom;
+}
+
+std::vector<std::uint8_t> page_pattern(std::uint32_t bits, std::uint64_t tag) {
+  util::Xoshiro256 rng(tag);
+  std::vector<std::uint8_t> page(bits);
+  for (auto& b : page) b = static_cast<std::uint8_t>(rng() & 1);
+  return page;
+}
+
+/// Fill the public volume far enough that several blocks are fully
+/// programmed and eligible to carry hidden chunks.
+void fill_public(StegoVolume& volume, std::uint64_t pages, std::uint64_t seed) {
+  for (std::uint64_t lpn = 0; lpn < pages; ++lpn) {
+    ASSERT_TRUE(
+        volume.write_public(lpn, page_pattern(volume.page_bits(), seed + lpn))
+            .is_ok())
+        << "lpn " << lpn;
+  }
+}
+
+TEST(Stego, PublicReadWritePassthrough) {
+  FlashChip chip(stego_geometry(), NoiseModel::vendor_a(), 111);
+  StegoVolume volume(chip, test_key());
+  const auto page = page_pattern(volume.page_bits(), 1);
+  ASSERT_TRUE(volume.write_public(0, page).is_ok());
+  const auto readback = volume.read_public(0);
+  ASSERT_TRUE(readback.is_ok());
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < page.size(); ++i) {
+    diffs += page[i] != readback.value()[i];
+  }
+  EXPECT_LE(diffs, 2u);
+}
+
+TEST(Stego, HiddenStoreLoadRoundTrip) {
+  FlashChip chip(stego_geometry(), NoiseModel::vendor_a(), 112);
+  StegoVolume volume(chip, test_key());
+  fill_public(volume, 40, 500);
+
+  std::vector<std::uint8_t> secret(volume.hidden_chunk_capacity() + 37);
+  util::Xoshiro256 rng(112);
+  for (auto& b : secret) b = static_cast<std::uint8_t>(rng());
+
+  ASSERT_TRUE(volume.store_hidden(secret).is_ok());
+  EXPECT_GE(volume.hidden_blocks().size(), 2u);  // needed > 1 chunk
+  const auto loaded = volume.load_hidden();
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded.value(), secret);
+}
+
+TEST(Stego, KeyOnlyMountWithoutState) {
+  // A second StegoVolume instance (fresh state, same key) must find the
+  // hidden volume purely by scanning and authenticating — the paper's
+  // no-persistent-metadata property.
+  FlashChip chip(stego_geometry(), NoiseModel::vendor_a(), 113);
+  std::vector<std::uint8_t> secret(100, 0x5e);
+  {
+    StegoVolume writer(chip, test_key());
+    fill_public(writer, 40, 600);
+    ASSERT_TRUE(writer.store_hidden(secret).is_ok());
+  }
+  StegoVolume reader(chip, test_key());
+  const auto loaded = reader.load_hidden();
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded.value(), secret);
+}
+
+TEST(Stego, WrongKeyFindsNothing) {
+  FlashChip chip(stego_geometry(), NoiseModel::vendor_a(), 114);
+  {
+    StegoVolume writer(chip, test_key(0x01));
+    fill_public(writer, 40, 700);
+    const std::vector<std::uint8_t> secret(64, 0x9f);
+    ASSERT_TRUE(writer.store_hidden(secret).is_ok());
+  }
+  StegoVolume intruder(chip, test_key(0x02));
+  const auto loaded = intruder.load_hidden();
+  EXPECT_FALSE(loaded.is_ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(Stego, StoreFailsWithoutPublicCover) {
+  FlashChip chip(stego_geometry(), NoiseModel::vendor_a(), 115);
+  StegoVolume volume(chip, test_key());
+  const std::vector<std::uint8_t> secret(64, 0x11);
+  const auto status = volume.store_hidden(secret);
+  EXPECT_EQ(status.code(), ErrorCode::kNoSpace);
+}
+
+TEST(Stego, PanicEraseDestroysHiddenVolume) {
+  FlashChip chip(stego_geometry(), NoiseModel::vendor_a(), 116);
+  StegoVolume volume(chip, test_key());
+  fill_public(volume, 40, 800);
+  const std::vector<std::uint8_t> secret(64, 0x2d);
+  ASSERT_TRUE(volume.store_hidden(secret).is_ok());
+  ASSERT_TRUE(volume.panic_erase().is_ok());
+  EXPECT_TRUE(volume.hidden_blocks().empty());
+  EXPECT_FALSE(volume.load_hidden().is_ok());
+}
+
+TEST(Stego, HiddenDataSurvivesGarbageCollection) {
+  FlashChip chip(stego_geometry(), NoiseModel::vendor_a(), 117);
+  ftl::FtlConfig ftl_config;
+  ftl_config.overprovision = 0.25;
+  StegoVolume volume(chip, test_key(), ftl_config);
+  fill_public(volume, 30, 900);
+
+  const std::vector<std::uint8_t> secret(80, 0xc4);
+  ASSERT_TRUE(volume.store_hidden(secret).is_ok());
+
+  // Churn the public volume hard enough to force GC through the hidden
+  // blocks; the rescue/re-embed machinery must keep the secret alive.
+  util::Xoshiro256 rng(117);
+  for (int i = 0; i < 400; ++i) {
+    const std::uint64_t lpn = rng.below(30);
+    ASSERT_TRUE(
+        volume
+            .write_public(lpn, page_pattern(volume.page_bits(), 10000 + i))
+            .is_ok())
+        << "write " << i;
+  }
+  ASSERT_TRUE(volume.reembed_pending().is_ok());
+  EXPECT_EQ(volume.stats().lost_chunks, 0u);
+  EXPECT_GT(volume.stats().rescues, 0u);
+
+  const auto loaded = volume.load_hidden();
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded.value(), secret);
+}
+
+TEST(Stego, ChunkCapacityIsConsistent) {
+  FlashChip chip(stego_geometry(), NoiseModel::vendor_a(), 118);
+  StegoVolume volume(chip, test_key());
+  EXPECT_GT(volume.hidden_chunk_capacity(), 0u);
+  // Header overhead is exactly four bytes of the codec capacity.
+  vthi::VthiCodec codec(chip, test_key());
+  EXPECT_EQ(volume.hidden_chunk_capacity() + 4, codec.capacity_bytes());
+}
+
+}  // namespace
+}  // namespace stash::stego

@@ -1,0 +1,174 @@
+// SVM substrate tests: SMO training on separable and non-separable toy
+// problems, RBF non-linearity, scaling, cross-validation, grid search, and
+// flash-feature extraction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stash/nand/chip.hpp"
+#include "stash/svm/features.hpp"
+#include "stash/svm/svm.hpp"
+#include "stash/util/rng.hpp"
+#include "stash/util/stats.hpp"
+
+namespace stash::svm {
+namespace {
+
+Dataset gaussian_blobs(double separation, std::size_t n_per_class,
+                       std::uint64_t seed) {
+  Dataset data;
+  util::Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    data.add({rng.normal(-separation / 2, 1.0), rng.normal(0, 1.0)}, -1);
+    data.add({rng.normal(+separation / 2, 1.0), rng.normal(0, 1.0)}, +1);
+  }
+  return data;
+}
+
+TEST(Svm, LinearlySeparableReachesPerfectAccuracy) {
+  const auto data = gaussian_blobs(10.0, 40, 1);
+  SvmConfig config;
+  config.kernel = {KernelType::kLinear, 0.0};
+  const auto model = SvmModel::train(data, config);
+  EXPECT_DOUBLE_EQ(model.accuracy(data), 1.0);
+  EXPECT_GT(model.n_support_vectors(), 0u);
+}
+
+TEST(Svm, OverlappingBlobsScoreNearBayesRate) {
+  // separation 2 with unit sigma: Bayes accuracy = Phi(1) ~ 0.84.
+  const auto train = gaussian_blobs(2.0, 150, 2);
+  const auto test = gaussian_blobs(2.0, 150, 3);
+  SvmConfig config;
+  config.kernel = {KernelType::kRbf, 0.5};
+  const auto model = SvmModel::train(train, config);
+  const double acc = model.accuracy(test);
+  EXPECT_GT(acc, 0.75);
+  EXPECT_LT(acc, 0.92);
+}
+
+TEST(Svm, IndistinguishableClassesScoreNearCoinFlip) {
+  // Identical distributions: out-of-sample accuracy must hover around 50%.
+  const auto train = gaussian_blobs(0.0, 100, 4);
+  const auto test = gaussian_blobs(0.0, 100, 5);
+  SvmConfig config;
+  config.kernel = {KernelType::kRbf, 0.5};
+  const auto model = SvmModel::train(train, config);
+  const double acc = model.accuracy(test);
+  EXPECT_GT(acc, 0.38);
+  EXPECT_LT(acc, 0.62);
+}
+
+TEST(Svm, RbfSolvesXorLinearCannot) {
+  Dataset data;
+  util::Xoshiro256 rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.normal(0, 1) + (i % 2 ? 2.0 : -2.0);
+    const double y = rng.normal(0, 1) + (i % 4 < 2 ? 2.0 : -2.0);
+    data.add({x, y}, (x > 0) == (y > 0) ? +1 : -1);
+  }
+  SvmConfig rbf;
+  rbf.kernel = {KernelType::kRbf, 0.5};
+  rbf.c = 10.0;
+  EXPECT_GT(SvmModel::train(data, rbf).accuracy(data), 0.95);
+
+  SvmConfig linear;
+  linear.kernel = {KernelType::kLinear, 0.0};
+  EXPECT_LT(SvmModel::train(data, linear).accuracy(data), 0.8);
+}
+
+TEST(Svm, TrainRejectsBadLabels) {
+  Dataset data;
+  data.add({1.0}, 0);
+  EXPECT_THROW((void)SvmModel::train(data, SvmConfig{}), std::invalid_argument);
+}
+
+TEST(StandardScaler, ZeroMeanUnitVariance) {
+  std::vector<std::vector<double>> x;
+  util::Xoshiro256 rng(7);
+  for (int i = 0; i < 500; ++i) {
+    x.push_back({rng.normal(100.0, 25.0), rng.normal(-3.0, 0.1)});
+  }
+  StandardScaler scaler;
+  scaler.fit(x);
+  scaler.transform_in_place(x);
+  util::RunningStats col0, col1;
+  for (const auto& row : x) {
+    col0.add(row[0]);
+    col1.add(row[1]);
+  }
+  EXPECT_NEAR(col0.mean(), 0.0, 1e-9);
+  EXPECT_NEAR(col0.stddev(), 1.0, 0.01);
+  EXPECT_NEAR(col1.mean(), 0.0, 1e-9);
+  EXPECT_NEAR(col1.stddev(), 1.0, 0.01);
+}
+
+TEST(StandardScaler, ConstantFeatureDoesNotBlowUp) {
+  std::vector<std::vector<double>> x = {{5.0, 1.0}, {5.0, 2.0}, {5.0, 3.0}};
+  StandardScaler scaler;
+  scaler.fit(x);
+  const std::vector<double> probe = {5.0, 2.0};
+  const auto t = scaler.transform(probe);
+  EXPECT_TRUE(std::isfinite(t[0]));
+  EXPECT_NEAR(t[1], 0.0, 1e-9);
+}
+
+TEST(CrossValidate, SeparableDataScoresHigh) {
+  const auto data = gaussian_blobs(8.0, 60, 8);
+  SvmConfig config;
+  config.kernel = {KernelType::kRbf, 0.5};
+  EXPECT_GT(cross_validate(data, config, 3), 0.95);
+}
+
+TEST(CrossValidate, TooFewSamplesReturnsZero) {
+  Dataset data;
+  data.add({1.0}, +1);
+  EXPECT_DOUBLE_EQ(cross_validate(data, SvmConfig{}, 3), 0.0);
+}
+
+TEST(GridSearch, FindsWorkingParametersOnSeparableData) {
+  const auto data = gaussian_blobs(6.0, 50, 9);
+  const auto result = grid_search(data, KernelType::kRbf, 3);
+  EXPECT_GT(result.best_cv_accuracy, 0.9);
+  EXPECT_GT(result.best.c, 0.0);
+}
+
+TEST(GridSearch, LinearKernelPath) {
+  const auto data = gaussian_blobs(6.0, 50, 10);
+  const auto result = grid_search(data, KernelType::kLinear, 3);
+  EXPECT_GT(result.best_cv_accuracy, 0.9);
+  EXPECT_EQ(result.best.kernel.type, KernelType::kLinear);
+}
+
+TEST(Features, BlockHistogramIsNormalizedAndSized) {
+  nand::FlashChip chip(nand::Geometry::tiny(), nand::NoiseModel::vendor_a(), 11);
+  (void)chip.program_block_random(0, 1);
+  const auto features = block_histogram_features(chip, 0, 64);
+  ASSERT_EQ(features.size(), 64u);
+  double sum = 0.0;
+  for (double f : features) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Features, PageAndBlockHistogramsDiffer) {
+  nand::FlashChip chip(nand::Geometry::tiny(), nand::NoiseModel::vendor_a(), 12);
+  (void)chip.program_block_random(0, 2);
+  const auto page0 = page_histogram_features(chip, 0, 0, 64);
+  const auto page3 = page_histogram_features(chip, 0, 3, 64);
+  EXPECT_NE(page0, page3);
+}
+
+TEST(Features, SummaryFeaturesCaptureStateMeans) {
+  nand::FlashChip chip(nand::Geometry::tiny(), nand::NoiseModel::vendor_a(), 13);
+  const auto written = chip.program_block_random(0, 3);
+  const auto features = summary_features(chip, 0, written);
+  ASSERT_EQ(features.size(), 5u);
+  EXPECT_LT(features[0], 0.01);   // public BER tiny
+  EXPECT_GT(features[1], 15.0);   // erased mean in the low band
+  EXPECT_LT(features[1], 45.0);
+  EXPECT_GT(features[3], 140.0);  // programmed mean in the high band
+  EXPECT_LT(features[3], 190.0);
+}
+
+}  // namespace
+}  // namespace stash::svm

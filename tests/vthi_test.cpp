@@ -1,0 +1,401 @@
+// VT-HI core tests: channel selection determinism and stability, the
+// Algorithm-1 embed loop, raw BER behaviour, codec round trips across
+// configurations (parameterized), key separation, public-data preservation,
+// capacity accounting, erase semantics, and the enhanced configuration.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "stash/nand/chip.hpp"
+#include "stash/util/bitvec.hpp"
+#include "stash/vthi/codec.hpp"
+
+namespace stash::vthi {
+namespace {
+
+using crypto::HidingKey;
+using nand::FlashChip;
+using nand::Geometry;
+using nand::NoiseModel;
+using util::ErrorCode;
+
+HidingKey test_key(std::uint8_t fill = 0x5a) {
+  std::array<std::uint8_t, 32> raw{};
+  raw.fill(fill);
+  return HidingKey(raw);
+}
+
+Geometry vthi_geometry() {
+  Geometry geom;
+  geom.blocks = 8;
+  geom.pages_per_block = 16;
+  geom.cells_per_page = 8192;
+  return geom;
+}
+
+std::vector<std::uint8_t> random_hidden_bits(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng() & 1);
+  return bits;
+}
+
+// ---------------- Channel ----------------
+
+TEST(Channel, SelectionIsDeterministicAndDistinct) {
+  FlashChip chip(vthi_geometry(), NoiseModel::vendor_a(), 61);
+  (void)chip.program_block_random(0, 1);
+  VthiChannel channel(chip, test_key().selection_key());
+  auto first = channel.select_cells(0, 0, 128);
+  auto second = channel.select_cells(0, 0, 128);
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(first.value(), second.value());
+  const std::set<std::uint32_t> unique(first.value().begin(),
+                                       first.value().end());
+  EXPECT_EQ(unique.size(), 128u);
+}
+
+TEST(Channel, SelectionDependsOnPageAndKey) {
+  FlashChip chip(vthi_geometry(), NoiseModel::vendor_a(), 62);
+  (void)chip.program_block_random(0, 2);
+  VthiChannel a(chip, test_key(0x01).selection_key());
+  VthiChannel b(chip, test_key(0x02).selection_key());
+  const auto page0 = a.select_cells(0, 0, 64).value();
+  const auto page1 = a.select_cells(0, 1, 64).value();
+  const auto other_key = b.select_cells(0, 0, 64).value();
+  EXPECT_NE(page0, page1);
+  EXPECT_NE(page0, other_key);
+}
+
+TEST(Channel, SelectedCellsAreErasedLevel) {
+  FlashChip chip(vthi_geometry(), NoiseModel::vendor_a(), 63);
+  (void)chip.program_block_random(0, 3);
+  VthiChannel channel(chip, test_key().selection_key());
+  const auto cells = channel.select_cells(0, 0, 256).value();
+  const auto volts = chip.probe_voltages(0, 0);
+  for (std::uint32_t c : cells) {
+    EXPECT_LT(volts[c], 90) << "cell " << c;
+  }
+}
+
+TEST(Channel, EmbedConvergesWithinTenSteps) {
+  FlashChip chip(vthi_geometry(), NoiseModel::vendor_a(), 64);
+  (void)chip.program_block_random(0, 4);
+  VthiChannel channel(chip, test_key().selection_key());
+  const auto bits = random_hidden_bits(256, 4);
+  auto session = channel.embed(0, 0, bits);
+  ASSERT_TRUE(session.is_ok());
+  EXPECT_LE(session.value().steps_taken, 10);
+  EXPECT_GE(session.value().steps_taken, 1);
+}
+
+TEST(Channel, RawBerBelowOnePercentAtProductionConfig) {
+  FlashChip chip(vthi_geometry(), NoiseModel::vendor_a(), 65);
+  VthiChannel channel(chip, test_key().selection_key());
+  std::size_t errors = 0, total = 0;
+  for (std::uint32_t b = 0; b < 4; ++b) {
+    (void)chip.program_block_random(b, 100 + b);
+    for (std::uint32_t p = 0; p < chip.geometry().pages_per_block; p += 2) {
+      const auto bits = random_hidden_bits(256, 1000 + b * 100 + p);
+      ASSERT_TRUE(channel.embed(b, p, bits).is_ok());
+      const auto readback = channel.extract(b, p, 256).value();
+      for (std::size_t i = 0; i < bits.size(); ++i) {
+        errors += (bits[i] ^ readback[i]) & 1;
+      }
+      total += bits.size();
+    }
+  }
+  const double ber = static_cast<double>(errors) / static_cast<double>(total);
+  // Paper §6.3/§8: raw hidden BER converges below ~1% after ten PP steps.
+  EXPECT_LT(ber, 0.02);
+  EXPECT_GT(total, 4000u);
+}
+
+TEST(Channel, BerDropsAsStepsIncrease) {
+  // Fig. 6 shape: BER falls monotonically (in the large) with PP steps.
+  FlashChip chip(vthi_geometry(), NoiseModel::vendor_a(), 66);
+  (void)chip.program_block_random(0, 5);
+  VthiChannel channel(chip, test_key().selection_key());
+  const auto bits = random_hidden_bits(256, 5);
+  auto session = channel.begin(0, 0, bits).take();
+
+  std::vector<double> ber_by_step;
+  for (int s = 0; s < 10; ++s) {
+    (void)channel.step(session).value();
+    const auto readback = channel.extract(0, 0, 256).value();
+    std::size_t errors = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      errors += (bits[i] ^ readback[i]) & 1;
+    }
+    ber_by_step.push_back(static_cast<double>(errors) / 256.0);
+  }
+  EXPECT_GT(ber_by_step.front(), ber_by_step.back());
+  EXPECT_LT(ber_by_step.back(), 0.03);
+  EXPECT_GT(ber_by_step.front(), 0.05);  // one step cannot finish the job
+}
+
+TEST(Channel, ExtractWithWrongKeyIsGarbage) {
+  FlashChip chip(vthi_geometry(), NoiseModel::vendor_a(), 67);
+  (void)chip.program_block_random(0, 6);
+  VthiChannel good(chip, test_key(0x11).selection_key());
+  VthiChannel bad(chip, test_key(0x22).selection_key());
+  const auto bits = random_hidden_bits(256, 6);
+  ASSERT_TRUE(good.embed(0, 0, bits).is_ok());
+  const auto wrong = bad.extract(0, 0, 256).value();
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    mismatches += (bits[i] ^ wrong[i]) & 1;
+  }
+  // With the wrong key the extracted cells are unrelated: hidden '0's are
+  // invisible, so the read is heavily biased toward '1' — what matters is
+  // that roughly half the payload bits mismatch (those that were '0').
+  EXPECT_GT(mismatches, 64u);
+}
+
+TEST(Channel, NaturalCensusMatchesCalibration) {
+  FlashChip chip(vthi_geometry(), NoiseModel::vendor_a(), 68);
+  (void)chip.program_block_random(0, 7);
+  VthiChannel channel(chip, test_key().selection_key());
+  const auto census = channel.natural_above_threshold(0, 0).value();
+  const double fraction = static_cast<double>(census) /
+                          chip.geometry().cells_per_page;
+  // Scaled equivalent of the paper's ">= 700 of 144384 cells" census.
+  EXPECT_GT(fraction, 0.002);
+  EXPECT_LT(fraction, 0.04);
+}
+
+TEST(Channel, TooManyBitsForPageFails) {
+  FlashChip chip(vthi_geometry(), NoiseModel::vendor_a(), 69);
+  (void)chip.program_block_random(0, 8);
+  VthiChannel channel(chip, test_key().selection_key());
+  // More hidden bits than erased-level cells in the page can ever supply.
+  const auto bits = random_hidden_bits(chip.geometry().cells_per_page, 8);
+  const auto session = channel.begin(0, 0, bits);
+  EXPECT_FALSE(session.is_ok());
+  EXPECT_EQ(session.status().code(), ErrorCode::kNoSpace);
+}
+
+// ---------------- Codec (parameterized round trips) ----------------
+
+struct CodecCase {
+  std::uint32_t bits_per_page;
+  std::uint32_t interval;
+  bool mac;
+  const char* name;
+};
+
+class CodecRoundTrip : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(CodecRoundTrip, HideRevealRecoversPayload) {
+  const auto param = GetParam();
+  FlashChip chip(vthi_geometry(), NoiseModel::vendor_a(), 70);
+  (void)chip.program_block_random(1, 9);
+
+  VthiConfig config = VthiConfig::production();
+  config.hidden_bits_per_page = param.bits_per_page;
+  config.page_interval = param.interval;
+  config.with_mac = param.mac;
+  VthiCodec codec(chip, test_key(), config);
+
+  ASSERT_GT(codec.capacity_bytes(), 8u);
+  std::vector<std::uint8_t> payload(codec.capacity_bytes() / 2);
+  util::Xoshiro256 rng(9);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+
+  const auto report = codec.hide(1, payload);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report.value().payload_bytes, payload.size());
+
+  const auto revealed = codec.reveal(1);
+  ASSERT_TRUE(revealed.is_ok()) << revealed.status().to_string();
+  EXPECT_EQ(revealed.value(), payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, CodecRoundTrip,
+    ::testing::Values(CodecCase{256, 1, true, "production"},
+                      CodecCase{256, 0, true, "interval0"},
+                      CodecCase{256, 3, true, "interval3"},
+                      CodecCase{128, 1, true, "small"},
+                      CodecCase{512, 1, true, "paper_max"},
+                      CodecCase{256, 1, false, "no_mac"}),
+    [](const ::testing::TestParamInfo<CodecCase>& info) {
+      return info.param.name;
+    });
+
+TEST(Codec, FullCapacityPayloadRoundTrips) {
+  FlashChip chip(vthi_geometry(), NoiseModel::vendor_a(), 71);
+  (void)chip.program_block_random(2, 10);
+  VthiCodec codec(chip, test_key());
+  std::vector<std::uint8_t> payload(codec.capacity_bytes(), 0xab);
+  ASSERT_TRUE(codec.hide(2, payload).is_ok());
+  const auto revealed = codec.reveal(2);
+  ASSERT_TRUE(revealed.is_ok());
+  EXPECT_EQ(revealed.value(), payload);
+}
+
+TEST(Codec, OversizedPayloadRejected) {
+  FlashChip chip(vthi_geometry(), NoiseModel::vendor_a(), 72);
+  (void)chip.program_block_random(0, 11);
+  VthiCodec codec(chip, test_key());
+  std::vector<std::uint8_t> payload(codec.capacity_bytes() + 1, 0);
+  EXPECT_EQ(codec.hide(0, payload).status().code(), ErrorCode::kNoSpace);
+}
+
+TEST(Codec, RefusesUnprogrammedPages) {
+  FlashChip chip(vthi_geometry(), NoiseModel::vendor_a(), 73);
+  VthiCodec codec(chip, test_key());
+  std::vector<std::uint8_t> payload(16, 0x1);
+  EXPECT_EQ(codec.hide(0, payload).status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Codec, PublicDataUnchangedByHiding) {
+  // The core VT-HI property: hiding must not alter a single public bit.
+  FlashChip chip(vthi_geometry(), NoiseModel::vendor_a(), 74);
+  const auto written = chip.program_block_random(3, 12);
+  std::vector<std::vector<std::uint8_t>> before;
+  for (std::uint32_t p = 0; p < chip.geometry().pages_per_block; ++p) {
+    before.push_back(chip.read_page(3, p));
+  }
+  VthiCodec codec(chip, test_key());
+  std::vector<std::uint8_t> payload(codec.capacity_bytes(), 0xcd);
+  ASSERT_TRUE(codec.hide(3, payload).is_ok());
+  std::size_t flips = 0;
+  for (std::uint32_t p = 0; p < chip.geometry().pages_per_block; ++p) {
+    const auto after = chip.read_page(3, p);
+    for (std::size_t c = 0; c < after.size(); ++c) {
+      flips += (after[c] ^ before[p][c]) & 1;
+    }
+  }
+  // PP disturb may flip a stray marginal public cell, nothing systematic.
+  EXPECT_LE(flips, 4u);
+  (void)written;
+}
+
+TEST(Codec, WrongKeyFailsAuthentication) {
+  FlashChip chip(vthi_geometry(), NoiseModel::vendor_a(), 75);
+  (void)chip.program_block_random(4, 13);
+  VthiCodec good(chip, test_key(0x31));
+  std::vector<std::uint8_t> payload(64, 0x44);
+  ASSERT_TRUE(good.hide(4, payload).is_ok());
+
+  VthiCodec bad(chip, test_key(0x32));
+  const auto revealed = bad.reveal(4);
+  ASSERT_FALSE(revealed.is_ok());
+  EXPECT_TRUE(revealed.status().code() == ErrorCode::kAuthFailure ||
+              revealed.status().code() == ErrorCode::kUncorrectable);
+}
+
+TEST(Codec, RevealOnBlockWithoutHiddenDataFails) {
+  FlashChip chip(vthi_geometry(), NoiseModel::vendor_a(), 76);
+  (void)chip.program_block_random(5, 14);
+  VthiCodec codec(chip, test_key());
+  EXPECT_FALSE(codec.reveal(5).is_ok());
+}
+
+TEST(Codec, EraseDestroysHiddenData) {
+  FlashChip chip(vthi_geometry(), NoiseModel::vendor_a(), 77);
+  (void)chip.program_block_random(6, 15);
+  VthiCodec codec(chip, test_key());
+  std::vector<std::uint8_t> payload(32, 0x99);
+  ASSERT_TRUE(codec.hide(6, payload).is_ok());
+  ASSERT_TRUE(codec.erase_hidden(6).is_ok());
+  EXPECT_FALSE(codec.reveal(6).is_ok());
+}
+
+TEST(Codec, ReembedAfterMigration) {
+  FlashChip chip(vthi_geometry(), NoiseModel::vendor_a(), 78);
+  (void)chip.program_block_random(0, 16);
+  (void)chip.program_block_random(1, 17);
+  VthiCodec codec(chip, test_key());
+  std::vector<std::uint8_t> payload(40, 0x77);
+  ASSERT_TRUE(codec.hide(0, payload).is_ok());
+  const auto rescued = codec.reveal(0);
+  ASSERT_TRUE(rescued.is_ok());
+  ASSERT_TRUE(codec.reembed(1, rescued.value()).is_ok());
+  ASSERT_TRUE(chip.erase_block(0).is_ok());
+  const auto revealed = codec.reveal(1);
+  ASSERT_TRUE(revealed.is_ok());
+  EXPECT_EQ(revealed.value(), payload);
+}
+
+TEST(Codec, RepeatedRevealsAreStable) {
+  // Table 1 "repeated reads +": decoding is non-destructive.
+  FlashChip chip(vthi_geometry(), NoiseModel::vendor_a(), 79);
+  (void)chip.program_block_random(7, 18);
+  VthiCodec codec(chip, test_key());
+  std::vector<std::uint8_t> payload(50, 0xee);
+  ASSERT_TRUE(codec.hide(7, payload).is_ok());
+  for (int i = 0; i < 20; ++i) {
+    const auto revealed = codec.reveal(7);
+    ASSERT_TRUE(revealed.is_ok()) << "read " << i;
+    EXPECT_EQ(revealed.value(), payload) << "read " << i;
+  }
+}
+
+TEST(Codec, EccOverheadMatchesPaperBallpark) {
+  FlashChip chip(vthi_geometry(), NoiseModel::vendor_a(), 80);
+  VthiCodec codec(chip, test_key());
+  // Production config: a real (non-Shannon-limit) shortened BCH with
+  // 3-sigma margin spends 15-30% on parity at the ~1% measured raw BER;
+  // the paper's "5%" figure is the Shannon-limit estimate (see
+  // EXPERIMENTS.md).
+  EXPECT_GT(codec.ecc_overhead(), 0.05);
+  EXPECT_LT(codec.ecc_overhead(), 0.35);
+}
+
+TEST(Codec, EnhancedConfigRoundTripsWithMoreCapacity) {
+  FlashChip chip(vthi_geometry(), NoiseModel::vendor_a(), 81);
+  (void)chip.program_block_random(0, 19);
+
+  // At this tiny test geometry the enhanced bit count is ~8x denser than
+  // on paper-width pages, which raises the raw channel BER; budget the ECC
+  // accordingly (the paper-density benches use the stock estimate).
+  VthiConfig enhanced_config = VthiConfig::enhanced();
+  enhanced_config.raw_ber_estimate = 0.05;
+
+  VthiCodec production(chip, test_key(), VthiConfig::production());
+  VthiCodec enhanced(chip, test_key(), enhanced_config);
+  // §8: the enhanced configuration raises usable capacity several-fold.
+  EXPECT_GT(enhanced.capacity_bytes(), 2 * production.capacity_bytes());
+
+  std::vector<std::uint8_t> payload(enhanced.capacity_bytes() / 2);
+  util::Xoshiro256 rng(19);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+  const auto hidden = enhanced.hide(0, payload);
+  ASSERT_TRUE(hidden.is_ok()) << hidden.status().to_string();
+  const auto revealed = enhanced.reveal(0);
+  ASSERT_TRUE(revealed.is_ok()) << revealed.status().to_string();
+  EXPECT_EQ(revealed.value(), payload);
+}
+
+TEST(Codec, SurvivesModerateRetention) {
+  // Fig. 11 operating point: fresh cells keep hidden data readable after a
+  // four-month bake.
+  FlashChip chip(vthi_geometry(), NoiseModel::vendor_a(), 82);
+  (void)chip.program_block_random(0, 20);
+  VthiCodec codec(chip, test_key());
+  std::vector<std::uint8_t> payload(codec.capacity_bytes() / 2, 0x3c);
+  ASSERT_TRUE(codec.hide(0, payload).is_ok());
+  chip.bake_block(0, 24.0 * 120);
+  const auto revealed = codec.reveal(0);
+  ASSERT_TRUE(revealed.is_ok()) << revealed.status().to_string();
+  EXPECT_EQ(revealed.value(), payload);
+}
+
+TEST(Codec, HiddenPagesHonourInterval) {
+  FlashChip chip(vthi_geometry(), NoiseModel::vendor_a(), 83);
+  VthiConfig config = VthiConfig::production();
+  config.page_interval = 3;
+  VthiCodec codec(chip, test_key(), config);
+  const auto pages = codec.hidden_pages();
+  ASSERT_FALSE(pages.empty());
+  for (std::size_t i = 1; i < pages.size(); ++i) {
+    EXPECT_EQ(pages[i] - pages[i - 1], 4u);
+  }
+}
+
+}  // namespace
+}  // namespace stash::vthi
