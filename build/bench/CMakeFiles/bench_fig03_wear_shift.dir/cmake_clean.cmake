@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_wear_shift.dir/fig03_wear_shift.cpp.o"
+  "CMakeFiles/bench_fig03_wear_shift.dir/fig03_wear_shift.cpp.o.d"
+  "bench_fig03_wear_shift"
+  "bench_fig03_wear_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_wear_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

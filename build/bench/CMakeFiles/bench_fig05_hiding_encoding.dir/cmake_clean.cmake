@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_hiding_encoding.dir/fig05_hiding_encoding.cpp.o"
+  "CMakeFiles/bench_fig05_hiding_encoding.dir/fig05_hiding_encoding.cpp.o.d"
+  "bench_fig05_hiding_encoding"
+  "bench_fig05_hiding_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_hiding_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

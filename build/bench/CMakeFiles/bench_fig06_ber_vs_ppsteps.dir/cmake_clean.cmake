@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_ber_vs_ppsteps.dir/fig06_ber_vs_ppsteps.cpp.o"
+  "CMakeFiles/bench_fig06_ber_vs_ppsteps.dir/fig06_ber_vs_ppsteps.cpp.o.d"
+  "bench_fig06_ber_vs_ppsteps"
+  "bench_fig06_ber_vs_ppsteps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_ber_vs_ppsteps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

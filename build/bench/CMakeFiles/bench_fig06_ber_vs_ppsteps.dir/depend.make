@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig06_ber_vs_ppsteps.
+# This may be replaced when dependencies are built.

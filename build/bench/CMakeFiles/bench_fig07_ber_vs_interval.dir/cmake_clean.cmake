@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_ber_vs_interval.dir/fig07_ber_vs_interval.cpp.o"
+  "CMakeFiles/bench_fig07_ber_vs_interval.dir/fig07_ber_vs_interval.cpp.o.d"
+  "bench_fig07_ber_vs_interval"
+  "bench_fig07_ber_vs_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_ber_vs_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig07_ber_vs_interval.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_distribution_shift.dir/fig08_distribution_shift.cpp.o"
+  "CMakeFiles/bench_fig08_distribution_shift.dir/fig08_distribution_shift.cpp.o.d"
+  "bench_fig08_distribution_shift"
+  "bench_fig08_distribution_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_distribution_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

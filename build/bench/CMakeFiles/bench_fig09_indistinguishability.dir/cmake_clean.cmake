@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_indistinguishability.dir/fig09_indistinguishability.cpp.o"
+  "CMakeFiles/bench_fig09_indistinguishability.dir/fig09_indistinguishability.cpp.o.d"
+  "bench_fig09_indistinguishability"
+  "bench_fig09_indistinguishability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_indistinguishability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

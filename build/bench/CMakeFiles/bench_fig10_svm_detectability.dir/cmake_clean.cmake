@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_svm_detectability.dir/fig10_svm_detectability.cpp.o"
+  "CMakeFiles/bench_fig10_svm_detectability.dir/fig10_svm_detectability.cpp.o.d"
+  "bench_fig10_svm_detectability"
+  "bench_fig10_svm_detectability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_svm_detectability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

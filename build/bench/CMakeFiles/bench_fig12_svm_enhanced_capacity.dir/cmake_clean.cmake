@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_svm_enhanced_capacity.dir/fig12_svm_enhanced_capacity.cpp.o"
+  "CMakeFiles/bench_fig12_svm_enhanced_capacity.dir/fig12_svm_enhanced_capacity.cpp.o.d"
+  "bench_fig12_svm_enhanced_capacity"
+  "bench_fig12_svm_enhanced_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_svm_enhanced_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

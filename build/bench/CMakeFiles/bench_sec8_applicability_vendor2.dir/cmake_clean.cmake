@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec8_applicability_vendor2.dir/sec8_applicability_vendor2.cpp.o"
+  "CMakeFiles/bench_sec8_applicability_vendor2.dir/sec8_applicability_vendor2.cpp.o.d"
+  "bench_sec8_applicability_vendor2"
+  "bench_sec8_applicability_vendor2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec8_applicability_vendor2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

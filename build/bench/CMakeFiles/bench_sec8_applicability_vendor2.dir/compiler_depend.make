@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_sec8_applicability_vendor2.
+# This may be replaced when dependencies are built.

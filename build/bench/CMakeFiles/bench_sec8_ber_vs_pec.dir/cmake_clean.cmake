@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec8_ber_vs_pec.dir/sec8_ber_vs_pec.cpp.o"
+  "CMakeFiles/bench_sec8_ber_vs_pec.dir/sec8_ber_vs_pec.cpp.o.d"
+  "bench_sec8_ber_vs_pec"
+  "bench_sec8_ber_vs_pec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec8_ber_vs_pec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_sec8_ber_vs_pec.
+# This may be replaced when dependencies are built.

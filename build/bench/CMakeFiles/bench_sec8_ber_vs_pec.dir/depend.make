@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec8_ber_vs_pec.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_vthi_vs_pthi.dir/table1_vthi_vs_pthi.cpp.o"
+  "CMakeFiles/bench_table1_vthi_vs_pthi.dir/table1_vthi_vs_pthi.cpp.o.d"
+  "bench_table1_vthi_vs_pthi"
+  "bench_table1_vthi_vs_pthi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_vthi_vs_pthi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

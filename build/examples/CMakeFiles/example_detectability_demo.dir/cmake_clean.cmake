@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_detectability_demo.dir/detectability_demo.cpp.o"
+  "CMakeFiles/example_detectability_demo.dir/detectability_demo.cpp.o.d"
+  "example_detectability_demo"
+  "example_detectability_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_detectability_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hidden_volume.dir/hidden_volume.cpp.o"
+  "CMakeFiles/example_hidden_volume.dir/hidden_volume.cpp.o.d"
+  "example_hidden_volume"
+  "example_hidden_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hidden_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

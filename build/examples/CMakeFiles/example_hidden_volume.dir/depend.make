@@ -1,0 +1,2 @@
+# Empty dependencies file for example_hidden_volume.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_onfi_raw_hiding.dir/onfi_raw_hiding.cpp.o"
+  "CMakeFiles/example_onfi_raw_hiding.dir/onfi_raw_hiding.cpp.o.d"
+  "example_onfi_raw_hiding"
+  "example_onfi_raw_hiding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_onfi_raw_hiding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_onfi_raw_hiding.
+# This may be replaced when dependencies are built.

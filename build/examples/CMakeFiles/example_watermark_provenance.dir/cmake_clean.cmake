@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_watermark_provenance.dir/watermark_provenance.cpp.o"
+  "CMakeFiles/example_watermark_provenance.dir/watermark_provenance.cpp.o.d"
+  "example_watermark_provenance"
+  "example_watermark_provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_watermark_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/src/chacha20.cpp" "src/crypto/CMakeFiles/stash_crypto.dir/src/chacha20.cpp.o" "gcc" "src/crypto/CMakeFiles/stash_crypto.dir/src/chacha20.cpp.o.d"
+  "/root/repo/src/crypto/src/drbg.cpp" "src/crypto/CMakeFiles/stash_crypto.dir/src/drbg.cpp.o" "gcc" "src/crypto/CMakeFiles/stash_crypto.dir/src/drbg.cpp.o.d"
+  "/root/repo/src/crypto/src/sha256.cpp" "src/crypto/CMakeFiles/stash_crypto.dir/src/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/stash_crypto.dir/src/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/stash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stash_crypto.dir/src/chacha20.cpp.o"
+  "CMakeFiles/stash_crypto.dir/src/chacha20.cpp.o.d"
+  "CMakeFiles/stash_crypto.dir/src/drbg.cpp.o"
+  "CMakeFiles/stash_crypto.dir/src/drbg.cpp.o.d"
+  "CMakeFiles/stash_crypto.dir/src/sha256.cpp.o"
+  "CMakeFiles/stash_crypto.dir/src/sha256.cpp.o.d"
+  "libstash_crypto.a"
+  "libstash_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stash_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/src/bch.cpp" "src/ecc/CMakeFiles/stash_ecc.dir/src/bch.cpp.o" "gcc" "src/ecc/CMakeFiles/stash_ecc.dir/src/bch.cpp.o.d"
+  "/root/repo/src/ecc/src/gf.cpp" "src/ecc/CMakeFiles/stash_ecc.dir/src/gf.cpp.o" "gcc" "src/ecc/CMakeFiles/stash_ecc.dir/src/gf.cpp.o.d"
+  "/root/repo/src/ecc/src/hamming.cpp" "src/ecc/CMakeFiles/stash_ecc.dir/src/hamming.cpp.o" "gcc" "src/ecc/CMakeFiles/stash_ecc.dir/src/hamming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/stash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stash_ecc.dir/src/bch.cpp.o"
+  "CMakeFiles/stash_ecc.dir/src/bch.cpp.o.d"
+  "CMakeFiles/stash_ecc.dir/src/gf.cpp.o"
+  "CMakeFiles/stash_ecc.dir/src/gf.cpp.o.d"
+  "CMakeFiles/stash_ecc.dir/src/hamming.cpp.o"
+  "CMakeFiles/stash_ecc.dir/src/hamming.cpp.o.d"
+  "libstash_ecc.a"
+  "libstash_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stash_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stash_ftl.dir/src/ftl.cpp.o"
+  "CMakeFiles/stash_ftl.dir/src/ftl.cpp.o.d"
+  "libstash_ftl.a"
+  "libstash_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stash_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nand/src/chip.cpp" "src/nand/CMakeFiles/stash_nand.dir/src/chip.cpp.o" "gcc" "src/nand/CMakeFiles/stash_nand.dir/src/chip.cpp.o.d"
+  "/root/repo/src/nand/src/fingerprint.cpp" "src/nand/CMakeFiles/stash_nand.dir/src/fingerprint.cpp.o" "gcc" "src/nand/CMakeFiles/stash_nand.dir/src/fingerprint.cpp.o.d"
+  "/root/repo/src/nand/src/onfi.cpp" "src/nand/CMakeFiles/stash_nand.dir/src/onfi.cpp.o" "gcc" "src/nand/CMakeFiles/stash_nand.dir/src/onfi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/stash_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/stash_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

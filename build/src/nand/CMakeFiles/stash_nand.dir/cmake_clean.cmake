@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stash_nand.dir/src/chip.cpp.o"
+  "CMakeFiles/stash_nand.dir/src/chip.cpp.o.d"
+  "CMakeFiles/stash_nand.dir/src/fingerprint.cpp.o"
+  "CMakeFiles/stash_nand.dir/src/fingerprint.cpp.o.d"
+  "CMakeFiles/stash_nand.dir/src/onfi.cpp.o"
+  "CMakeFiles/stash_nand.dir/src/onfi.cpp.o.d"
+  "libstash_nand.a"
+  "libstash_nand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stash_nand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for stash_nand.
+# This may be replaced when dependencies are built.

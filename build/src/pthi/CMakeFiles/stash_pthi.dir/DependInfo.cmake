@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pthi/src/pthi.cpp" "src/pthi/CMakeFiles/stash_pthi.dir/src/pthi.cpp.o" "gcc" "src/pthi/CMakeFiles/stash_pthi.dir/src/pthi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/stash_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/stash_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/stash_nand.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stash_pthi.dir/src/pthi.cpp.o"
+  "CMakeFiles/stash_pthi.dir/src/pthi.cpp.o.d"
+  "libstash_pthi.a"
+  "libstash_pthi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stash_pthi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

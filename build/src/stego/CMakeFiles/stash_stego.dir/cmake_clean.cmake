@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stash_stego.dir/src/volume.cpp.o"
+  "CMakeFiles/stash_stego.dir/src/volume.cpp.o.d"
+  "libstash_stego.a"
+  "libstash_stego.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stash_stego.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

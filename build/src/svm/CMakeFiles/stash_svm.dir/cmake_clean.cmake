@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stash_svm.dir/src/features.cpp.o"
+  "CMakeFiles/stash_svm.dir/src/features.cpp.o.d"
+  "CMakeFiles/stash_svm.dir/src/snapshot.cpp.o"
+  "CMakeFiles/stash_svm.dir/src/snapshot.cpp.o.d"
+  "CMakeFiles/stash_svm.dir/src/svm.cpp.o"
+  "CMakeFiles/stash_svm.dir/src/svm.cpp.o.d"
+  "libstash_svm.a"
+  "libstash_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stash_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/src/bitvec.cpp" "src/util/CMakeFiles/stash_util.dir/src/bitvec.cpp.o" "gcc" "src/util/CMakeFiles/stash_util.dir/src/bitvec.cpp.o.d"
+  "/root/repo/src/util/src/histogram.cpp" "src/util/CMakeFiles/stash_util.dir/src/histogram.cpp.o" "gcc" "src/util/CMakeFiles/stash_util.dir/src/histogram.cpp.o.d"
+  "/root/repo/src/util/src/stats.cpp" "src/util/CMakeFiles/stash_util.dir/src/stats.cpp.o" "gcc" "src/util/CMakeFiles/stash_util.dir/src/stats.cpp.o.d"
+  "/root/repo/src/util/src/status.cpp" "src/util/CMakeFiles/stash_util.dir/src/status.cpp.o" "gcc" "src/util/CMakeFiles/stash_util.dir/src/status.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stash_util.dir/src/bitvec.cpp.o"
+  "CMakeFiles/stash_util.dir/src/bitvec.cpp.o.d"
+  "CMakeFiles/stash_util.dir/src/histogram.cpp.o"
+  "CMakeFiles/stash_util.dir/src/histogram.cpp.o.d"
+  "CMakeFiles/stash_util.dir/src/stats.cpp.o"
+  "CMakeFiles/stash_util.dir/src/stats.cpp.o.d"
+  "CMakeFiles/stash_util.dir/src/status.cpp.o"
+  "CMakeFiles/stash_util.dir/src/status.cpp.o.d"
+  "libstash_util.a"
+  "libstash_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stash_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

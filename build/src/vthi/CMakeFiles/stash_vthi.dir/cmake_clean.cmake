@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stash_vthi.dir/src/channel.cpp.o"
+  "CMakeFiles/stash_vthi.dir/src/channel.cpp.o.d"
+  "CMakeFiles/stash_vthi.dir/src/codec.cpp.o"
+  "CMakeFiles/stash_vthi.dir/src/codec.cpp.o.d"
+  "libstash_vthi.a"
+  "libstash_vthi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stash_vthi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fingerprint_test.cpp" "tests/CMakeFiles/test_fingerprint.dir/fingerprint_test.cpp.o" "gcc" "tests/CMakeFiles/test_fingerprint.dir/fingerprint_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/stash_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/stash_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/stash_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/stash_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/stash_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/stash_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/vthi/CMakeFiles/stash_vthi.dir/DependInfo.cmake"
+  "/root/repo/build/src/pthi/CMakeFiles/stash_pthi.dir/DependInfo.cmake"
+  "/root/repo/build/src/stego/CMakeFiles/stash_stego.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ftl.dir/ftl_test.cpp.o"
+  "CMakeFiles/test_ftl.dir/ftl_test.cpp.o.d"
+  "test_ftl"
+  "test_ftl.pdb"
+  "test_ftl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

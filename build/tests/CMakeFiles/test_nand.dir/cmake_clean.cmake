@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nand.dir/nand_test.cpp.o"
+  "CMakeFiles/test_nand.dir/nand_test.cpp.o.d"
+  "test_nand"
+  "test_nand.pdb"
+  "test_nand[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

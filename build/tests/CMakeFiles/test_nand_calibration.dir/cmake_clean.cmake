@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nand_calibration.dir/nand_calibration_test.cpp.o"
+  "CMakeFiles/test_nand_calibration.dir/nand_calibration_test.cpp.o.d"
+  "test_nand_calibration"
+  "test_nand_calibration.pdb"
+  "test_nand_calibration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nand_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nand_property.dir/nand_property_test.cpp.o"
+  "CMakeFiles/test_nand_property.dir/nand_property_test.cpp.o.d"
+  "test_nand_property"
+  "test_nand_property.pdb"
+  "test_nand_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nand_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_onfi.dir/onfi_test.cpp.o"
+  "CMakeFiles/test_onfi.dir/onfi_test.cpp.o.d"
+  "test_onfi"
+  "test_onfi.pdb"
+  "test_onfi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_onfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pthi.dir/pthi_test.cpp.o"
+  "CMakeFiles/test_pthi.dir/pthi_test.cpp.o.d"
+  "test_pthi"
+  "test_pthi.pdb"
+  "test_pthi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pthi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stego.dir/stego_test.cpp.o"
+  "CMakeFiles/test_stego.dir/stego_test.cpp.o.d"
+  "test_stego"
+  "test_stego.pdb"
+  "test_stego[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stego.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

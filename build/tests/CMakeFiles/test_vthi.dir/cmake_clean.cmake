@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vthi.dir/vthi_test.cpp.o"
+  "CMakeFiles/test_vthi.dir/vthi_test.cpp.o.d"
+  "test_vthi"
+  "test_vthi.pdb"
+  "test_vthi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vthi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vthi_property.dir/vthi_property_test.cpp.o"
+  "CMakeFiles/test_vthi_property.dir/vthi_property_test.cpp.o.d"
+  "test_vthi_property"
+  "test_vthi_property.pdb"
+  "test_vthi_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vthi_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

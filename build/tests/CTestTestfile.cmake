@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_ecc[1]_include.cmake")
+include("/root/repo/build/tests/test_nand[1]_include.cmake")
+include("/root/repo/build/tests/test_nand_property[1]_include.cmake")
+include("/root/repo/build/tests/test_onfi[1]_include.cmake")
+include("/root/repo/build/tests/test_fingerprint[1]_include.cmake")
+include("/root/repo/build/tests/test_nand_calibration[1]_include.cmake")
+include("/root/repo/build/tests/test_svm[1]_include.cmake")
+include("/root/repo/build/tests/test_ftl[1]_include.cmake")
+include("/root/repo/build/tests/test_vthi[1]_include.cmake")
+include("/root/repo/build/tests/test_vthi_property[1]_include.cmake")
+include("/root/repo/build/tests/test_pthi[1]_include.cmake")
+include("/root/repo/build/tests/test_stego[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
