@@ -4,6 +4,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "stash/telemetry/metrics.hpp"
+
 namespace stash::ecc {
 namespace {
 
@@ -93,12 +95,39 @@ std::vector<std::uint8_t> BchCode::encode(
   return codeword;
 }
 
+namespace {
+
+struct BchTelemetry {
+  telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
+  telemetry::Counter& decodes = reg.counter("ecc.bch.decodes");
+  telemetry::Counter& decode_failures = reg.counter("ecc.bch.decode_failures");
+  telemetry::Counter& corrected_bits = reg.counter("ecc.bch.corrected_bits");
+};
+
+BchTelemetry& bch_telemetry() {
+  static BchTelemetry t;
+  return t;
+}
+
+BchCode::DecodeResult record(BchCode::DecodeResult result) {
+  auto& tel = bch_telemetry();
+  tel.decodes.inc();
+  if (!result.ok) {
+    tel.decode_failures.inc();
+  } else if (result.corrected > 0) {
+    tel.corrected_bits.inc(static_cast<std::uint64_t>(result.corrected));
+  }
+  return result;
+}
+
+}  // namespace
+
 BchCode::DecodeResult BchCode::decode(
     std::span<const std::uint8_t> codeword_bits) const {
   DecodeResult result;
   const std::size_t r = parity_bits();
   if (codeword_bits.size() <= r || codeword_bits.size() > n()) {
-    return result;  // ok = false: not a valid shortened codeword length
+    return record(result);  // ok = false: not a valid shortened codeword length
   }
   const std::size_t len = codeword_bits.size();
   std::vector<std::uint8_t> cw(codeword_bits.begin(), codeword_bits.end());
@@ -121,7 +150,7 @@ BchCode::DecodeResult BchCode::decode(
   if (all_zero) {
     result.data_bits.assign(cw.begin(), cw.end() - static_cast<long>(r));
     result.ok = true;
-    return result;
+    return record(result);
   }
 
   // Berlekamp-Massey: find the minimal error-locator polynomial Lambda(x).
@@ -167,7 +196,7 @@ BchCode::DecodeResult BchCode::decode(
   while (lambda.size() > 1 && lambda.back() == 0) lambda.pop_back();
   const int nu = static_cast<int>(lambda.size()) - 1;
   if (nu > t_ || nu != l) {
-    return result;  // more errors than the design distance supports
+    return record(result);  // more errors than the design distance supports
   }
 
   // Chien search restricted to transmitted degrees [0, len).  An error at
@@ -186,7 +215,7 @@ BchCode::DecodeResult BchCode::decode(
     }
   }
   if (found != nu) {
-    return result;  // roots outside the shortened range: uncorrectable
+    return record(result);  // roots outside the shortened range: uncorrectable
   }
 
   // Verify the repair really zeroed the syndromes (guards against
@@ -198,13 +227,13 @@ BchCode::DecodeResult BchCode::decode(
         s = gf_.add(s, gf_.alpha_pow(i * static_cast<int>(len - 1 - j)));
       }
     }
-    if (s != 0) return result;
+    if (s != 0) return record(result);
   }
 
   result.data_bits.assign(cw.begin(), cw.end() - static_cast<long>(r));
   result.corrected = found;
   result.ok = true;
-  return result;
+  return record(result);
 }
 
 int BchCode::pick_t_for_codeword(int m, std::size_t codeword_bits,

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "stash/nand/chip.hpp"
+#include "stash/telemetry/metrics.hpp"
 #include "stash/util/status.hpp"
 
 namespace stash::ftl {
@@ -29,6 +30,9 @@ struct FtlConfig {
   std::uint32_t wear_delta_threshold = 100;
 };
 
+/// Point-in-time FTL statistics.  Assembled on demand from the telemetry
+/// counters that now back the FTL (see PageMappedFtl::stats()); in builds
+/// compiled with STASH_TELEMETRY_DISABLED every field reads zero.
 struct FtlStats {
   std::uint64_t host_writes = 0;   // pages written by the host
   std::uint64_t nand_writes = 0;   // pages physically programmed
@@ -81,7 +85,17 @@ class PageMappedFtl {
     pre_erase_hook_ = std::move(hook);
   }
 
-  [[nodiscard]] const FtlStats& stats() const noexcept { return stats_; }
+  /// Compatibility accessor: materializes the per-instance telemetry
+  /// counters into the legacy FtlStats value type.
+  [[nodiscard]] FtlStats stats() const noexcept {
+    FtlStats s;
+    s.host_writes = counters_.host_writes.value();
+    s.nand_writes = counters_.nand_writes.value();
+    s.gc_runs = counters_.gc_runs.value();
+    s.relocations = counters_.relocations.value();
+    s.wear_swaps = counters_.wear_swaps.value();
+    return s;
+  }
   [[nodiscard]] std::uint32_t free_blocks() const noexcept {
     return static_cast<std::uint32_t>(free_.size());
   }
@@ -116,7 +130,18 @@ class PageMappedFtl {
   bool gc_active_ = false;  // prevents re-entrant collection
   RelocationHook hook_;
   PreEraseHook pre_erase_hook_;
-  FtlStats stats_;
+
+  // Per-instance counters (gtest runs many FTLs in one process, so these
+  // cannot live in the global registry).  Mutations also mirror into the
+  // process-wide "ftl.*" registry counters; see ftl.cpp.
+  struct Counters {
+    telemetry::Counter host_writes;
+    telemetry::Counter nand_writes;
+    telemetry::Counter gc_runs;
+    telemetry::Counter relocations;
+    telemetry::Counter wear_swaps;
+  };
+  Counters counters_;
 };
 
 }  // namespace stash::ftl

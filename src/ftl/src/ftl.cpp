@@ -8,6 +8,27 @@ namespace stash::ftl {
 using nand::PageAddr;
 using util::ErrorCode;
 
+namespace {
+
+// Process-wide mirrors of the per-instance counters, so benchmark metric
+// sidecars and snapshots see aggregate FTL activity.
+struct FtlTelemetry {
+  telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
+  telemetry::Counter& host_writes = reg.counter("ftl.host_writes");
+  telemetry::Counter& nand_writes = reg.counter("ftl.nand_writes");
+  telemetry::Counter& gc_runs = reg.counter("ftl.gc_runs");
+  telemetry::Counter& relocations = reg.counter("ftl.relocations");
+  telemetry::Counter& wear_swaps = reg.counter("ftl.wear_swaps");
+  telemetry::Gauge& write_amp = reg.gauge("ftl.write_amplification");
+};
+
+FtlTelemetry& ftl_telemetry() {
+  static FtlTelemetry t;
+  return t;
+}
+
+}  // namespace
+
 PageMappedFtl::PageMappedFtl(nand::FlashChip& chip, FtlConfig config)
     : chip_(&chip), config_(config) {
   const auto& geom = chip.geometry();
@@ -80,8 +101,12 @@ Status PageMappedFtl::write(std::uint64_t lpn,
   l2p_[lpn] = phys_index(dst);
   p2l_[phys_index(dst)] = lpn;
   ++valid_count_[dst.block];
-  ++stats_.host_writes;
-  ++stats_.nand_writes;
+  counters_.host_writes.inc();
+  counters_.nand_writes.inc();
+  auto& tel = ftl_telemetry();
+  tel.host_writes.inc();
+  tel.nand_writes.inc();
+  tel.write_amp.set(stats().write_amplification());
 
   STASH_RETURN_IF_ERROR(maybe_wear_level());
   return Status::ok();
@@ -173,8 +198,10 @@ Status PageMappedFtl::relocate_block(std::uint32_t victim) {
     l2p_[lpn] = phys_index(to);
     p2l_[phys_index(to)] = lpn;
     ++valid_count_[to.block];
-    ++stats_.nand_writes;
-    ++stats_.relocations;
+    counters_.nand_writes.inc();
+    counters_.relocations.inc();
+    ftl_telemetry().nand_writes.inc();
+    ftl_telemetry().relocations.inc();
   }
   STASH_RETURN_IF_ERROR(chip_->erase_block(victim));
   free_.insert(free_.begin(), victim);  // FIFO-ish reuse spreads wear
@@ -187,7 +214,8 @@ Status PageMappedFtl::run_gc() {
   if (victim >= chip_->geometry().blocks) {
     return {ErrorCode::kNoSpace, "no GC victim available"};
   }
-  ++stats_.gc_runs;
+  counters_.gc_runs.inc();
+  ftl_telemetry().gc_runs.inc();
   gc_active_ = true;
   const Status status = relocate_block(victim);
   gc_active_ = false;
@@ -216,7 +244,8 @@ Status PageMappedFtl::maybe_wear_level() {
   }
   if (active_block_ && *active_block_ == coldest) return Status::ok();
   if (gc_active_) return Status::ok();
-  ++stats_.wear_swaps;
+  counters_.wear_swaps.inc();
+  ftl_telemetry().wear_swaps.inc();
   gc_active_ = true;
   const Status status = relocate_block(coldest);
   gc_active_ = false;

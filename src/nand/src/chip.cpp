@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "stash/telemetry/metrics.hpp"
+
 namespace stash::nand {
 namespace {
 
@@ -11,6 +13,27 @@ using util::hash_words;
 using util::Xoshiro256;
 
 constexpr double kVmax = 255.0;
+
+/// Process-wide instrument handles, resolved once so the per-operation cost
+/// is a single relaxed atomic add.  Counts mirror the CostLedger semantics
+/// (a voltage probe is charged as a read; a stress cycle as a program).
+struct ChipTelemetry {
+  telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
+  telemetry::Counter& programs = reg.counter("nand.programs");
+  telemetry::Counter& partial_programs = reg.counter("nand.partial_programs");
+  telemetry::Counter& fine_programs = reg.counter("nand.fine_programs");
+  telemetry::Counter& erases = reg.counter("nand.erases");
+  telemetry::Counter& reads = reg.counter("nand.reads");
+  telemetry::Counter& probes = reg.counter("nand.probes");
+  telemetry::Counter& stress_ops = reg.counter("nand.stress_ops");
+  /// Per-block PEC observed at each erase: the wear distribution.
+  telemetry::LatencyHistogram& pec_at_erase = reg.histogram("nand.pec_at_erase");
+};
+
+ChipTelemetry& chip_telemetry() {
+  static ChipTelemetry t;
+  return t;
+}
 
 /// Standard-normal deviate derived deterministically from a hash (used for
 /// never-stored manufacturing traits).  Sum of four uniforms, variance
@@ -177,6 +200,8 @@ Status FlashChip::erase_block(std::uint32_t block) {
   ledger_.time_us += costs_.erase_us;
   ledger_.energy_uj += costs_.erase_uj;
   ++ledger_.erases;
+  chip_telemetry().erases.inc();
+  chip_telemetry().pec_at_erase.record(blk.pec);
   return Status::ok();
 }
 
@@ -226,6 +251,7 @@ Status FlashChip::program_page(std::uint32_t block, std::uint32_t page,
   ledger_.time_us += costs_.program_us;
   ledger_.energy_uj += costs_.program_uj;
   ++ledger_.programs;
+  chip_telemetry().programs.inc();
   return Status::ok();
 }
 
@@ -265,6 +291,7 @@ std::vector<std::uint8_t> FlashChip::read_page_at(std::uint32_t block,
   ledger_.time_us += costs_.read_us;
   ledger_.energy_uj += costs_.read_uj;
   ++ledger_.reads;
+  chip_telemetry().reads.inc();
   return out;
 }
 
@@ -281,6 +308,8 @@ std::vector<int> FlashChip::probe_voltages(std::uint32_t block,
   ledger_.time_us += costs_.read_us;
   ledger_.energy_uj += costs_.read_uj;
   ++ledger_.reads;
+  chip_telemetry().reads.inc();
+  chip_telemetry().probes.inc();
   return out;
 }
 
@@ -313,6 +342,7 @@ Status FlashChip::partial_program(std::uint32_t block, std::uint32_t page,
   ledger_.time_us += costs_.partial_program_us;
   ledger_.energy_uj += costs_.partial_program_uj;
   ++ledger_.partial_programs;
+  chip_telemetry().partial_programs.inc();
   return Status::ok();
 }
 
@@ -342,6 +372,8 @@ Status FlashChip::fine_program(std::uint32_t block, std::uint32_t page,
   ledger_.time_us += costs_.partial_program_us;
   ledger_.energy_uj += costs_.partial_program_uj;
   ++ledger_.partial_programs;
+  chip_telemetry().partial_programs.inc();
+  chip_telemetry().fine_programs.inc();
   return Status::ok();
 }
 
@@ -362,6 +394,8 @@ Status FlashChip::stress_cells(std::uint32_t block, std::uint32_t page,
   ledger_.time_us += costs_.program_us * cycles;
   ledger_.energy_uj += costs_.program_uj * cycles;
   ledger_.programs += cycles;
+  chip_telemetry().programs.inc(cycles);
+  chip_telemetry().stress_ops.inc();
   return Status::ok();
 }
 
@@ -410,6 +444,7 @@ Status FlashChip::age_cycles(std::uint32_t block, std::uint32_t n,
     ledger_.time_us += costs_.erase_us * n;
     ledger_.energy_uj += costs_.erase_uj * n;
     ledger_.erases += n;
+    chip_telemetry().erases.inc(n);
   }
   // Equivalent end state of n random-data cycles: block left erased.
   blk.next_program_page = 0;

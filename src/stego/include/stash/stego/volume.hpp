@@ -72,7 +72,7 @@ class StegoVolume {
 
   [[nodiscard]] std::size_t hidden_chunk_capacity() const;
   [[nodiscard]] const StegoStats& stats() const noexcept { return stats_; }
-  [[nodiscard]] const ftl::FtlStats& ftl_stats() const noexcept {
+  [[nodiscard]] ftl::FtlStats ftl_stats() const noexcept {
     return ftl_.stats();
   }
   [[nodiscard]] const std::set<std::uint32_t>& hidden_blocks() const noexcept {

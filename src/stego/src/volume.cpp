@@ -2,9 +2,29 @@
 
 #include <algorithm>
 
+#include "stash/telemetry/metrics.hpp"
+
 namespace stash::stego {
 
 using util::ErrorCode;
+
+namespace {
+
+struct StegoTelemetry {
+  telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
+  telemetry::Counter& hides = reg.counter("stego.store_hidden");
+  telemetry::Counter& loads = reg.counter("stego.load_hidden");
+  telemetry::Counter& rescues = reg.counter("stego.rescues");
+  telemetry::Counter& reembeds = reg.counter("stego.reembeds");
+  telemetry::Counter& lost_chunks = reg.counter("stego.lost_chunks");
+};
+
+StegoTelemetry& stego_telemetry() {
+  static StegoTelemetry t;
+  return t;
+}
+
+}  // namespace
 
 StegoVolume::StegoVolume(nand::FlashChip& chip, const crypto::HidingKey& key,
                          ftl::FtlConfig ftl_config,
@@ -79,6 +99,7 @@ std::vector<std::uint32_t> StegoVolume::eligible_blocks() const {
 }
 
 Status StegoVolume::store_hidden(std::span<const std::uint8_t> data) {
+  stego_telemetry().hides.inc();
   const std::size_t per_chunk = hidden_chunk_capacity();
   if (per_chunk == 0) {
     return {ErrorCode::kNoSpace, "hidden chunk capacity is zero"};
@@ -113,6 +134,7 @@ Status StegoVolume::store_hidden(std::span<const std::uint8_t> data) {
 }
 
 Result<std::vector<std::uint8_t>> StegoVolume::load_hidden() {
+  stego_telemetry().loads.inc();
   // Key-only mount: reveal every candidate block; the MAC rejects blocks
   // without (our) hidden data.  When this instance already tracks hidden
   // blocks, restrict to those; otherwise scan everything fully programmed.
@@ -170,13 +192,16 @@ void StegoVolume::on_relocation(nand::PageAddr from) {
   auto revealed = codec_.reveal(from.block);
   if (!revealed.is_ok()) {
     ++stats_.lost_chunks;
+    stego_telemetry().lost_chunks.inc();
     return;
   }
   if (auto chunk = unpack_chunk(revealed.value())) {
     pending_.push_back(std::move(*chunk));
     ++stats_.rescues;
+    stego_telemetry().rescues.inc();
   } else {
     ++stats_.lost_chunks;
+    stego_telemetry().lost_chunks.inc();
   }
 }
 
@@ -191,6 +216,7 @@ Status StegoVolume::reembed_pending() {
       hidden_blocks_.insert(targets[used]);
       pending_.pop_back();
       ++stats_.reembeds;
+      stego_telemetry().reembeds.inc();
     }
     ++used;
   }

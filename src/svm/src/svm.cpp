@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "stash/telemetry/metrics.hpp"
 #include "stash/util/rng.hpp"
 
 namespace stash::svm {
@@ -72,6 +73,9 @@ void StandardScaler::transform_in_place(
 }
 
 SvmModel SvmModel::train(const Dataset& data, const SvmConfig& config) {
+  auto& reg = telemetry::MetricsRegistry::global();
+  reg.counter("svm.trainings").inc();
+  telemetry::ScopedTimer timer(reg.histogram("svm.train_ns"));
   const std::size_t n = data.size();
   if (n == 0) throw std::invalid_argument("SvmModel::train: empty dataset");
   for (int label : data.y) {

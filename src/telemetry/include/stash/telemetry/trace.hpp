@@ -1,0 +1,81 @@
+#pragma once
+// ONFI command tracer: a bounded ring buffer of bus-level command events.
+//
+// OnfiDevice records one event per command cycle — opcode, decoded row
+// address (when the command carries one), the busy time the operation cost
+// on the chip, and the status register after completion.  The ring keeps
+// the most recent `capacity` events in fixed memory, so a tracer can stay
+// attached for an arbitrarily long workload; dump_jsonl()/to_jsonl() export
+// the window as one JSON object per line for replay and debugging (e.g.
+// verifying that a partial-programming embed really issued the
+// PROGRAM -> RESET sequence §5 of the paper prescribes).
+//
+// The sink is runtime-opt-in: devices trace only while a sink is attached,
+// and the untraced hot path pays a single null-pointer test.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stash::telemetry {
+
+struct TraceEvent {
+  /// Monotonic index of the event since the sink was created/cleared.
+  std::uint64_t seq = 0;
+  /// ONFI opcode byte (e.g. 80h PROGRAM, 10h confirm, FFh RESET).
+  std::uint8_t opcode = 0;
+  /// Decoded row address, or kNoAddr when the command carries none.
+  std::uint32_t block = kNoAddr;
+  std::uint32_t page = kNoAddr;
+  /// Busy time the command cost on the chip (simulated microseconds).
+  double busy_us = 0.0;
+  /// Status register after the command completed.
+  std::uint8_t status = 0;
+
+  static constexpr std::uint32_t kNoAddr = 0xffffffffu;
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+class TraceSink {
+ public:
+  explicit TraceSink(std::size_t capacity = 4096);
+
+  void record(std::uint8_t opcode, std::uint32_t block, std::uint32_t page,
+              double busy_us, std::uint8_t status) noexcept;
+
+  /// Fold completion data into the most recent event — used when an
+  /// operation's busy time elapses after the command cycle that armed it
+  /// (PROGRAM confirm completes in wait_ready / RESET).
+  void amend_last(double busy_us, std::uint8_t status) noexcept;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+  /// Events currently held (<= capacity).
+  [[nodiscard]] std::size_t size() const noexcept;
+  /// Events ever recorded, including those the ring has dropped.
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept {
+    return next_seq_;
+  }
+
+  /// The retained window, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  void clear() noexcept;
+
+  /// One JSON object per event, oldest first, newline-terminated.
+  void dump_jsonl(std::ostream& os) const;
+  [[nodiscard]] std::string to_jsonl() const;
+
+  /// Parse a to_jsonl()/dump_jsonl() export back into events.  Lines that
+  /// do not parse are skipped.
+  [[nodiscard]] static std::vector<TraceEvent> parse_jsonl(
+      std::string_view text);
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace stash::telemetry

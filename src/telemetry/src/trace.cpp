@@ -1,0 +1,116 @@
+#include "stash/telemetry/trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace stash::telemetry {
+
+TraceSink::TraceSink(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+void TraceSink::record(std::uint8_t opcode, std::uint32_t block,
+                       std::uint32_t page, double busy_us,
+                       std::uint8_t status) noexcept {
+  TraceEvent& slot = ring_[next_seq_ % ring_.size()];
+  slot.seq = next_seq_++;
+  slot.opcode = opcode;
+  slot.block = block;
+  slot.page = page;
+  slot.busy_us = busy_us;
+  slot.status = status;
+}
+
+void TraceSink::amend_last(double busy_us, std::uint8_t status) noexcept {
+  if (next_seq_ == 0) return;
+  TraceEvent& slot = ring_[(next_seq_ - 1) % ring_.size()];
+  slot.busy_us += busy_us;
+  slot.status = status;
+}
+
+std::size_t TraceSink::size() const noexcept {
+  return next_seq_ < ring_.size() ? static_cast<std::size_t>(next_seq_)
+                                  : ring_.size();
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  std::vector<TraceEvent> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  const std::uint64_t first = next_seq_ - n;
+  for (std::uint64_t s = first; s < next_seq_; ++s) {
+    out.push_back(ring_[s % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceSink::clear() noexcept { next_seq_ = 0; }
+
+void TraceSink::dump_jsonl(std::ostream& os) const {
+  for (const TraceEvent& e : events()) {
+    char line[192];
+    // Addresses serialize as signed -1 when absent, which survives a
+    // round-trip back to kNoAddr.
+    const long long block =
+        e.block == TraceEvent::kNoAddr ? -1 : static_cast<long long>(e.block);
+    const long long page =
+        e.page == TraceEvent::kNoAddr ? -1 : static_cast<long long>(e.page);
+    std::snprintf(line, sizeof(line),
+                  "{\"seq\":%llu,\"op\":%u,\"block\":%lld,\"page\":%lld,"
+                  "\"busy_us\":%.3f,\"status\":%u}\n",
+                  static_cast<unsigned long long>(e.seq),
+                  static_cast<unsigned>(e.opcode), block, page, e.busy_us,
+                  static_cast<unsigned>(e.status));
+    os << line;
+  }
+}
+
+std::string TraceSink::to_jsonl() const {
+  std::ostringstream os;
+  dump_jsonl(os);
+  return os.str();
+}
+
+namespace {
+
+/// Extract the number following "\"key\":" in `line`; false when absent.
+bool field(std::string_view line, std::string_view key, double& out) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string_view::npos) return false;
+  out = std::strtod(std::string(line.substr(pos + needle.size())).c_str(),
+                    nullptr);
+  return true;
+}
+
+}  // namespace
+
+std::vector<TraceEvent> TraceSink::parse_jsonl(std::string_view text) {
+  std::vector<TraceEvent> out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    auto end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+
+    double seq = 0, op = 0, block = 0, page = 0, busy = 0, status = 0;
+    if (!field(line, "seq", seq) || !field(line, "op", op) ||
+        !field(line, "block", block) || !field(line, "page", page) ||
+        !field(line, "busy_us", busy) || !field(line, "status", status)) {
+      continue;
+    }
+    TraceEvent e;
+    e.seq = static_cast<std::uint64_t>(seq);
+    e.opcode = static_cast<std::uint8_t>(op);
+    e.block = block < 0 ? TraceEvent::kNoAddr
+                        : static_cast<std::uint32_t>(block);
+    e.page = page < 0 ? TraceEvent::kNoAddr : static_cast<std::uint32_t>(page);
+    e.busy_us = busy;
+    e.status = static_cast<std::uint8_t>(status);
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace stash::telemetry

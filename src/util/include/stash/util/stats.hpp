@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -28,8 +29,16 @@ class RunningStats {
     return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
   }
   [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
-  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
-  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  /// Smallest sample seen, or quiet NaN when no sample was added.  NaN (not
+  /// 0.0) so that an empty accumulator cannot be mistaken for one that saw
+  /// a legitimate zero; callers must check count() or std::isnan().
+  [[nodiscard]] double min() const noexcept {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  /// Largest sample seen, or quiet NaN when no sample was added (see min()).
+  [[nodiscard]] double max() const noexcept {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
 
   void merge(const RunningStats& other) noexcept {
     if (other.n_ == 0) return;

@@ -2,9 +2,31 @@
 
 #include <string>
 
+#include "stash/telemetry/metrics.hpp"
+
 namespace stash::vthi {
 
 using util::ErrorCode;
+
+namespace {
+
+struct ChannelTelemetry {
+  telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
+  telemetry::Counter& embed_sessions = reg.counter("vthi.embed_sessions");
+  telemetry::Counter& embed_steps = reg.counter("vthi.embed_steps");
+  telemetry::Counter& extracts = reg.counter("vthi.extracts");
+  telemetry::Counter& select_shortfalls = reg.counter("vthi.select_shortfalls");
+  telemetry::LatencyHistogram& embed_step_ns =
+      reg.histogram("vthi.embed_step_ns");
+  telemetry::LatencyHistogram& embed_ns = reg.histogram("vthi.embed_ns");
+};
+
+ChannelTelemetry& channel_telemetry() {
+  static ChannelTelemetry t;
+  return t;
+}
+
+}  // namespace
 
 VthiChannel::VthiChannel(nand::FlashChip& chip,
                          std::array<std::uint8_t, 32> selection_key,
@@ -50,6 +72,7 @@ Result<std::vector<std::uint32_t>> VthiChannel::select_cells(
   }
   auto chosen = select_from_voltages(block, page, count, volts);
   if (chosen.size() < count) {
+    channel_telemetry().select_shortfalls.inc();
     return Status{ErrorCode::kNoSpace, "not enough eligible cells in page"};
   }
   return chosen;
@@ -60,6 +83,7 @@ Result<EmbedSession> VthiChannel::begin(std::uint32_t block,
                                         std::span<const std::uint8_t> bits) {
   auto cells = select_cells(block, page, static_cast<std::uint32_t>(bits.size()));
   if (!cells.is_ok()) return cells.status();
+  channel_telemetry().embed_sessions.inc();
   EmbedSession session;
   session.block = block;
   session.page = page;
@@ -69,6 +93,9 @@ Result<EmbedSession> VthiChannel::begin(std::uint32_t block,
 }
 
 Result<int> VthiChannel::step(EmbedSession& session) {
+  auto& tel = channel_telemetry();
+  tel.embed_steps.inc();
+  telemetry::ScopedTimer timer(tel.embed_step_ns);
   // One Algorithm-1 round, one read + (at most) one program: probe the
   // page, then partially program every hidden-'0' cell still below vth.
   // Returns the number of cells that were below vth at probe time; 0 means
@@ -106,6 +133,7 @@ Result<int> VthiChannel::step(EmbedSession& session) {
 Result<EmbedSession> VthiChannel::embed(std::uint32_t block,
                                         std::uint32_t page,
                                         std::span<const std::uint8_t> bits) {
+  telemetry::ScopedTimer timer(channel_telemetry().embed_ns);
   auto begun = begin(block, page, bits);
   if (!begun.is_ok()) return begun.status();
   EmbedSession session = std::move(begun).take();
@@ -119,6 +147,7 @@ Result<EmbedSession> VthiChannel::embed(std::uint32_t block,
 Result<std::vector<std::uint8_t>> VthiChannel::extract(std::uint32_t block,
                                                        std::uint32_t page,
                                                        std::uint32_t count) {
+  channel_telemetry().extracts.inc();
   // Single probe: yields the eligible-cell list and every hidden bit.
   const auto volts = chip_->probe_voltages(block, page);
   if (volts.empty()) {

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "stash/crypto/chacha20.hpp"
+#include "stash/telemetry/metrics.hpp"
 #include "stash/util/bitvec.hpp"
 
 namespace stash::vthi {
@@ -143,8 +144,27 @@ std::vector<std::uint8_t> VthiCodec::frame_payload(
   return frame;
 }
 
+namespace {
+
+struct CodecTelemetry {
+  telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
+  telemetry::Counter& hides = reg.counter("vthi.hides");
+  telemetry::Counter& reveals = reg.counter("vthi.reveals");
+  telemetry::LatencyHistogram& hide_ns = reg.histogram("vthi.hide_ns");
+  telemetry::LatencyHistogram& reveal_ns = reg.histogram("vthi.reveal_ns");
+};
+
+CodecTelemetry& codec_telemetry() {
+  static CodecTelemetry t;
+  return t;
+}
+
+}  // namespace
+
 Result<HideReport> VthiCodec::hide(std::uint32_t block,
                                    std::span<const std::uint8_t> payload) {
+  codec_telemetry().hides.inc();
+  telemetry::ScopedTimer timer(codec_telemetry().hide_ns);
   const Layout lay = layout();
   const std::size_t capacity = capacity_bytes();
   if (capacity == 0) {
@@ -224,6 +244,8 @@ Result<HideReport> VthiCodec::hide(std::uint32_t block,
 
 Result<std::vector<std::uint8_t>> VthiCodec::reveal(std::uint32_t block,
                                                     int* corrected_bits) {
+  codec_telemetry().reveals.inc();
+  telemetry::ScopedTimer timer(codec_telemetry().reveal_ns);
   if (corrected_bits) *corrected_bits = 0;
   const Layout lay = layout();
   const auto pages = hidden_pages();

@@ -1,0 +1,262 @@
+// Tests for stash::telemetry: the metrics registry (counters, gauges,
+// log-bucketed histograms, snapshots/JSON export) and the ONFI command
+// tracer (ring wraparound, the PROGRAM -> RESET partial-programming
+// sequence of §5, JSONL round-trip).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <thread>
+
+#include "stash/nand/onfi.hpp"
+#include "stash/telemetry/metrics.hpp"
+#include "stash/telemetry/trace.hpp"
+
+namespace stash::telemetry {
+namespace {
+
+// Most assertions only hold when instrumentation is compiled in; the
+// disabled build still compiles and runs everything (mutators are no-ops).
+#ifndef STASH_TELEMETRY_DISABLED
+constexpr bool kEnabled = true;
+#else
+constexpr bool kEnabled = false;
+#endif
+
+TEST(Counter, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), kEnabled ? 42u : 0u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddReset) {
+  Gauge g;
+  g.set(2.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), kEnabled ? 4.0 : 0.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(LatencyHistogram, LogBucketing) {
+  if (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  LatencyHistogram h;
+  h.record(0);    // bucket 0
+  h.record(1);    // bucket 1: [1, 2)
+  h.record(2);    // bucket 2: [2, 4)
+  h.record(3);    // bucket 2
+  h.record(4);    // bucket 3: [4, 8)
+  h.record(1024);  // bucket 11
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 1034u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.bucket_count(11), 1u);
+  // p50 lands in bucket 2 -> geometric midpoint of [2, 4).
+  EXPECT_GE(h.quantile(0.5), 2u);
+  EXPECT_LT(h.quantile(0.5), 4u);
+  // p99 is the largest sample's bucket.
+  EXPECT_GE(h.quantile(0.99), 1024u);
+  EXPECT_LT(h.quantile(0.99), 2048u);
+}
+
+TEST(LatencyHistogram, HugeSamplesClampToLastBucket) {
+  if (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  LatencyHistogram h;
+  h.record(~0ull);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.bucket_count(LatencyHistogram::kBuckets - 1), 1u);
+}
+
+TEST(ScopedTimer, RecordsElapsedTime) {
+  if (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  LatencyHistogram h;
+  {
+    ScopedTimer t(h);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 1'000'000u);  // at least 1 ms in ns
+}
+
+TEST(MetricsRegistry, HandsOutStableReferences) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  // A burst of other registrations must not invalidate `a`.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("c" + std::to_string(i));
+  }
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), kEnabled ? 1u : 0u);
+}
+
+TEST(MetricsRegistry, SnapshotAndJson) {
+  if (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  MetricsRegistry reg;
+  reg.counter("ops").inc(7);
+  reg.gauge("level").set(0.5);
+  reg.histogram("lat").record(100);
+
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("ops"), 7u);
+  EXPECT_EQ(snap.counter("missing"), 0u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 0.5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_EQ(snap.histograms[0].sum, 100u);
+
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"ops\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"level\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsReferences) {
+  if (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  MetricsRegistry reg;
+  Counter& c = reg.counter("n");
+  c.inc(5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  EXPECT_EQ(reg.snapshot().counter("n"), 1u);
+}
+
+// ---- ONFI command tracer ---------------------------------------------------
+
+nand::Geometry trace_geometry() {
+  nand::Geometry geom = nand::Geometry::tiny();
+  geom.cells_per_page = 2048;  // divisible by 8: 256 bus bytes per page
+  return geom;
+}
+
+TEST(TraceSink, RingWraparoundKeepsNewest) {
+  TraceSink sink(4);
+  for (std::uint8_t i = 0; i < 6; ++i) {
+    sink.record(i, i, i, 1.0, 0);
+  }
+  EXPECT_EQ(sink.capacity(), 4u);
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.total_recorded(), 6u);
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest first: sequences 2..5 survive, 0 and 1 were dropped.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].seq, i + 2);
+    EXPECT_EQ(events[i].opcode, static_cast<std::uint8_t>(i + 2));
+  }
+}
+
+TEST(TraceSink, AmendLastFoldsCompletionIntoNewestEvent) {
+  TraceSink sink(8);
+  sink.record(0x10, 1, 2, 0.0, 0x00);
+  sink.amend_last(200.0, 0x40);
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_DOUBLE_EQ(events[0].busy_us, 200.0);
+  EXPECT_EQ(events[0].status, 0x40);
+}
+
+TEST(TraceSink, PartialProgramEmitsProgramThenReset) {
+  // §5: hiding with partial programming uses only PROGRAM (80h..10h)
+  // aborted by RESET (FFh).  The trace must show exactly that order, with
+  // the armed row address on the confirm and the RESET.
+  nand::FlashChip chip(trace_geometry(), nand::NoiseModel::vendor_a(), 7);
+  nand::OnfiDevice dev(chip);
+  TraceSink sink;
+  dev.set_trace_sink(&sink);
+
+  const std::vector<std::uint8_t> bytes(dev.page_bytes(), 0x00);
+  ASSERT_TRUE(dev.partial_program_page(2, 3, bytes, 0.5));
+  dev.set_trace_sink(nullptr);
+
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].opcode, nand::onfi::kProgram);         // 80h
+  EXPECT_EQ(events[0].block, TraceEvent::kNoAddr);
+  EXPECT_EQ(events[1].opcode, nand::onfi::kProgramConfirm);  // 10h
+  EXPECT_EQ(events[1].block, 2u);
+  EXPECT_EQ(events[1].page, 3u);
+  EXPECT_EQ(events[2].opcode, nand::onfi::kReset);           // FFh
+  EXPECT_EQ(events[2].block, 2u);
+  EXPECT_EQ(events[2].page, 3u);
+  // The abort happened mid-tPROG: the partial program costs chip time.
+  EXPECT_GT(events[2].busy_us, 0.0);
+}
+
+TEST(TraceSink, FullProgramTraceCarriesBusyTimeAndStatus) {
+  nand::FlashChip chip(trace_geometry(), nand::NoiseModel::vendor_a(), 8);
+  nand::OnfiDevice dev(chip);
+  TraceSink sink;
+  dev.set_trace_sink(&sink);
+
+  const std::vector<std::uint8_t> bytes(dev.page_bytes(), 0xA5);
+  ASSERT_TRUE(dev.program_page(0, 0, bytes));
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 2u);
+  // wait_ready() amends the confirm event with tPROG and the final status.
+  EXPECT_EQ(events[1].opcode, nand::onfi::kProgramConfirm);
+  EXPECT_GT(events[1].busy_us, 0.0);
+  EXPECT_TRUE(events[1].status & nand::onfi::kStatusReady);
+  EXPECT_FALSE(events[1].status & nand::onfi::kStatusFail);
+}
+
+TEST(TraceSink, JsonlRoundTrip) {
+  TraceSink sink(8);
+  sink.record(0x80, TraceEvent::kNoAddr, TraceEvent::kNoAddr, 0.0, 0xC0);
+  sink.record(0x10, 5, 17, 200.0, 0xC0);
+  sink.record(0xFF, 5, 17, 100.125, 0x40);
+
+  const std::string text = sink.to_jsonl();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+
+  const auto parsed = TraceSink::parse_jsonl(text);
+  const auto original = sink.events();
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i], original[i]) << "event " << i;
+  }
+}
+
+TEST(TraceSink, ParseSkipsGarbageLines) {
+  const auto parsed = TraceSink::parse_jsonl(
+      "not json\n"
+      "{\"seq\":3,\"op\":16,\"block\":1,\"page\":2,\"busy_us\":4.5,"
+      "\"status\":64}\n"
+      "{\"seq\":broken\n");
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].seq, 3u);
+  EXPECT_EQ(parsed[0].opcode, 0x10);
+  EXPECT_EQ(parsed[0].block, 1u);
+  EXPECT_EQ(parsed[0].page, 2u);
+  EXPECT_DOUBLE_EQ(parsed[0].busy_us, 4.5);
+  EXPECT_EQ(parsed[0].status, 0x40);
+}
+
+TEST(TraceSink, DumpJsonlStreamsOldestFirst) {
+  TraceSink sink(2);
+  sink.record(0x60, 1, 0, 0.0, 0xC0);
+  sink.record(0xD0, 1, 0, 500.0, 0xC0);
+  sink.record(0x70, TraceEvent::kNoAddr, TraceEvent::kNoAddr, 0.0, 0xC0);
+  std::ostringstream os;
+  sink.dump_jsonl(os);
+  const auto parsed = TraceSink::parse_jsonl(os.str());
+  ASSERT_EQ(parsed.size(), 2u);  // capacity 2: the erase-confirm + status
+  EXPECT_EQ(parsed[0].opcode, 0xD0);
+  EXPECT_EQ(parsed[1].opcode, 0x70);
+}
+
+}  // namespace
+}  // namespace stash::telemetry

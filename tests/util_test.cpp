@@ -104,6 +104,45 @@ TEST(RunningStats, MergeEqualsCombinedStream) {
   EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
 }
 
+TEST(RunningStats, EmptyMinMaxAreNaN) {
+  RunningStats stats;
+  EXPECT_TRUE(std::isnan(stats.min()));
+  EXPECT_TRUE(std::isnan(stats.max()));
+  stats.add(-3.0);
+  EXPECT_DOUBLE_EQ(stats.min(), -3.0);
+  EXPECT_DOUBLE_EQ(stats.max(), -3.0);
+}
+
+TEST(RunningStats, MergeEmptyLeft) {
+  RunningStats empty, filled;
+  filled.add(1.0);
+  filled.add(5.0);
+  empty.merge(filled);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 5.0);
+}
+
+TEST(RunningStats, MergeEmptyRight) {
+  RunningStats filled, empty;
+  filled.add(1.0);
+  filled.add(5.0);
+  filled.merge(empty);
+  EXPECT_EQ(filled.count(), 2u);
+  EXPECT_DOUBLE_EQ(filled.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(filled.min(), 1.0);
+  EXPECT_DOUBLE_EQ(filled.max(), 5.0);
+}
+
+TEST(RunningStats, MergeBothEmptyStaysEmpty) {
+  RunningStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_TRUE(std::isnan(a.min()));
+  EXPECT_TRUE(std::isnan(a.max()));
+}
+
 TEST(Stats, QuantileInterpolates) {
   const std::vector<double> xs = {10, 20, 30, 40};
   EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10);
