@@ -28,6 +28,13 @@ struct FtlConfig {
   std::uint32_t gc_low_watermark = 2;
   /// Static wear leveling kicks in when (max PEC - min PEC) exceeds this.
   std::uint32_t wear_delta_threshold = 100;
+  /// Program failures charged to one block before it is retired as
+  /// grown-bad.  Failures persist across erases (they indicate physical
+  /// damage, not stale data).  An erase failure retires immediately.
+  std::uint32_t bad_block_program_fail_threshold = 2;
+  /// Placement attempts for one page write before the FTL gives up.  Each
+  /// failed attempt burns the failed page and moves to another block.
+  std::uint32_t max_program_retries = 8;
 };
 
 /// Point-in-time FTL statistics.  Assembled on demand from the telemetry
@@ -39,6 +46,8 @@ struct FtlStats {
   std::uint64_t gc_runs = 0;
   std::uint64_t relocations = 0;   // valid pages moved by GC/WL
   std::uint64_t wear_swaps = 0;
+  std::uint64_t program_fail_rewrites = 0;  // pages rewritten after kProgramFail
+  std::uint64_t grown_bad_blocks = 0;       // blocks retired in the field
 
   [[nodiscard]] double write_amplification() const noexcept {
     return host_writes ? static_cast<double>(nand_writes) /
@@ -94,10 +103,16 @@ class PageMappedFtl {
     s.gc_runs = counters_.gc_runs.value();
     s.relocations = counters_.relocations.value();
     s.wear_swaps = counters_.wear_swaps.value();
+    s.program_fail_rewrites = counters_.program_fail_rewrites.value();
+    s.grown_bad_blocks = counters_.grown_bad_blocks.value();
     return s;
   }
   [[nodiscard]] std::uint32_t free_blocks() const noexcept {
     return static_cast<std::uint32_t>(free_.size());
+  }
+  /// True when `block` has been retired as grown-bad.
+  [[nodiscard]] bool is_retired(std::uint32_t block) const noexcept {
+    return block < bad_.size() && bad_[block];
   }
 
   /// Force a garbage-collection pass (also runs automatically on demand).
@@ -113,6 +128,17 @@ class PageMappedFtl {
   }
 
   Result<nand::PageAddr> allocate_page();
+  /// Place one page, rewriting elsewhere on kProgramFail and charging each
+  /// failure to the block it happened on (the recovery path the paper's
+  /// hostile-substrate premise demands).
+  Result<nand::PageAddr> program_with_recovery(
+      std::span<const std::uint8_t> bits);
+  void note_program_failure(std::uint32_t block);
+  /// Mark a block grown-bad, pull it out of circulation, and move any valid
+  /// data still on it (the block stays readable — only program/erase fail).
+  Status retire_block(std::uint32_t block);
+  /// Relocate every valid page off `block` without erasing it.
+  Status drain_block(std::uint32_t block);
   Status relocate_block(std::uint32_t victim);
   Status maybe_wear_level();
   [[nodiscard]] std::uint32_t pick_gc_victim() const;
@@ -125,6 +151,8 @@ class PageMappedFtl {
   std::vector<std::uint64_t> p2l_;        // phys index -> lpn (or kUnmapped)
   std::vector<std::uint32_t> valid_count_;  // per block
   std::vector<std::uint32_t> free_;         // free block list
+  std::vector<bool> bad_;                   // grown-bad (retired) blocks
+  std::vector<std::uint32_t> block_program_fails_;  // persists across erases
   std::optional<std::uint32_t> active_block_;
   std::uint32_t active_next_page_ = 0;
   bool gc_active_ = false;  // prevents re-entrant collection
@@ -140,6 +168,8 @@ class PageMappedFtl {
     telemetry::Counter gc_runs;
     telemetry::Counter relocations;
     telemetry::Counter wear_swaps;
+    telemetry::Counter program_fail_rewrites;
+    telemetry::Counter grown_bad_blocks;
   };
   Counters counters_;
 };

@@ -19,6 +19,9 @@ struct FtlTelemetry {
   telemetry::Counter& gc_runs = reg.counter("ftl.gc_runs");
   telemetry::Counter& relocations = reg.counter("ftl.relocations");
   telemetry::Counter& wear_swaps = reg.counter("ftl.wear_swaps");
+  telemetry::Counter& program_fail_rewrites =
+      reg.counter("ftl.program_fail_rewrites");
+  telemetry::Counter& grown_bad_blocks = reg.counter("ftl.grown_bad_blocks");
   telemetry::Gauge& write_amp = reg.gauge("ftl.write_amplification");
 };
 
@@ -43,6 +46,8 @@ PageMappedFtl::PageMappedFtl(nand::FlashChip& chip, FtlConfig config)
   p2l_.assign(static_cast<std::size_t>(geom.blocks) * geom.pages_per_block,
               kUnmapped);
   valid_count_.assign(geom.blocks, 0);
+  bad_.assign(geom.blocks, false);
+  block_program_fails_.assign(geom.blocks, 0);
   free_.resize(geom.blocks);
   for (std::uint32_t b = 0; b < geom.blocks; ++b) {
     free_[b] = geom.blocks - 1 - b;  // pop_back() hands out block 0 first
@@ -75,6 +80,78 @@ Result<PageAddr> PageMappedFtl::allocate_page() {
   return PageAddr{*active_block_, active_next_page_++};
 }
 
+Result<PageAddr> PageMappedFtl::program_with_recovery(
+    std::span<const std::uint8_t> bits) {
+  for (std::uint32_t attempt = 0; attempt <= config_.max_program_retries;
+       ++attempt) {
+    auto addr = allocate_page();
+    if (!addr.is_ok()) return addr.status();
+    const PageAddr dst = addr.value();
+    const Status programmed = chip_->program_page(dst.block, dst.page, bits);
+    if (programmed.is_ok()) return dst;
+    if (programmed.code() != ErrorCode::kProgramFail) return programmed;
+    // The failed attempt consumed dst: the page may hold partial charge and
+    // only an erase reclaims it.  Charge the failure to its block and place
+    // the data elsewhere.
+    counters_.program_fail_rewrites.inc();
+    ftl_telemetry().program_fail_rewrites.inc();
+    note_program_failure(dst.block);
+  }
+  return Status{ErrorCode::kProgramFail, "page placement exhausted retries"};
+}
+
+void PageMappedFtl::note_program_failure(std::uint32_t block) {
+  ++block_program_fails_[block];
+  if (!bad_[block] &&
+      block_program_fails_[block] >= config_.bad_block_program_fail_threshold) {
+    // Best-effort: retirement drains the block, and a drain failure leaves
+    // the mappings intact for a later GC pass to retry.
+    (void)retire_block(block);
+  }
+}
+
+Status PageMappedFtl::retire_block(std::uint32_t block) {
+  if (bad_[block]) return Status::ok();
+  bad_[block] = true;
+  counters_.grown_bad_blocks.inc();
+  ftl_telemetry().grown_bad_blocks.inc();
+  free_.erase(std::remove(free_.begin(), free_.end(), block), free_.end());
+  if (active_block_ && *active_block_ == block) {
+    active_block_.reset();
+    active_next_page_ = 0;
+  }
+  // A grown-bad block rejects programs and erases but its cells still read;
+  // move whatever is valid while that holds.
+  return drain_block(block);
+}
+
+Status PageMappedFtl::drain_block(std::uint32_t block) {
+  const auto& geom = chip_->geometry();
+  for (std::uint32_t p = 0; p < geom.pages_per_block; ++p) {
+    const std::uint64_t phys =
+        static_cast<std::uint64_t>(block) * geom.pages_per_block + p;
+    const std::uint64_t lpn = p2l_[phys];
+    if (lpn == kUnmapped) continue;
+
+    const auto data = chip_->read_page(block, p);
+    auto dst = program_with_recovery(data);
+    if (!dst.is_ok()) return dst.status();
+    const PageAddr to = dst.value();
+    if (hook_) hook_(PageAddr{block, p}, to, data);
+
+    p2l_[phys] = kUnmapped;
+    --valid_count_[block];
+    l2p_[lpn] = phys_index(to);
+    p2l_[phys_index(to)] = lpn;
+    ++valid_count_[to.block];
+    counters_.nand_writes.inc();
+    counters_.relocations.inc();
+    ftl_telemetry().nand_writes.inc();
+    ftl_telemetry().relocations.inc();
+  }
+  return Status::ok();
+}
+
 Status PageMappedFtl::write(std::uint64_t lpn,
                             std::span<const std::uint8_t> bits) {
   if (lpn >= logical_pages_) {
@@ -84,11 +161,9 @@ Status PageMappedFtl::write(std::uint64_t lpn,
     return {ErrorCode::kInvalidArgument, "write size != page size"};
   }
 
-  auto addr = allocate_page();
-  if (!addr.is_ok()) return addr.status();
-  const PageAddr dst = addr.value();
-
-  STASH_RETURN_IF_ERROR(chip_->program_page(dst.block, dst.page, bits));
+  auto placed = program_with_recovery(bits);
+  if (!placed.is_ok()) return placed.status();
+  const PageAddr dst = placed.value();
 
   // Invalidate the old copy after the new one is durable.
   if (l2p_[lpn] != kUnmapped) {
@@ -157,7 +232,7 @@ std::uint32_t PageMappedFtl::pick_gc_victim() const {
   std::vector<bool> is_free(geom.blocks, false);
   for (std::uint32_t b : free_) is_free[b] = true;
   for (std::uint32_t b = 0; b < geom.blocks; ++b) {
-    if (is_free[b]) continue;
+    if (is_free[b] || bad_[b]) continue;
     if (active_block_ && *active_block_ == b) continue;
     // Only consider blocks that have been written to.
     bool touched = false;
@@ -178,32 +253,17 @@ std::uint32_t PageMappedFtl::pick_gc_victim() const {
 }
 
 Status PageMappedFtl::relocate_block(std::uint32_t victim) {
-  const auto& geom = chip_->geometry();
   if (pre_erase_hook_) pre_erase_hook_(victim);
-  for (std::uint32_t p = 0; p < geom.pages_per_block; ++p) {
-    const std::uint64_t phys =
-        static_cast<std::uint64_t>(victim) * geom.pages_per_block + p;
-    const std::uint64_t lpn = p2l_[phys];
-    if (lpn == kUnmapped) continue;
-
-    const auto data = chip_->read_page(victim, p);
-    auto dst = allocate_page();
-    if (!dst.is_ok()) return dst.status();
-    const PageAddr to = dst.value();
-    STASH_RETURN_IF_ERROR(chip_->program_page(to.block, to.page, data));
-    if (hook_) hook_(PageAddr{victim, p}, to, data);
-
-    p2l_[phys] = kUnmapped;
-    --valid_count_[victim];
-    l2p_[lpn] = phys_index(to);
-    p2l_[phys_index(to)] = lpn;
-    ++valid_count_[to.block];
-    counters_.nand_writes.inc();
-    counters_.relocations.inc();
-    ftl_telemetry().nand_writes.inc();
-    ftl_telemetry().relocations.inc();
+  STASH_RETURN_IF_ERROR(drain_block(victim));
+  if (const Status erased = chip_->erase_block(victim); !erased.is_ok()) {
+    if (erased.code() == ErrorCode::kEraseFail ||
+        erased.code() == ErrorCode::kWornOut) {
+      // The block cannot be reclaimed; pull it out of circulation instead
+      // of failing the collection pass (it is already drained).
+      return retire_block(victim);
+    }
+    return erased;
   }
-  STASH_RETURN_IF_ERROR(chip_->erase_block(victim));
   free_.insert(free_.begin(), victim);  // FIFO-ish reuse spreads wear
   return Status::ok();
 }
@@ -231,6 +291,7 @@ Status PageMappedFtl::maybe_wear_level() {
   std::uint32_t max_pec = 0;
   std::uint32_t coldest = geom.blocks;
   for (std::uint32_t b = 0; b < geom.blocks; ++b) {
+    if (bad_[b]) continue;
     const std::uint32_t pec = chip_->pec(b);
     if (pec < min_pec && valid_count_[b] > 0) {
       min_pec = pec;

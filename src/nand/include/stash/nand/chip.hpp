@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "stash/nand/fault_injector.hpp"
 #include "stash/nand/geometry.hpp"
 #include "stash/nand/noise.hpp"
 #include "stash/util/histogram.hpp"
@@ -48,6 +49,12 @@ class FlashChip {
   [[nodiscard]] const Geometry& geometry() const noexcept { return geom_; }
   [[nodiscard]] const NoiseModel& noise() const noexcept { return noise_; }
   [[nodiscard]] std::uint64_t serial() const noexcept { return seed_; }
+
+  /// Attach (or detach, with nullptr) a fault injector.  Not owned; must
+  /// outlive the chip or be detached first.  Every subsequent operation
+  /// consults it before executing.
+  void set_fault_injector(FaultInjector* injector) noexcept { fault_ = injector; }
+  [[nodiscard]] FaultInjector* fault_injector() const noexcept { return fault_; }
 
   // ---- Standard flash operations ----------------------------------------
 
@@ -199,6 +206,7 @@ class FlashChip {
   util::Xoshiro256 rng_;
   std::vector<std::unique_ptr<Block>> blocks_;
   CostLedger ledger_;
+  FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace stash::nand

@@ -24,6 +24,7 @@
 #include <array>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "stash/nand/chip.hpp"
@@ -78,6 +79,13 @@ class OnfiDevice {
   [[nodiscard]] std::uint8_t status() const noexcept { return status_; }
   [[nodiscard]] std::array<std::uint8_t, 5> id() const noexcept;
 
+  /// Human-readable diagnostic for the most recent protocol failure (bad
+  /// opcode, address/data cycle outside its phase).  Empty when the last
+  /// command sequence was well-formed; cleared when a new sequence starts.
+  [[nodiscard]] const std::string& last_error() const noexcept {
+    return last_error_;
+  }
+
   /// Attach a command tracer: every subsequent cmd() cycle records opcode,
   /// decoded row address, busy time and status into the sink's ring buffer.
   /// Pass nullptr to detach.  While detached, the only cost is one pointer
@@ -128,6 +136,9 @@ class OnfiDevice {
   [[nodiscard]] bool decode_row(RowAddress& out) const;
   void set_ready(bool ready) noexcept;
   void set_fail(bool fail) noexcept;
+  /// set_fail(true) plus a diagnostic message and the onfi.bad_command
+  /// counter — for protocol errors as opposed to chip-reported failures.
+  void fail_command(std::string message) noexcept;
   void unpack_bits();
   void cmd_impl(std::uint8_t opcode);
   void trace_cmd(std::uint8_t opcode, double busy_us) const;
@@ -144,6 +155,7 @@ class OnfiDevice {
   RowAddress armed_row_;
   double read_vref_;
   std::uint8_t feature_addr_ = 0;
+  std::string last_error_;
 };
 
 }  // namespace stash::nand

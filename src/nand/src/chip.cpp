@@ -190,9 +190,19 @@ Status FlashChip::erase_block(std::uint32_t block) {
   if (blk.pec >= geom_.pec_limit * 2) {
     return {ErrorCode::kWornOut, "block exceeded twice its rated lifetime"};
   }
+  FaultDecision fd;
+  if (fault_) fd = fault_->on_operation(FaultOp::kErase, block, 0);
+  // Even an interrupted erase pulse wears the block.
   ++blk.pec;
   blk.next_program_page = 0;
+  // An interrupted erase leaves a prefix of wordlines cleanly erased and the
+  // rest untouched (still reading as programmed) — the block is unusable
+  // until a successful erase.
+  const double frac = fd.interrupts() ? std::clamp(fd.completed_fraction, 0.0, 1.0) : 1.0;
+  const auto erased_pages = static_cast<std::uint32_t>(
+      frac * static_cast<double>(geom_.pages_per_block));
   for (std::uint32_t p = 0; p < geom_.pages_per_block; ++p) {
+    if (fd.interrupts() && p >= erased_pages) continue;
     blk.state[p] = PageState::kErased;
     blk.age_hours[p] = 0.0f;
     redraw_page_erased(blk, block, p);
@@ -202,6 +212,8 @@ Status FlashChip::erase_block(std::uint32_t block) {
   ++ledger_.erases;
   chip_telemetry().erases.inc();
   chip_telemetry().pec_at_erase.record(blk.pec);
+  if (fd.power_cut) return {ErrorCode::kPowerLoss, "power lost during erase"};
+  if (fd.fail) return {ErrorCode::kEraseFail, "erase reported status failure"};
   return Status::ok();
 }
 
@@ -218,6 +230,17 @@ Status FlashChip::program_page(std::uint32_t block, std::uint32_t page,
   if (geom_.enforce_sequential_program && page != blk.next_program_page) {
     return {ErrorCode::kProgramFail, "pages must be programmed in order"};
   }
+  FaultDecision fd;
+  if (fault_) fd = fault_->on_operation(FaultOp::kProgram, block, page);
+  // A failed program typically aborts mid-ISPP, leaving cells part-way to
+  // target; a power cut applies exactly the scheduled fraction (0 = the
+  // pulse never started).
+  const double frac =
+      !fd.interrupts() ? 1.0
+      : fd.power_cut   ? std::clamp(fd.completed_fraction, 0.0, 1.0)
+      : fd.completed_fraction > 0.0
+          ? std::clamp(fd.completed_fraction, 0.0, 1.0)
+          : 0.5;
 
   const double wear_k = static_cast<double>(blk.pec) / 1000.0;
   const double mu = noise_.prog_mu + chip_mu_offset() + block_mu_offset(block) +
@@ -238,20 +261,27 @@ Status FlashChip::program_page(std::uint32_t block, std::uint32_t page,
     } else {
       target = rng_.normal(mu, sigma);
     }
-    // ISPP never lowers a cell's voltage.
-    row[c] = static_cast<float>(
-        std::clamp(std::max(static_cast<double>(row[c]), target), 0.0, kVmax));
+    // ISPP never lowers a cell's voltage; an interrupted program only moves
+    // the cell `frac` of the way toward its target.
+    const double full =
+        std::clamp(std::max(static_cast<double>(row[c]), target), 0.0, kVmax);
+    row[c] = static_cast<float>(row[c] + (full - row[c]) * frac);
   }
+  // The page is consumed even when the program was interrupted: the device
+  // cannot tell how much charge landed, so it may not be reprogrammed
+  // without an erase.
   blk.state[page] = PageState::kProgrammed;
   blk.age_hours[page] = 0.0f;
   blk.next_program_page = std::max(blk.next_program_page, page + 1);
 
-  disturb_neighbors(blk, block, page, 1.0);
+  disturb_neighbors(blk, block, page, frac);
 
   ledger_.time_us += costs_.program_us;
   ledger_.energy_uj += costs_.program_uj;
   ++ledger_.programs;
   chip_telemetry().programs.inc();
+  if (fd.power_cut) return {ErrorCode::kPowerLoss, "power lost during program"};
+  if (fd.fail) return {ErrorCode::kProgramFail, "program reported status failure"};
   return Status::ok();
 }
 
@@ -264,6 +294,10 @@ std::vector<std::uint8_t> FlashChip::read_page_at(std::uint32_t block,
                                                   std::uint32_t page,
                                                   double vref) {
   if (!check_addr(block, page).is_ok()) return {};
+  if (fault_ &&
+      fault_->on_operation(FaultOp::kRead, block, page).interrupts()) {
+    return {};
+  }
   Block& blk = touch(block);
   const float* row =
       blk.v.data() + static_cast<std::size_t>(page) * geom_.cells_per_page;
@@ -292,12 +326,17 @@ std::vector<std::uint8_t> FlashChip::read_page_at(std::uint32_t block,
   ledger_.energy_uj += costs_.read_uj;
   ++ledger_.reads;
   chip_telemetry().reads.inc();
+  if (fault_) fault_->corrupt_read(block, page, {out.data(), out.size()}, vref);
   return out;
 }
 
 std::vector<int> FlashChip::probe_voltages(std::uint32_t block,
                                            std::uint32_t page) {
   if (!check_addr(block, page).is_ok()) return {};
+  if (fault_ &&
+      fault_->on_operation(FaultOp::kRead, block, page).interrupts()) {
+    return {};
+  }
   Block& blk = touch(block);
   const float* row =
       blk.v.data() + static_cast<std::size_t>(page) * geom_.cells_per_page;
@@ -310,6 +349,7 @@ std::vector<int> FlashChip::probe_voltages(std::uint32_t block,
   ++ledger_.reads;
   chip_telemetry().reads.inc();
   chip_telemetry().probes.inc();
+  if (fault_) fault_->corrupt_probe(block, page, {out.data(), out.size()});
   return out;
 }
 
@@ -322,6 +362,10 @@ Status FlashChip::partial_program(std::uint32_t block, std::uint32_t page,
   if (step_scale <= 0.0) {
     return {ErrorCode::kInvalidArgument, "step_scale must be positive"};
   }
+  FaultDecision fd;
+  if (fault_) fd = fault_->on_operation(FaultOp::kPartialProgram, block, page);
+  const double frac =
+      fd.interrupts() ? std::clamp(fd.completed_fraction, 0.0, 1.0) : 1.0;
   Block& blk = touch(block);
   float* row =
       blk.v.data() + static_cast<std::size_t>(page) * geom_.cells_per_page;
@@ -330,19 +374,27 @@ Status FlashChip::partial_program(std::uint32_t block, std::uint32_t page,
       return {ErrorCode::kOutOfBounds, "cell index outside page"};
     }
     const double speed = effective_speed(block, page, c);
-    const double inc = std::max(
-        0.0, rng_.normal(noise_.pp_step_mu * speed * step_scale,
-                         noise_.pp_step_sigma * step_scale));
+    // A truncated step deposits only `frac` of its charge (the increment is
+    // drawn either way so the noise stream stays aligned with the plan).
+    const double inc =
+        frac * std::max(0.0, rng_.normal(noise_.pp_step_mu * speed * step_scale,
+                                         noise_.pp_step_sigma * step_scale));
     row[c] = static_cast<float>(std::clamp(row[c] + inc, 0.0, kVmax));
   }
   // An aborted program still stresses neighbouring wordlines, just far
   // less than a full program pass (the charge pump aborts early).
-  disturb_neighbors(blk, block, page, 0.02);
+  disturb_neighbors(blk, block, page, 0.02 * frac);
 
   ledger_.time_us += costs_.partial_program_us;
   ledger_.energy_uj += costs_.partial_program_uj;
   ++ledger_.partial_programs;
   chip_telemetry().partial_programs.inc();
+  if (fd.power_cut) {
+    return {ErrorCode::kPowerLoss, "power lost during partial program"};
+  }
+  if (fd.fail) {
+    return {ErrorCode::kProgramFail, "partial program reported status failure"};
+  }
   return Status::ok();
 }
 
@@ -351,6 +403,10 @@ Status FlashChip::fine_program(std::uint32_t block, std::uint32_t page,
                                double target_mu, double target_sigma,
                                double target_tail) {
   STASH_RETURN_IF_ERROR(check_addr(block, page));
+  FaultDecision fd;
+  if (fault_) fd = fault_->on_operation(FaultOp::kFineProgram, block, page);
+  const double frac =
+      fd.interrupts() ? std::clamp(fd.completed_fraction, 0.0, 1.0) : 1.0;
   Block& blk = touch(block);
   float* row =
       blk.v.data() + static_cast<std::size_t>(page) * geom_.cells_per_page;
@@ -364,16 +420,23 @@ Status FlashChip::fine_program(std::uint32_t block, std::uint32_t page,
     // read window — cap at the erased-state ceiling (cf. redraw_page_erased)
     // so hidden cells remain cleanly inside the non-programmed band.
     target = std::min(target, 80.0);
-    row[c] = static_cast<float>(
-        std::clamp(std::max(static_cast<double>(row[c]), target), 0.0, kVmax));
+    const double full =
+        std::clamp(std::max(static_cast<double>(row[c]), target), 0.0, kVmax);
+    row[c] = static_cast<float>(row[c] + (full - row[c]) * frac);
   }
-  disturb_neighbors(blk, block, page, 0.01);
+  disturb_neighbors(blk, block, page, 0.01 * frac);
 
   ledger_.time_us += costs_.partial_program_us;
   ledger_.energy_uj += costs_.partial_program_uj;
   ++ledger_.partial_programs;
   chip_telemetry().partial_programs.inc();
   chip_telemetry().fine_programs.inc();
+  if (fd.power_cut) {
+    return {ErrorCode::kPowerLoss, "power lost during fine program"};
+  }
+  if (fd.fail) {
+    return {ErrorCode::kProgramFail, "fine program reported status failure"};
+  }
   return Status::ok();
 }
 

@@ -1,6 +1,8 @@
 #include "stash/nand/onfi.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <utility>
 
 #include "stash/telemetry/metrics.hpp"
 #include "stash/telemetry/trace.hpp"
@@ -16,6 +18,7 @@ struct OnfiTelemetry {
   telemetry::Counter& cmds = reg.counter("onfi.cmds");
   telemetry::Counter& resets = reg.counter("onfi.resets");
   telemetry::Counter& read_ref_shifts = reg.counter("onfi.read_ref_shifts");
+  telemetry::Counter& bad_commands = reg.counter("onfi.bad_command");
 };
 
 OnfiTelemetry& onfi_telemetry() {
@@ -41,7 +44,14 @@ void OnfiDevice::set_fail(bool fail) noexcept {
     status_ |= kStatusFail;
   } else {
     status_ &= static_cast<std::uint8_t>(~kStatusFail);
+    last_error_.clear();
   }
+}
+
+void OnfiDevice::fail_command(std::string message) noexcept {
+  set_fail(true);
+  last_error_ = std::move(message);
+  onfi_telemetry().bad_commands.inc();
 }
 
 std::array<std::uint8_t, 5> OnfiDevice::id() const noexcept {
@@ -189,10 +199,14 @@ void OnfiDevice::cmd_impl(std::uint8_t opcode) {
     case kSetFeatures:
       state_ = State::kFeatureAddr;
       return;
-    default:
-      set_fail(true);
+    default: {
+      char msg[48];
+      std::snprintf(msg, sizeof(msg), "unknown opcode 0x%02X",
+                    static_cast<unsigned>(opcode));
+      fail_command(msg);
       state_ = State::kIdle;
       return;
+    }
   }
 }
 
@@ -211,7 +225,7 @@ void OnfiDevice::addr(std::uint8_t byte) {
       state_ = State::kFeatureData;
       return;
     default:
-      set_fail(true);
+      fail_command("address cycle outside an address phase");
       return;
   }
 }
@@ -226,11 +240,15 @@ void OnfiDevice::data_in(std::span<const std::uint8_t> bytes) {
         // One parameter byte: the new reference in normalized units.
         read_vref_ = static_cast<double>(bytes[0]);
         onfi_telemetry().read_ref_shifts.inc();
+        // The EF command cycle was traced before the parameter arrived;
+        // fold the new reference into that event so retry sequences are
+        // visible in the JSONL trace.
+        if (trace_) trace_->amend_last_aux(read_vref_);
       }
       state_ = State::kIdle;
       return;
     default:
-      set_fail(true);
+      fail_command("data cycle outside a data phase");
       return;
   }
 }
@@ -285,7 +303,8 @@ void OnfiDevice::reset_after(double fraction) {
     trace_->record(kReset,
                    was_busy ? armed_row_.block : telemetry::TraceEvent::kNoAddr,
                    was_busy ? armed_row_.page : telemetry::TraceEvent::kNoAddr,
-                   chip_->ledger().time_us - t0, status_);
+                   chip_->ledger().time_us - t0, status_,
+                   was_busy ? fraction : 0.0);
   }
 }
 

@@ -33,6 +33,10 @@ struct TraceEvent {
   double busy_us = 0.0;
   /// Status register after the command completed.
   std::uint8_t status = 0;
+  /// Command-specific payload: the new reference voltage for a read-ref
+  /// shift (SET FEATURES), the completed step fraction for a RESET that
+  /// aborted a PROGRAM.  0 when the command carries none.
+  double aux = 0.0;
 
   static constexpr std::uint32_t kNoAddr = 0xffffffffu;
 
@@ -44,12 +48,16 @@ class TraceSink {
   explicit TraceSink(std::size_t capacity = 4096);
 
   void record(std::uint8_t opcode, std::uint32_t block, std::uint32_t page,
-              double busy_us, std::uint8_t status) noexcept;
+              double busy_us, std::uint8_t status, double aux = 0.0) noexcept;
 
   /// Fold completion data into the most recent event — used when an
   /// operation's busy time elapses after the command cycle that armed it
   /// (PROGRAM confirm completes in wait_ready / RESET).
   void amend_last(double busy_us, std::uint8_t status) noexcept;
+
+  /// Set the aux payload of the most recent event — used when a command's
+  /// parameter arrives in a later bus cycle (SET FEATURES data byte).
+  void amend_last_aux(double aux) noexcept;
 
   [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
   /// Events currently held (<= capacity).

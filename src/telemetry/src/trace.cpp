@@ -10,8 +10,8 @@ TraceSink::TraceSink(std::size_t capacity)
     : ring_(capacity == 0 ? 1 : capacity) {}
 
 void TraceSink::record(std::uint8_t opcode, std::uint32_t block,
-                       std::uint32_t page, double busy_us,
-                       std::uint8_t status) noexcept {
+                       std::uint32_t page, double busy_us, std::uint8_t status,
+                       double aux) noexcept {
   TraceEvent& slot = ring_[next_seq_ % ring_.size()];
   slot.seq = next_seq_++;
   slot.opcode = opcode;
@@ -19,6 +19,7 @@ void TraceSink::record(std::uint8_t opcode, std::uint32_t block,
   slot.page = page;
   slot.busy_us = busy_us;
   slot.status = status;
+  slot.aux = aux;
 }
 
 void TraceSink::amend_last(double busy_us, std::uint8_t status) noexcept {
@@ -26,6 +27,11 @@ void TraceSink::amend_last(double busy_us, std::uint8_t status) noexcept {
   TraceEvent& slot = ring_[(next_seq_ - 1) % ring_.size()];
   slot.busy_us += busy_us;
   slot.status = status;
+}
+
+void TraceSink::amend_last_aux(double aux) noexcept {
+  if (next_seq_ == 0) return;
+  ring_[(next_seq_ - 1) % ring_.size()].aux = aux;
 }
 
 std::size_t TraceSink::size() const noexcept {
@@ -57,10 +63,10 @@ void TraceSink::dump_jsonl(std::ostream& os) const {
         e.page == TraceEvent::kNoAddr ? -1 : static_cast<long long>(e.page);
     std::snprintf(line, sizeof(line),
                   "{\"seq\":%llu,\"op\":%u,\"block\":%lld,\"page\":%lld,"
-                  "\"busy_us\":%.3f,\"status\":%u}\n",
+                  "\"busy_us\":%.3f,\"status\":%u,\"aux\":%.4f}\n",
                   static_cast<unsigned long long>(e.seq),
                   static_cast<unsigned>(e.opcode), block, page, e.busy_us,
-                  static_cast<unsigned>(e.status));
+                  static_cast<unsigned>(e.status), e.aux);
     os << line;
   }
 }
@@ -108,6 +114,9 @@ std::vector<TraceEvent> TraceSink::parse_jsonl(std::string_view text) {
     e.page = page < 0 ? TraceEvent::kNoAddr : static_cast<std::uint32_t>(page);
     e.busy_us = busy;
     e.status = static_cast<std::uint8_t>(status);
+    // Older exports predate the aux field; treat it as optional.
+    double aux = 0.0;
+    if (field(line, "aux", aux)) e.aux = aux;
     out.push_back(e);
   }
   return out;

@@ -25,6 +25,7 @@ enum class ErrorCode {
   kCorrupted,         // structural metadata failed validation
   kAuthFailure,       // MAC / key check failed
   kUnsupported,       // operation not available in this configuration
+  kPowerLoss,         // power was cut; device is dark until restored
 };
 
 [[nodiscard]] const char* error_code_name(ErrorCode code) noexcept;

@@ -16,6 +16,7 @@ const char* error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kCorrupted: return "CORRUPTED";
     case ErrorCode::kAuthFailure: return "AUTH_FAILURE";
     case ErrorCode::kUnsupported: return "UNSUPPORTED";
+    case ErrorCode::kPowerLoss: return "POWER_LOSS";
   }
   return "UNKNOWN";
 }

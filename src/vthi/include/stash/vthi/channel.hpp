@@ -66,6 +66,14 @@ class VthiChannel {
                                             std::uint32_t page,
                                             std::uint32_t count);
 
+  /// extract() with an explicit hidden read reference — the read-retry
+  /// path: a shifted vth re-slices the same voltage population exactly the
+  /// way a vendor read-reference shift re-slices a real read.
+  Result<std::vector<std::uint8_t>> extract_at(std::uint32_t block,
+                                               std::uint32_t page,
+                                               std::uint32_t count,
+                                               double vth);
+
   /// §6.3 census: number of eligible cells naturally at or above vth (the
   /// paper's "700 cells per page" bound that caps hidden bits per page).
   Result<std::size_t> natural_above_threshold(std::uint32_t block,

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "stash/crypto/drbg.hpp"
+#include "stash/crypto/sha256.hpp"
 #include "stash/ecc/bch.hpp"
 #include "stash/nand/chip.hpp"
 #include "stash/util/status.hpp"
@@ -28,6 +29,31 @@ struct HideReport {
   /// Cells that never reached vth within the step budget (raw errors the
   /// ECC must absorb).
   int unconverged_cells = 0;
+};
+
+/// Write-ahead journal of an in-flight hide session.  The hiding software
+/// keeps it in its own durable storage (it is tiny); after a power cut it
+/// tells hide() where the interrupted embed stopped so the session resumes
+/// instead of restarting — and, because every derivation is keyed and
+/// deterministic, re-running an already-embedded page is harmless (partial
+/// programming only tops up cells still below the threshold).
+struct HideJournal {
+  std::uint32_t block = 0;
+  std::size_t payload_bytes = 0;
+  /// SHA-256 of the payload — guards against resuming with different data,
+  /// which would splice two half-embedded frames together.
+  crypto::Digest256 payload_digest{};
+  /// Hidden pages whose Algorithm-1 loop fully completed.
+  std::uint32_t pages_completed = 0;
+  /// Steps already taken inside the page being embedded when the journal
+  /// was last advanced (audit trail; resume re-runs the page from step 0).
+  int steps_in_current_page = 0;
+  bool complete = false;
+
+  /// True when this journal describes an interrupted hide of exactly this
+  /// payload into exactly this block.
+  [[nodiscard]] bool matches(std::uint32_t for_block,
+                             std::span<const std::uint8_t> payload) const;
 };
 
 class VthiCodec {
@@ -53,9 +79,20 @@ class VthiCodec {
   util::Result<HideReport> hide(std::uint32_t block,
                                 std::span<const std::uint8_t> payload);
 
+  /// hide() with power-loss protection: progress is journaled into
+  /// `journal` before each embed step.  Pass a journal recovered after a
+  /// power cut (same block, same payload) to resume the interrupted
+  /// session; pass a fresh journal to start one.  On success the journal
+  /// is marked complete.
+  util::Result<HideReport> hide(std::uint32_t block,
+                                std::span<const std::uint8_t> payload,
+                                HideJournal* journal);
+
   /// Recover and authenticate the hidden payload of `block`.  When
   /// `corrected_bits` is non-null it receives the number of raw channel
   /// errors the ECC repaired — the health metric a refresh policy watches.
+  /// On decode failure the hidden reference is shifted and the block
+  /// re-read, up to config().max_read_retries times.
   util::Result<std::vector<std::uint8_t>> reveal(std::uint32_t block,
                                                  int* corrected_bits = nullptr);
 
@@ -103,6 +140,11 @@ class VthiCodec {
   [[nodiscard]] std::vector<std::uint8_t> frame_payload(
       std::uint32_t block, std::span<const std::uint8_t> payload,
       std::size_t data_bits) const;
+
+  /// One decode pass at a given hidden read reference.
+  util::Result<std::vector<std::uint8_t>> reveal_at(std::uint32_t block,
+                                                    double vth,
+                                                    int* corrected_bits);
 
   nand::FlashChip* chip_;
   crypto::HidingKey key_;

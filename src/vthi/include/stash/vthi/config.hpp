@@ -58,6 +58,13 @@ struct VthiConfig {
   /// Refuse to hide into pages that hold no public data (hidden bits in a
   /// still-erased page would be destroyed by the later public program).
   bool require_programmed_pages = true;
+  /// Read-retry budget: when a reveal fails to decode (ECC/MAC), re-read
+  /// with the hidden reference shifted by ±read_retry_shift, widening
+  /// exponentially (+s, -s, +2s, -2s, ...) — the standard NAND read-retry
+  /// loop applied to the hidden threshold.  0 disables retries.
+  int max_read_retries = 4;
+  /// Initial reference shift of the retry ladder, in normalized levels.
+  double read_retry_shift = 1.0;
 
   /// §6.3 production configuration (the paper's Table 1 / Fig. 10 setup).
   [[nodiscard]] static VthiConfig production() noexcept { return {}; }

@@ -147,6 +147,13 @@ Result<EmbedSession> VthiChannel::embed(std::uint32_t block,
 Result<std::vector<std::uint8_t>> VthiChannel::extract(std::uint32_t block,
                                                        std::uint32_t page,
                                                        std::uint32_t count) {
+  return extract_at(block, page, count, config_.vth);
+}
+
+Result<std::vector<std::uint8_t>> VthiChannel::extract_at(std::uint32_t block,
+                                                          std::uint32_t page,
+                                                          std::uint32_t count,
+                                                          double vth) {
   channel_telemetry().extracts.inc();
   // Single probe: yields the eligible-cell list and every hidden bit.
   const auto volts = chip_->probe_voltages(block, page);
@@ -159,7 +166,7 @@ Result<std::vector<std::uint8_t>> VthiChannel::extract(std::uint32_t block,
   }
   std::vector<std::uint8_t> bits(count);
   for (std::uint32_t i = 0; i < count; ++i) {
-    bits[i] = static_cast<double>(volts[chosen[i]]) >= config_.vth ? 0 : 1;
+    bits[i] = static_cast<double>(volts[chosen[i]]) >= vth ? 0 : 1;
   }
   return bits;
 }

@@ -150,8 +150,14 @@ struct CodecTelemetry {
   telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
   telemetry::Counter& hides = reg.counter("vthi.hides");
   telemetry::Counter& reveals = reg.counter("vthi.reveals");
+  telemetry::Counter& hide_resumes = reg.counter("vthi.hide_resumes");
+  telemetry::Counter& read_retries = reg.counter("vthi.read_retries");
+  telemetry::Counter& read_retry_recoveries =
+      reg.counter("vthi.read_retry_recoveries");
   telemetry::LatencyHistogram& hide_ns = reg.histogram("vthi.hide_ns");
   telemetry::LatencyHistogram& reveal_ns = reg.histogram("vthi.reveal_ns");
+  telemetry::LatencyHistogram& retries_per_reveal =
+      reg.histogram("vthi.retries_per_reveal");
 };
 
 CodecTelemetry& codec_telemetry() {
@@ -161,8 +167,20 @@ CodecTelemetry& codec_telemetry() {
 
 }  // namespace
 
+bool HideJournal::matches(std::uint32_t for_block,
+                          std::span<const std::uint8_t> payload) const {
+  return block == for_block && payload_bytes == payload.size() &&
+         payload_digest == crypto::Sha256::hash(payload);
+}
+
 Result<HideReport> VthiCodec::hide(std::uint32_t block,
                                    std::span<const std::uint8_t> payload) {
+  return hide(block, payload, nullptr);
+}
+
+Result<HideReport> VthiCodec::hide(std::uint32_t block,
+                                   std::span<const std::uint8_t> payload,
+                                   HideJournal* journal) {
   codec_telemetry().hides.inc();
   telemetry::ScopedTimer timer(codec_telemetry().hide_ns);
   const Layout lay = layout();
@@ -219,16 +237,51 @@ Result<HideReport> VthiCodec::hide(std::uint32_t block,
     page_bits[i % pages.size()][i / pages.size()] = coded[i];
   }
 
+  // Resume an interrupted session when the journal matches; pages whose
+  // embed loop completed are skipped (their cells already sit above vth).
+  // A stale or foreign journal is reinitialized — restart, not resume.
+  std::size_t start_page = 0;
+  if (journal) {
+    if (journal->matches(block, payload) && !journal->complete) {
+      start_page = std::min<std::size_t>(journal->pages_completed, pages.size());
+      if (start_page > 0 || journal->steps_in_current_page > 0) {
+        codec_telemetry().hide_resumes.inc();
+      }
+    } else {
+      *journal = HideJournal{};
+      journal->block = block;
+      journal->payload_bytes = payload.size();
+      journal->payload_digest = crypto::Sha256::hash(payload);
+    }
+  }
+
   HideReport report;
   report.pages_used = lay.pages_used;
   report.codewords = lay.codewords;
   report.payload_bytes = payload.size();
   report.capacity_bytes = capacity;
-  for (std::size_t pi = 0; pi < pages.size(); ++pi) {
-    auto session = channel_.embed(block, pages[pi], page_bits[pi]);
-    if (!session.is_ok()) return session.status();
+  for (std::size_t pi = start_page; pi < pages.size(); ++pi) {
+    // Inline Algorithm-1 loop (rather than channel_.embed) so the journal
+    // advances before every step: a power cut between any two bus
+    // operations leaves a journal that points at the exact page to redo.
+    auto begun = channel_.begin(block, pages[pi], page_bits[pi]);
+    if (!begun.is_ok()) return begun.status();
+    EmbedSession session = std::move(begun).take();
+    for (int s = 0; s < config_.channel.max_pp_steps && !session.converged;
+         ++s) {
+      if (journal) {
+        journal->pages_completed = static_cast<std::uint32_t>(pi);
+        journal->steps_in_current_page = s;
+      }
+      auto stepped = channel_.step(session);
+      if (!stepped.is_ok()) return stepped.status();
+    }
+    if (journal) {
+      journal->pages_completed = static_cast<std::uint32_t>(pi) + 1;
+      journal->steps_in_current_page = 0;
+    }
     report.max_pp_steps_taken =
-        std::max(report.max_pp_steps_taken, session.value().steps_taken);
+        std::max(report.max_pp_steps_taken, session.steps_taken);
     // Count residual raw errors on this page (one extra probe).
     auto readback = channel_.extract(
         block, pages[pi], config_.hidden_bits_per_page);
@@ -239,13 +292,13 @@ Result<HideReport> VthiCodec::hide(std::uint32_t block,
       }
     }
   }
+  if (journal) journal->complete = true;
   return report;
 }
 
-Result<std::vector<std::uint8_t>> VthiCodec::reveal(std::uint32_t block,
-                                                    int* corrected_bits) {
-  codec_telemetry().reveals.inc();
-  telemetry::ScopedTimer timer(codec_telemetry().reveal_ns);
+Result<std::vector<std::uint8_t>> VthiCodec::reveal_at(std::uint32_t block,
+                                                       double vth,
+                                                       int* corrected_bits) {
   if (corrected_bits) *corrected_bits = 0;
   const Layout lay = layout();
   const auto pages = hidden_pages();
@@ -254,7 +307,8 @@ Result<std::vector<std::uint8_t>> VthiCodec::reveal(std::uint32_t block,
   std::vector<std::vector<std::uint8_t>> page_bits;
   page_bits.reserve(pages.size());
   for (std::uint32_t p : pages) {
-    auto bits = channel_.extract(block, p, config_.hidden_bits_per_page);
+    auto bits = channel_.extract_at(block, p, config_.hidden_bits_per_page,
+                                    vth);
     if (!bits.is_ok()) return bits.status();
     page_bits.push_back(std::move(bits).take());
   }
@@ -349,6 +403,58 @@ Result<std::vector<std::uint8_t>> VthiCodec::reveal(std::uint32_t block,
   cipher.apply(plaintext);
   return std::vector<std::uint8_t>(plaintext.begin() + kLenBytes,
                                    plaintext.end());
+}
+
+namespace {
+
+/// Failures a shifted re-read can plausibly fix: decode/authentication
+/// errors from marginal or glitched cells, and selection shortfalls from a
+/// transiently jogged probe.  kOutOfBounds (bad address, dark device) is
+/// not retryable.
+bool read_retryable(ErrorCode code) noexcept {
+  return code == ErrorCode::kUncorrectable || code == ErrorCode::kAuthFailure ||
+         code == ErrorCode::kCorrupted || code == ErrorCode::kNoSpace;
+}
+
+}  // namespace
+
+Result<std::vector<std::uint8_t>> VthiCodec::reveal(std::uint32_t block,
+                                                    int* corrected_bits) {
+  auto& tel = codec_telemetry();
+  tel.reveals.inc();
+  telemetry::ScopedTimer timer(tel.reveal_ns);
+
+  auto result = reveal_at(block, config_.channel.vth, corrected_bits);
+  if (result.is_ok() || config_.max_read_retries <= 0 ||
+      !read_retryable(result.status().code())) {
+    if (result.is_ok()) tel.retries_per_reveal.record(0);
+    return result;
+  }
+
+  // Read-retry ladder: +s, -s, +2s, -2s, ... around the nominal reference,
+  // doubling after each +/- pair (exponential widening).  Every rung does a
+  // fresh set of probes, so transient glitches clear and drifted
+  // populations get re-sliced at a friendlier reference.
+  double magnitude = config_.read_retry_shift;
+  for (int attempt = 1; attempt <= config_.max_read_retries; ++attempt) {
+    tel.read_retries.inc();
+    const double shift = (attempt % 2 == 1) ? magnitude : -magnitude;
+    if (attempt % 2 == 0) magnitude *= 2.0;
+    const double vth =
+        std::clamp(config_.channel.vth + shift, 1.0,
+                   config_.channel.select_guard - 1.0);
+    auto retried = reveal_at(block, vth, corrected_bits);
+    if (retried.is_ok()) {
+      tel.read_retry_recoveries.inc();
+      tel.retries_per_reveal.record(static_cast<std::uint64_t>(attempt));
+      return retried;
+    }
+    if (!read_retryable(retried.status().code())) return retried;
+    result = std::move(retried);
+  }
+  tel.retries_per_reveal.record(
+      static_cast<std::uint64_t>(config_.max_read_retries));
+  return result;
 }
 
 Status VthiCodec::erase_hidden(std::uint32_t block) {

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "stash/nand/onfi.hpp"
+#include "stash/telemetry/metrics.hpp"
 #include "stash/util/stats.hpp"
 
 namespace stash::nand {
@@ -194,6 +195,42 @@ TEST(Onfi, UnknownOpcodeFails) {
   OnfiDevice dev(chip);
   dev.cmd(0xAB);
   EXPECT_TRUE(dev.status() & onfi::kStatusFail);
+}
+
+TEST(Onfi, ProtocolErrorsCountAndExplain) {
+  // Every protocol violation sets FAIL, leaves a diagnostic in
+  // last_error(), and bumps the onfi.bad_command counter — instead of a
+  // silent bare status bit.
+  FlashChip chip(onfi_geometry(), NoiseModel::vendor_a(), 13);
+  OnfiDevice dev(chip);
+  auto& bad = telemetry::MetricsRegistry::global().counter("onfi.bad_command");
+  const auto before = bad.value();
+
+  dev.cmd(0xAB);  // unknown opcode
+  EXPECT_TRUE(dev.status() & onfi::kStatusFail);
+  EXPECT_NE(dev.last_error().find("0xAB"), std::string::npos)
+      << dev.last_error();
+
+  dev.cmd(onfi::kRead);  // a fresh command clears failure and message
+  EXPECT_FALSE(dev.status() & onfi::kStatusFail);
+  EXPECT_TRUE(dev.last_error().empty());
+  dev.cmd(onfi::kReadConfirm);  // bad sequencing, distinct error path
+  EXPECT_TRUE(dev.status() & onfi::kStatusFail);
+
+  dev.addr(0x12);  // address cycle while idle
+  EXPECT_NE(dev.last_error().find("address cycle"), std::string::npos)
+      << dev.last_error();
+
+  const std::uint8_t byte = 0x34;
+  dev.data_in(std::span<const std::uint8_t>(&byte, 1));  // data cycle idle
+  EXPECT_NE(dev.last_error().find("data cycle"), std::string::npos)
+      << dev.last_error();
+
+#ifndef STASH_TELEMETRY_DISABLED
+  // Three fail_command paths fired: unknown opcode, stray address cycle,
+  // stray data cycle.  (Bad sequencing on confirm is a plain status FAIL.)
+  EXPECT_EQ(bad.value(), before + 3);
+#endif
 }
 
 }  // namespace

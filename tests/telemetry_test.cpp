@@ -213,6 +213,72 @@ TEST(TraceSink, FullProgramTraceCarriesBusyTimeAndStatus) {
   EXPECT_FALSE(events[1].status & nand::onfi::kStatusFail);
 }
 
+TEST(TraceSink, EraseReadAndReferenceShiftAreTraced) {
+  // Full command coverage: READ (00h..30h), SET FEATURES (EFh, amended
+  // with the new reference in aux), and ERASE (60h..D0h) all land in the
+  // trace with row addresses and busy time.
+  nand::FlashChip chip(trace_geometry(), nand::NoiseModel::vendor_a(), 9);
+  nand::OnfiDevice dev(chip);
+  TraceSink sink;
+  dev.set_trace_sink(&sink);
+
+  const std::vector<std::uint8_t> bytes(dev.page_bytes(), 0x00);
+  ASSERT_TRUE(dev.program_page(1, 0, bytes));
+  (void)dev.read_page(1, 0);
+  dev.set_read_reference(34.0);
+  (void)dev.read_page(1, 0);
+  ASSERT_TRUE(dev.erase_block(1));
+  dev.set_trace_sink(nullptr);
+
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 9u);
+  EXPECT_EQ(events[2].opcode, nand::onfi::kRead);
+  EXPECT_EQ(events[3].opcode, nand::onfi::kReadConfirm);
+  EXPECT_EQ(events[3].block, 1u);
+  EXPECT_EQ(events[3].page, 0u);
+  EXPECT_GT(events[3].busy_us, 0.0);
+  EXPECT_EQ(events[4].opcode, nand::onfi::kSetFeatures);
+  EXPECT_DOUBLE_EQ(events[4].aux, 34.0);  // amended when the parameter arrived
+  EXPECT_EQ(events[5].opcode, nand::onfi::kRead);
+  EXPECT_EQ(events[7].opcode, nand::onfi::kErase);
+  EXPECT_EQ(events[8].opcode, nand::onfi::kEraseConfirm);
+  EXPECT_EQ(events[8].block, 1u);
+  EXPECT_GT(events[8].busy_us, 0.0);
+  EXPECT_FALSE(events[8].status & nand::onfi::kStatusFail);
+}
+
+TEST(TraceSink, ResetEventCarriesAbortFraction) {
+  nand::FlashChip chip(trace_geometry(), nand::NoiseModel::vendor_a(), 10);
+  nand::OnfiDevice dev(chip);
+  TraceSink sink;
+  dev.set_trace_sink(&sink);
+  const std::vector<std::uint8_t> bytes(dev.page_bytes(), 0x00);
+  ASSERT_TRUE(dev.partial_program_page(2, 3, bytes, 0.35));
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[2].opcode, nand::onfi::kReset);
+  EXPECT_DOUBLE_EQ(events[2].aux, 0.35);  // how far tPROG got before abort
+}
+
+TEST(TraceSink, AuxFieldRoundTripsThroughJsonl) {
+  TraceSink sink(4);
+  sink.record(0xEF, TraceEvent::kNoAddr, TraceEvent::kNoAddr, 0.0, 0xC0, 34.0);
+  sink.record(0xFF, 2, 3, 12.5, 0x40, 0.5);
+  const auto parsed = TraceSink::parse_jsonl(sink.to_jsonl());
+  const auto original = sink.events();
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed[0].aux, 34.0);
+  EXPECT_DOUBLE_EQ(parsed[1].aux, 0.5);
+  EXPECT_EQ(parsed[0], original[0]);
+  EXPECT_EQ(parsed[1], original[1]);
+  // Traces written before the aux field existed still parse (aux -> 0).
+  const auto legacy = TraceSink::parse_jsonl(
+      "{\"seq\":1,\"op\":16,\"block\":0,\"page\":0,\"busy_us\":1.0,"
+      "\"status\":64}\n");
+  ASSERT_EQ(legacy.size(), 1u);
+  EXPECT_DOUBLE_EQ(legacy[0].aux, 0.0);
+}
+
 TEST(TraceSink, JsonlRoundTrip) {
   TraceSink sink(8);
   sink.record(0x80, TraceEvent::kNoAddr, TraceEvent::kNoAddr, 0.0, 0xC0);
