@@ -6,6 +6,9 @@
 //   --divisor N    scale the page width by 1/N (default 8 -> 18048 cells)
 //   --quick        divisor 16 and fewer sample blocks
 //   --seed S       chip serial seed base
+//   --threads N    worker threads for parallel harnesses (default 1; the
+//                  result tables and JSON lines are byte-identical for any
+//                  N — see stash::par)
 //
 // Hidden-bit counts that represent a *density* (detectability experiments)
 // are scaled with the page so the hidden fraction matches the paper;
@@ -21,6 +24,7 @@
 
 #include "stash/crypto/drbg.hpp"
 #include "stash/nand/chip.hpp"
+#include "stash/par/pool.hpp"
 #include "stash/svm/features.hpp"
 #include "stash/svm/svm.hpp"
 #include "stash/telemetry/metrics.hpp"
@@ -34,6 +38,7 @@ struct Options {
   std::uint32_t sample_blocks = 5;   // blocks averaged per data point
   std::uint32_t svm_blocks = 31;     // blocks per class per chip (paper: 31)
   std::uint64_t seed = 0x57a5f1a5ULL;
+  std::uint32_t threads = 1;
   bool quick = false;
 
   static Options parse(int argc, char** argv) {
@@ -51,8 +56,13 @@ struct Options {
         if (opt.divisor == 0) opt.divisor = 1;
       } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
         opt.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+        opt.threads = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+        if (opt.threads == 0) opt.threads = par::ThreadPool::hardware_threads();
       } else if (!std::strcmp(argv[i], "--help")) {
-        std::printf("options: --full | --quick | --divisor N | --seed S\n");
+        std::printf(
+            "options: --full | --quick | --divisor N | --seed S | "
+            "--threads N\n");
         std::exit(0);
       }
     }

@@ -11,6 +11,11 @@
 //     silent corruption a design failure, not a statistic).
 //
 // Prints one table per leg plus a final machine-readable JSON line.
+//
+// Parallelism: every point of both legs owns its chip, fault plan and
+// recovery stack, so all points fan out together on a stash::par pool and
+// print in rate order afterwards — tables and the JSON line are
+// byte-identical for any --threads value.
 
 #include <cinttypes>
 #include <map>
@@ -156,35 +161,44 @@ int main(int argc, char** argv) {
 
   const std::vector<double> ftl_rates = {0.0, 0.002, 0.005, 0.01, 0.02, 0.05};
   const int writes = opt.quick ? 2000 : 6000;
+  const std::vector<double> vthi_rates = {0.0, 0.1, 0.3, 0.5, 0.7};
+  const int reveals = opt.quick ? 8 : 24;
+
+  // Fan every point of both legs out together (each owns its whole stack),
+  // collect into rate-ordered slots, print afterwards.
+  stash::par::ThreadPool pool(opt.threads);
+  std::vector<FtlPoint> ftl_points(ftl_rates.size());
+  std::vector<VthiPoint> vthi_points(vthi_rates.size());
+  pool.parallel_for(ftl_rates.size() + vthi_rates.size(), [&](std::size_t i) {
+    if (i < ftl_rates.size()) {
+      ftl_points[i] = run_ftl_leg(ftl_rates[i], writes, opt.seed + 1);
+    } else {
+      const std::size_t v = i - ftl_rates.size();
+      vthi_points[v] = run_vthi_leg(vthi_rates[v], reveals, opt);
+    }
+  });
+
   std::printf("FTL leg: %d random writes, working set = logical/4\n", writes);
   std::printf("%-10s %-9s %-9s %-8s %-9s %-9s %-7s %s\n", "inj_rate",
               "writes_ok", "injected", "rewrites", "retired", "checked",
               "lost", "recovery_%");
-  std::vector<FtlPoint> ftl_points;
-  for (double rate : ftl_rates) {
-    const FtlPoint p = run_ftl_leg(rate, writes, opt.seed + 1);
+  for (const FtlPoint& p : ftl_points) {
     std::printf("%-10.3f %-9d %-9" PRIu64 " %-8" PRIu64 " %-9u %-9" PRIu64
                 " %-7" PRIu64 " %.3f\n",
                 p.rate, p.writes_ok, p.injected_fails, p.rewrites,
                 p.retired_blocks, p.pages_checked, p.pages_lost,
                 p.recovery_rate() * 100.0);
-    ftl_points.push_back(p);
   }
 
-  const std::vector<double> vthi_rates = {0.0, 0.1, 0.3, 0.5, 0.7};
-  const int reveals = opt.quick ? 8 : 24;
   std::printf("\nVT-HI leg: %d reveals per point, 2%% of probe cells jogged "
               "per glitched read\n", reveals);
   std::printf("%-10s %-8s %-10s %-14s %-9s %-9s %s\n", "inj_rate", "reveals",
               "recovered", "glitched_saves", "failures", "glitches",
               "wrong_bytes");
-  std::vector<VthiPoint> vthi_points;
-  for (double rate : vthi_rates) {
-    const VthiPoint p = run_vthi_leg(rate, reveals, opt);
+  for (const VthiPoint& p : vthi_points) {
     std::printf("%-10.2f %-8d %-10d %-14d %-9d %-9" PRIu64 " %d\n", p.rate,
                 p.reveals, p.recovered, p.glitched_saves, p.clean_failures,
                 p.glitches, p.wrong_bytes);
-    vthi_points.push_back(p);
   }
 
   // Machine-readable summary (one line, parse with any JSON reader).

@@ -6,11 +6,90 @@
 // Expected shape: hidden BER at PEC 0 barely moves; at PEC 2000 it rises
 // ~6x over four months, much faster than normal data (~2x), because PP
 // cannot leave a buffer zone around the hidden threshold.
+//
+// Parallelism: every (pec, block) trial owns its chip, so trials fan out on
+// a stash::par pool and the per-PEC accumulators are reduced in trial order
+// afterwards — the table is byte-identical for any --threads value.
+
+#include <array>
 
 #include "common.hpp"
 
 using namespace stash;
 using namespace stash::bench;
+
+namespace {
+
+struct Accum {
+  std::size_t err = 0;
+  std::size_t bits = 0;
+  [[nodiscard]] double ber() const {
+    return bits ? static_cast<double>(err) / static_cast<double>(bits) : 0.0;
+  }
+  void operator+=(const Accum& other) {
+    err += other.err;
+    bits += other.bits;
+  }
+};
+
+struct TrialResult {
+  Accum hidden_zero, normal_zero;
+  std::array<Accum, 3> hidden_after{}, normal_after{};
+};
+
+constexpr double kPeriodsHours[] = {24.0, 24.0 * 30, 24.0 * 120};
+
+TrialResult run_trial(const Options& opt, const crypto::HidingKey& key,
+                      std::uint32_t bits_per_page, std::uint32_t pec,
+                      std::uint32_t b) {
+  TrialResult result;
+  nand::FlashChip chip(opt.geometry(2), nand::NoiseModel::vendor_a(),
+                       opt.seed + 1100 + pec + b);
+  if (pec) (void)chip.age_cycles(0, pec);
+  const auto written = chip.program_block_random(0, opt.seed + b);
+
+  // Embed hidden data and remember intent per page.
+  vthi::VthiChannel channel(chip, key.selection_key(), {});
+  std::vector<std::vector<std::uint8_t>> intents(
+      chip.geometry().pages_per_block);
+  util::Xoshiro256 rng(opt.seed + pec * 3 + b);
+  for (std::uint32_t p = 0; p < chip.geometry().pages_per_block; p += 2) {
+    std::vector<std::uint8_t> bits(bits_per_page);
+    for (auto& bit : bits) bit = static_cast<std::uint8_t>(rng() & 1);
+    if (channel.embed(0, p, bits).is_ok()) intents[p] = std::move(bits);
+  }
+
+  auto measure = [&](Accum& hidden_acc, Accum& normal_acc) {
+    for (std::uint32_t p = 0; p < chip.geometry().pages_per_block; ++p) {
+      if (!intents[p].empty()) {
+        auto readback = channel.extract(0, p, bits_per_page);
+        if (readback.is_ok()) {
+          for (std::size_t i = 0; i < intents[p].size(); ++i) {
+            hidden_acc.err += (intents[p][i] ^ readback.value()[i]) & 1;
+          }
+          hidden_acc.bits += intents[p].size();
+        }
+      }
+      const auto pub = chip.read_page(0, p);
+      for (std::size_t c = 0; c < pub.size(); ++c) {
+        normal_acc.err += (pub[c] ^ written[p][c]) & 1;
+      }
+      normal_acc.bits += pub.size();
+    }
+  };
+
+  measure(result.hidden_zero, result.normal_zero);
+  double elapsed = 0.0;
+  for (int period = 0; period < 3; ++period) {
+    chip.bake_block(0, kPeriodsHours[period] - elapsed);
+    elapsed = kPeriodsHours[period];
+    measure(result.hidden_after[static_cast<std::size_t>(period)],
+            result.normal_after[static_cast<std::size_t>(period)]);
+  }
+  return result;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const Options opt = Options::parse(argc, argv);
@@ -20,67 +99,38 @@ int main(int argc, char** argv) {
 
   const auto key = bench_key();
   const std::uint32_t bits_per_page = opt.density_scaled(256);
-  const double periods_hours[] = {24.0, 24.0 * 30, 24.0 * 120};
   const char* period_names[] = {"1 day", "1 month", "4 months"};
+  const std::uint32_t pecs[] = {0u, 1000u, 2000u};
+
+  // Flatten the (pec, block) grid in print order.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> trials;
+  for (std::uint32_t pec : pecs) {
+    for (std::uint32_t b = 0; b < opt.sample_blocks; ++b) {
+      trials.emplace_back(pec, b);
+    }
+  }
+
+  par::ThreadPool pool(opt.threads);
+  const std::vector<TrialResult> results =
+      pool.map<TrialResult>(trials.size(), [&](std::size_t i) {
+        return run_trial(opt, key, bits_per_page, trials[i].first,
+                         trials[i].second);
+      });
 
   std::printf("%-8s %-10s %-12s %-14s %-14s %s\n", "PEC", "data", "period",
               "BER_zero", "BER_after", "normalized");
-  for (std::uint32_t pec : {0u, 1000u, 2000u}) {
+  std::size_t slot = 0;
+  for (std::uint32_t pec : pecs) {
     // Hidden and normal measured on the same set of blocks.
-    struct Accum {
-      std::size_t err = 0;
-      std::size_t bits = 0;
-      [[nodiscard]] double ber() const {
-        return bits ? static_cast<double>(err) / static_cast<double>(bits)
-                    : 0.0;
-      }
-    };
     Accum hidden_zero, normal_zero;
     std::vector<Accum> hidden_after(3), normal_after(3);
-
-    for (std::uint32_t b = 0; b < opt.sample_blocks; ++b) {
-      nand::FlashChip chip(opt.geometry(2), nand::NoiseModel::vendor_a(),
-                           opt.seed + 1100 + pec + b);
-      if (pec) (void)chip.age_cycles(0, pec);
-      const auto written = chip.program_block_random(0, opt.seed + b);
-
-      // Embed hidden data and remember intent per page.
-      vthi::VthiChannel channel(chip, key.selection_key(), {});
-      std::vector<std::vector<std::uint8_t>> intents(
-          chip.geometry().pages_per_block);
-      util::Xoshiro256 rng(opt.seed + pec * 3 + b);
-      for (std::uint32_t p = 0; p < chip.geometry().pages_per_block; p += 2) {
-        std::vector<std::uint8_t> bits(bits_per_page);
-        for (auto& bit : bits) bit = static_cast<std::uint8_t>(rng() & 1);
-        if (channel.embed(0, p, bits).is_ok()) intents[p] = std::move(bits);
-      }
-
-      auto measure = [&](Accum& hidden_acc, Accum& normal_acc) {
-        for (std::uint32_t p = 0; p < chip.geometry().pages_per_block; ++p) {
-          if (!intents[p].empty()) {
-            auto readback = channel.extract(0, p, bits_per_page);
-            if (readback.is_ok()) {
-              for (std::size_t i = 0; i < intents[p].size(); ++i) {
-                hidden_acc.err += (intents[p][i] ^ readback.value()[i]) & 1;
-              }
-              hidden_acc.bits += intents[p].size();
-            }
-          }
-          const auto pub = chip.read_page(0, p);
-          for (std::size_t c = 0; c < pub.size(); ++c) {
-            normal_acc.err += (pub[c] ^ written[p][c]) & 1;
-          }
-          normal_acc.bits += pub.size();
-        }
-      };
-
-      measure(hidden_zero, normal_zero);
-      double elapsed = 0.0;
+    for (std::uint32_t b = 0; b < opt.sample_blocks; ++b, ++slot) {
+      hidden_zero += results[slot].hidden_zero;
+      normal_zero += results[slot].normal_zero;
       for (int period = 0; period < 3; ++period) {
-        chip.bake_block(0, periods_hours[period] - elapsed);
-        elapsed = periods_hours[period];
-        measure(hidden_after[static_cast<std::size_t>(period)],
-                normal_after[static_cast<std::size_t>(period)]);
+        const auto p = static_cast<std::size_t>(period);
+        hidden_after[p] += results[slot].hidden_after[p];
+        normal_after[p] += results[slot].normal_after[p];
       }
     }
 

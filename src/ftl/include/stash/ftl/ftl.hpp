@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "stash/nand/chip.hpp"
+#include "stash/par/pool.hpp"
 #include "stash/telemetry/metrics.hpp"
 #include "stash/util/status.hpp"
 
@@ -85,6 +86,26 @@ class PageMappedFtl {
   Status write(std::uint64_t lpn, std::span<const std::uint8_t> bits);
   [[nodiscard]] Result<std::vector<std::uint8_t>> read(std::uint64_t lpn);
   Status trim(std::uint64_t lpn);
+
+  // ---- Batch entry points (stash::par) -----------------------------------
+
+  /// Read many logical pages, fanning the physical reads across the pool
+  /// grouped by physical block (same-block reads stay in request order, so
+  /// read-disturb noise is deterministic for any thread count).  Result i
+  /// corresponds to lpns[i].  The mapping tables must not be concurrently
+  /// mutated: do not interleave with write()/trim()/run_gc().
+  std::vector<Result<std::vector<std::uint8_t>>> read_batch(
+      std::span<const std::uint64_t> lpns, par::ThreadPool& pool);
+
+  struct WriteRequest {
+    std::uint64_t lpn = 0;
+    std::vector<std::uint8_t> bits;
+  };
+  /// Transactional convenience for symmetric call sites: writes execute
+  /// sequentially in request order (the mapping tables, allocator and GC
+  /// are global state — parallelizing them would reorder placement), and
+  /// the batch stops at the first failure, returning it.
+  Status write_batch(std::span<const WriteRequest> requests);
 
   /// Physical location of a logical page, if mapped.
   [[nodiscard]] std::optional<nand::PageAddr> locate(std::uint64_t lpn) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <unordered_map>
 
 namespace stash::ftl {
 
@@ -199,6 +200,42 @@ Result<std::vector<std::uint8_t>> PageMappedFtl::read(std::uint64_t lpn) {
   return chip_->read_page(
       static_cast<std::uint32_t>(phys / geom.pages_per_block),
       static_cast<std::uint32_t>(phys % geom.pages_per_block));
+}
+
+std::vector<Result<std::vector<std::uint8_t>>> PageMappedFtl::read_batch(
+    std::span<const std::uint64_t> lpns, par::ThreadPool& pool) {
+  const auto& geom = chip_->geometry();
+  // Group request indices by the physical block backing each lpn
+  // (first-appearance order); unmapped/out-of-range lpns resolve inline.
+  std::vector<std::vector<std::size_t>> groups;
+  std::unordered_map<std::uint32_t, std::size_t> group_of;
+  std::vector<std::optional<Result<std::vector<std::uint8_t>>>> slots(
+      lpns.size());
+  for (std::size_t i = 0; i < lpns.size(); ++i) {
+    if (lpns[i] >= logical_pages_ || l2p_[lpns[i]] == kUnmapped) {
+      slots[i].emplace(read(lpns[i]));  // resolves to the error status
+      continue;
+    }
+    const auto block =
+        static_cast<std::uint32_t>(l2p_[lpns[i]] / geom.pages_per_block);
+    auto [it, fresh] = group_of.try_emplace(block, groups.size());
+    if (fresh) groups.emplace_back();
+    groups[it->second].push_back(i);
+  }
+  pool.parallel_for(groups.size(), [&](std::size_t g) {
+    for (const std::size_t i : groups[g]) slots[i].emplace(read(lpns[i]));
+  });
+  std::vector<Result<std::vector<std::uint8_t>>> out;
+  out.reserve(slots.size());
+  for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+Status PageMappedFtl::write_batch(std::span<const WriteRequest> requests) {
+  for (const WriteRequest& req : requests) {
+    STASH_RETURN_IF_ERROR(write(req.lpn, req.bits));
+  }
+  return Status::ok();
 }
 
 Status PageMappedFtl::trim(std::uint64_t lpn) {

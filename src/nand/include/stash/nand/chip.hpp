@@ -16,9 +16,28 @@
 //
 // Blocks are lazily allocated: a full-geometry "8 GB" chip only pays for
 // blocks that are touched.
+//
+// Concurrency contract (stash::par builds on this):
+//   * Every block owns its own RNG stream, derived from (serial seed,
+//     block), and every mutating operation touches only the addressed
+//     block, so operations on DISTINCT blocks may run concurrently from
+//     any threads and still produce bit-identical per-block voltages —
+//     regardless of how the operations interleave across blocks.
+//   * Operations on the SAME block are serialized by an internal striped
+//     lock (no data races), but their relative order determines the
+//     block's noise stream: callers that need reproducibility must submit
+//     same-block operations in a deterministic order (stash::par's shard
+//     queues do exactly this).
+//   * The cost ledger accumulates in fixed-point atomics, so totals are
+//     exact and thread-count independent.
+//   * Whole-chip sweeps (bake(), voltage_histogram(), program_block_random)
+//     and accessors returning raw state assume no concurrent mutation of
+//     the blocks they visit.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -147,8 +166,11 @@ class FlashChip {
   [[nodiscard]] util::Histogram page_voltage_histogram(
       std::uint32_t block, std::uint32_t page, std::size_t bins = 256) const;
 
-  [[nodiscard]] const CostLedger& ledger() const noexcept { return ledger_; }
-  void reset_ledger() noexcept { ledger_.clear(); }
+  /// Materialized snapshot of the fixed-point atomic ledger.  Safe to call
+  /// while operations run on other threads; totals are exact (integer
+  /// nanosecond/nanojoule accumulation) and independent of thread count.
+  [[nodiscard]] CostLedger ledger() const noexcept;
+  void reset_ledger() noexcept;
   [[nodiscard]] const OpCosts& costs() const noexcept { return costs_; }
 
   /// Convenience: program every page of a block with pseudorandom data
@@ -170,9 +192,38 @@ class FlashChip {
     /// page * cells_per_page + cell.  Survives erase: it is permanent
     /// physical wear, which is exactly why PT-HI can use it.
     std::unordered_map<std::uint64_t, float> stress;
+    /// Per-block noise stream, seeded from (chip serial, block).  Keeping
+    /// the stream block-local is what makes concurrent operations on
+    /// distinct blocks bit-reproducible (see the concurrency contract in
+    /// the file header).
+    util::Xoshiro256 rng;
     std::uint32_t pec = 0;
     std::uint32_t next_program_page = 0;
   };
+
+  /// Fixed-point ledger accumulator: integer adds commute, so the totals a
+  /// multi-threaded run reports are bit-identical to a serial run's.
+  struct AtomicLedger {
+    std::atomic<std::uint64_t> time_ns{0};
+    std::atomic<std::uint64_t> energy_nj{0};
+    std::atomic<std::uint64_t> reads{0};
+    std::atomic<std::uint64_t> programs{0};
+    std::atomic<std::uint64_t> erases{0};
+    std::atomic<std::uint64_t> partial_programs{0};
+  };
+
+  static constexpr std::size_t kLockStripes = 64;
+  [[nodiscard]] std::mutex& block_lock(std::uint32_t block) const noexcept {
+    return locks_[block % kLockStripes];
+  }
+  void charge(double us, double uj) noexcept;
+  /// Fault injectors carry chip-wide mutable state (operation counters,
+  /// schedules), so every consultation is serialized on a dedicated lock
+  /// (the stripe array's extra slot).  Note that fault *decisions* keyed on
+  /// global op indices are only reproducible under a deterministic
+  /// chip-wide op order — drive fault-injected chips from one shard.
+  FaultDecision consult_fault(FaultOp op, std::uint32_t block,
+                              std::uint32_t page);
 
   [[nodiscard]] Status check_addr(std::uint32_t block, std::uint32_t page) const;
   Block& touch(std::uint32_t block);
@@ -203,9 +254,11 @@ class FlashChip {
   NoiseModel noise_;
   OpCosts costs_;
   std::uint64_t seed_;
-  util::Xoshiro256 rng_;
   std::vector<std::unique_ptr<Block>> blocks_;
-  CostLedger ledger_;
+  // Heap-held so the defaulted moves stay valid (mutexes and atomics are
+  // not movable).  Moving a chip while operations are in flight is UB.
+  std::unique_ptr<std::mutex[]> locks_;
+  std::unique_ptr<AtomicLedger> ledger_;
   FaultInjector* fault_ = nullptr;
 };
 

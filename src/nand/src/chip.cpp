@@ -60,8 +60,50 @@ FlashChip::FlashChip(const Geometry& geometry, const NoiseModel& noise,
       noise_(noise),
       costs_(costs),
       seed_(serial_seed),
-      rng_(hash_words(serial_seed, 0xF1A5ULL)),
-      blocks_(geometry.blocks) {}
+      blocks_(geometry.blocks),
+      locks_(std::make_unique<std::mutex[]>(kLockStripes + 1)),
+      ledger_(std::make_unique<AtomicLedger>()) {}
+
+void FlashChip::charge(double us, double uj) noexcept {
+  // Fixed-point (nano-unit) accumulation: integer adds are exact and
+  // commutative, so ledger totals are independent of thread interleaving.
+  ledger_->time_ns.fetch_add(static_cast<std::uint64_t>(std::llround(us * 1e3)),
+                             std::memory_order_relaxed);
+  ledger_->energy_nj.fetch_add(
+      static_cast<std::uint64_t>(std::llround(uj * 1e3)),
+      std::memory_order_relaxed);
+}
+
+CostLedger FlashChip::ledger() const noexcept {
+  CostLedger l;
+  l.time_us =
+      static_cast<double>(ledger_->time_ns.load(std::memory_order_relaxed)) /
+      1e3;
+  l.energy_uj =
+      static_cast<double>(ledger_->energy_nj.load(std::memory_order_relaxed)) /
+      1e3;
+  l.reads = ledger_->reads.load(std::memory_order_relaxed);
+  l.programs = ledger_->programs.load(std::memory_order_relaxed);
+  l.erases = ledger_->erases.load(std::memory_order_relaxed);
+  l.partial_programs =
+      ledger_->partial_programs.load(std::memory_order_relaxed);
+  return l;
+}
+
+FaultDecision FlashChip::consult_fault(FaultOp op, std::uint32_t block,
+                                       std::uint32_t page) {
+  const std::lock_guard<std::mutex> lock(locks_[kLockStripes]);
+  return fault_->on_operation(op, block, page);
+}
+
+void FlashChip::reset_ledger() noexcept {
+  ledger_->time_ns.store(0, std::memory_order_relaxed);
+  ledger_->energy_nj.store(0, std::memory_order_relaxed);
+  ledger_->reads.store(0, std::memory_order_relaxed);
+  ledger_->programs.store(0, std::memory_order_relaxed);
+  ledger_->erases.store(0, std::memory_order_relaxed);
+  ledger_->partial_programs.store(0, std::memory_order_relaxed);
+}
 
 Status FlashChip::check_addr(std::uint32_t block, std::uint32_t page) const {
   if (block >= geom_.blocks || page >= geom_.pages_per_block) {
@@ -74,6 +116,7 @@ FlashChip::Block& FlashChip::touch(std::uint32_t block) {
   auto& slot = blocks_[block];
   if (!slot) {
     slot = std::make_unique<Block>();
+    slot->rng = Xoshiro256(hash_words(seed_, 0xB10C5EEDULL, block));
     slot->state.assign(geom_.pages_per_block, PageState::kErased);
     slot->age_hours.assign(geom_.pages_per_block, 0.0f);
     slot->v.resize(static_cast<std::size_t>(geom_.pages_per_block) *
@@ -172,9 +215,9 @@ void FlashChip::redraw_page_erased(Block& blk, std::uint32_t block,
   float* row =
       blk.v.data() + static_cast<std::size_t>(page) * geom_.cells_per_page;
   for (std::uint32_t c = 0; c < geom_.cells_per_page; ++c) {
-    double v = rng_.normal(mu, noise_.erased_cell_sigma);
-    if (rng_.bernoulli(tail_prob)) {
-      v += rng_.exponential(tail_mean);
+    double v = blk.rng.normal(mu, noise_.erased_cell_sigma);
+    if (blk.rng.bernoulli(tail_prob)) {
+      v += blk.rng.exponential(tail_mean);
     }
     // The erased state physically cannot hold half-programmed charge: cap
     // the tail well below any read reference (Fig. 2a's ~70-level reach).
@@ -186,12 +229,13 @@ void FlashChip::redraw_page_erased(Block& blk, std::uint32_t block,
 
 Status FlashChip::erase_block(std::uint32_t block) {
   STASH_RETURN_IF_ERROR(check_addr(block, 0));
+  const std::lock_guard<std::mutex> lock(block_lock(block));
   Block& blk = touch(block);
   if (blk.pec >= geom_.pec_limit * 2) {
     return {ErrorCode::kWornOut, "block exceeded twice its rated lifetime"};
   }
   FaultDecision fd;
-  if (fault_) fd = fault_->on_operation(FaultOp::kErase, block, 0);
+  if (fault_) fd = consult_fault(FaultOp::kErase, block, 0);
   // Even an interrupted erase pulse wears the block.
   ++blk.pec;
   blk.next_program_page = 0;
@@ -207,9 +251,8 @@ Status FlashChip::erase_block(std::uint32_t block) {
     blk.age_hours[p] = 0.0f;
     redraw_page_erased(blk, block, p);
   }
-  ledger_.time_us += costs_.erase_us;
-  ledger_.energy_uj += costs_.erase_uj;
-  ++ledger_.erases;
+  charge(costs_.erase_us, costs_.erase_uj);
+  ledger_->erases.fetch_add(1, std::memory_order_relaxed);
   chip_telemetry().erases.inc();
   chip_telemetry().pec_at_erase.record(blk.pec);
   if (fd.power_cut) return {ErrorCode::kPowerLoss, "power lost during erase"};
@@ -223,6 +266,7 @@ Status FlashChip::program_page(std::uint32_t block, std::uint32_t page,
   if (bits.size() != geom_.cells_per_page) {
     return {ErrorCode::kInvalidArgument, "bit buffer != cells per page"};
   }
+  const std::lock_guard<std::mutex> lock(block_lock(block));
   Block& blk = touch(block);
   if (blk.state[page] != PageState::kErased) {
     return {ErrorCode::kProgramFail, "page already programmed (no in-place update)"};
@@ -231,7 +275,7 @@ Status FlashChip::program_page(std::uint32_t block, std::uint32_t page,
     return {ErrorCode::kProgramFail, "pages must be programmed in order"};
   }
   FaultDecision fd;
-  if (fault_) fd = fault_->on_operation(FaultOp::kProgram, block, page);
+  if (fault_) fd = consult_fault(FaultOp::kProgram, block, page);
   // A failed program typically aborts mid-ISPP, leaving cells part-way to
   // target; a power cut applies exactly the scheduled fraction (0 = the
   // pulse never started).
@@ -256,10 +300,10 @@ Status FlashChip::program_page(std::uint32_t block, std::uint32_t page,
     if (cell_is_weak(block, page, c)) {
       // Weak cells program low, and wear makes them weaker still — the
       // public-data BER growth of §8.
-      target = rng_.normal(noise_.weak_cell_mu - 2.0 * wear_k,
+      target = blk.rng.normal(noise_.weak_cell_mu - 2.0 * wear_k,
                            noise_.weak_cell_sigma);
     } else {
-      target = rng_.normal(mu, sigma);
+      target = blk.rng.normal(mu, sigma);
     }
     // ISPP never lowers a cell's voltage; an interrupted program only moves
     // the cell `frac` of the way toward its target.
@@ -276,9 +320,8 @@ Status FlashChip::program_page(std::uint32_t block, std::uint32_t page,
 
   disturb_neighbors(blk, block, page, frac);
 
-  ledger_.time_us += costs_.program_us;
-  ledger_.energy_uj += costs_.program_uj;
-  ++ledger_.programs;
+  charge(costs_.program_us, costs_.program_uj);
+  ledger_->programs.fetch_add(1, std::memory_order_relaxed);
   chip_telemetry().programs.inc();
   if (fd.power_cut) return {ErrorCode::kPowerLoss, "power lost during program"};
   if (fd.fail) return {ErrorCode::kProgramFail, "program reported status failure"};
@@ -294,10 +337,10 @@ std::vector<std::uint8_t> FlashChip::read_page_at(std::uint32_t block,
                                                   std::uint32_t page,
                                                   double vref) {
   if (!check_addr(block, page).is_ok()) return {};
-  if (fault_ &&
-      fault_->on_operation(FaultOp::kRead, block, page).interrupts()) {
+  if (fault_ && consult_fault(FaultOp::kRead, block, page).interrupts()) {
     return {};
   }
+  const std::lock_guard<std::mutex> lock(block_lock(block));
   Block& blk = touch(block);
   const float* row =
       blk.v.data() + static_cast<std::size_t>(page) * geom_.cells_per_page;
@@ -310,33 +353,35 @@ std::vector<std::uint8_t> FlashChip::read_page_at(std::uint32_t block,
   const double expected =
       noise_.read_disturb_prob * static_cast<double>(geom_.cells_per_page);
   const auto events = static_cast<std::uint32_t>(
-      expected + (rng_.uniform() < (expected - std::floor(expected)) ? 1 : 0));
+      expected + (blk.rng.uniform() < (expected - std::floor(expected)) ? 1 : 0));
   float* mrow =
       blk.v.data() + static_cast<std::size_t>(page) * geom_.cells_per_page;
   for (std::uint32_t i = 0; i < events; ++i) {
-    const auto c = static_cast<std::uint32_t>(rng_.below(geom_.cells_per_page));
+    const auto c = static_cast<std::uint32_t>(blk.rng.below(geom_.cells_per_page));
     if (mrow[c] < 90.0f) {
       mrow[c] = static_cast<float>(std::clamp(
-          mrow[c] + std::max(0.0, rng_.normal(noise_.read_disturb_mu, 0.2)),
+          mrow[c] + std::max(0.0, blk.rng.normal(noise_.read_disturb_mu, 0.2)),
           0.0, kVmax));
     }
   }
 
-  ledger_.time_us += costs_.read_us;
-  ledger_.energy_uj += costs_.read_uj;
-  ++ledger_.reads;
+  charge(costs_.read_us, costs_.read_uj);
+  ledger_->reads.fetch_add(1, std::memory_order_relaxed);
   chip_telemetry().reads.inc();
-  if (fault_) fault_->corrupt_read(block, page, {out.data(), out.size()}, vref);
+  if (fault_) {
+    const std::lock_guard<std::mutex> fault_guard(locks_[kLockStripes]);
+    fault_->corrupt_read(block, page, {out.data(), out.size()}, vref);
+  }
   return out;
 }
 
 std::vector<int> FlashChip::probe_voltages(std::uint32_t block,
                                            std::uint32_t page) {
   if (!check_addr(block, page).is_ok()) return {};
-  if (fault_ &&
-      fault_->on_operation(FaultOp::kRead, block, page).interrupts()) {
+  if (fault_ && consult_fault(FaultOp::kRead, block, page).interrupts()) {
     return {};
   }
+  const std::lock_guard<std::mutex> lock(block_lock(block));
   Block& blk = touch(block);
   const float* row =
       blk.v.data() + static_cast<std::size_t>(page) * geom_.cells_per_page;
@@ -344,12 +389,14 @@ std::vector<int> FlashChip::probe_voltages(std::uint32_t block,
   for (std::uint32_t c = 0; c < geom_.cells_per_page; ++c) {
     out[c] = static_cast<int>(std::lround(row[c]));
   }
-  ledger_.time_us += costs_.read_us;
-  ledger_.energy_uj += costs_.read_uj;
-  ++ledger_.reads;
+  charge(costs_.read_us, costs_.read_uj);
+  ledger_->reads.fetch_add(1, std::memory_order_relaxed);
   chip_telemetry().reads.inc();
   chip_telemetry().probes.inc();
-  if (fault_) fault_->corrupt_probe(block, page, {out.data(), out.size()});
+  if (fault_) {
+    const std::lock_guard<std::mutex> fault_guard(locks_[kLockStripes]);
+    fault_->corrupt_probe(block, page, {out.data(), out.size()});
+  }
   return out;
 }
 
@@ -363,9 +410,10 @@ Status FlashChip::partial_program(std::uint32_t block, std::uint32_t page,
     return {ErrorCode::kInvalidArgument, "step_scale must be positive"};
   }
   FaultDecision fd;
-  if (fault_) fd = fault_->on_operation(FaultOp::kPartialProgram, block, page);
+  if (fault_) fd = consult_fault(FaultOp::kPartialProgram, block, page);
   const double frac =
       fd.interrupts() ? std::clamp(fd.completed_fraction, 0.0, 1.0) : 1.0;
+  const std::lock_guard<std::mutex> lock(block_lock(block));
   Block& blk = touch(block);
   float* row =
       blk.v.data() + static_cast<std::size_t>(page) * geom_.cells_per_page;
@@ -377,7 +425,7 @@ Status FlashChip::partial_program(std::uint32_t block, std::uint32_t page,
     // A truncated step deposits only `frac` of its charge (the increment is
     // drawn either way so the noise stream stays aligned with the plan).
     const double inc =
-        frac * std::max(0.0, rng_.normal(noise_.pp_step_mu * speed * step_scale,
+        frac * std::max(0.0, blk.rng.normal(noise_.pp_step_mu * speed * step_scale,
                                          noise_.pp_step_sigma * step_scale));
     row[c] = static_cast<float>(std::clamp(row[c] + inc, 0.0, kVmax));
   }
@@ -385,9 +433,8 @@ Status FlashChip::partial_program(std::uint32_t block, std::uint32_t page,
   // less than a full program pass (the charge pump aborts early).
   disturb_neighbors(blk, block, page, 0.02 * frac);
 
-  ledger_.time_us += costs_.partial_program_us;
-  ledger_.energy_uj += costs_.partial_program_uj;
-  ++ledger_.partial_programs;
+  charge(costs_.partial_program_us, costs_.partial_program_uj);
+  ledger_->partial_programs.fetch_add(1, std::memory_order_relaxed);
   chip_telemetry().partial_programs.inc();
   if (fd.power_cut) {
     return {ErrorCode::kPowerLoss, "power lost during partial program"};
@@ -404,9 +451,10 @@ Status FlashChip::fine_program(std::uint32_t block, std::uint32_t page,
                                double target_tail) {
   STASH_RETURN_IF_ERROR(check_addr(block, page));
   FaultDecision fd;
-  if (fault_) fd = fault_->on_operation(FaultOp::kFineProgram, block, page);
+  if (fault_) fd = consult_fault(FaultOp::kFineProgram, block, page);
   const double frac =
       fd.interrupts() ? std::clamp(fd.completed_fraction, 0.0, 1.0) : 1.0;
+  const std::lock_guard<std::mutex> lock(block_lock(block));
   Block& blk = touch(block);
   float* row =
       blk.v.data() + static_cast<std::size_t>(page) * geom_.cells_per_page;
@@ -414,8 +462,8 @@ Status FlashChip::fine_program(std::uint32_t block, std::uint32_t page,
     if (c >= geom_.cells_per_page) {
       return {ErrorCode::kOutOfBounds, "cell index outside page"};
     }
-    double target = rng_.normal(target_mu, target_sigma);
-    if (target_tail > 0.0) target += rng_.exponential(target_tail);
+    double target = blk.rng.normal(target_mu, target_sigma);
+    if (target_tail > 0.0) target += blk.rng.exponential(target_tail);
     // The precise pass never drives an erased-level cell anywhere near the
     // read window — cap at the erased-state ceiling (cf. redraw_page_erased)
     // so hidden cells remain cleanly inside the non-programmed band.
@@ -426,9 +474,8 @@ Status FlashChip::fine_program(std::uint32_t block, std::uint32_t page,
   }
   disturb_neighbors(blk, block, page, 0.01 * frac);
 
-  ledger_.time_us += costs_.partial_program_us;
-  ledger_.energy_uj += costs_.partial_program_uj;
-  ++ledger_.partial_programs;
+  charge(costs_.partial_program_us, costs_.partial_program_uj);
+  ledger_->partial_programs.fetch_add(1, std::memory_order_relaxed);
   chip_telemetry().partial_programs.inc();
   chip_telemetry().fine_programs.inc();
   if (fd.power_cut) {
@@ -444,6 +491,7 @@ Status FlashChip::stress_cells(std::uint32_t block, std::uint32_t page,
                                std::span<const std::uint32_t> cells,
                                std::uint32_t cycles) {
   STASH_RETURN_IF_ERROR(check_addr(block, page));
+  const std::lock_guard<std::mutex> lock(block_lock(block));
   Block& blk = touch(block);
   for (std::uint32_t c : cells) {
     if (c >= geom_.cells_per_page) {
@@ -454,9 +502,8 @@ Status FlashChip::stress_cells(std::uint32_t block, std::uint32_t page,
     blk.stress[key] += static_cast<float>(cycles);
   }
   // Ledger: PT-HI pays one program per stress cycle on this page.
-  ledger_.time_us += costs_.program_us * cycles;
-  ledger_.energy_uj += costs_.program_uj * cycles;
-  ledger_.programs += cycles;
+  charge(costs_.program_us * cycles, costs_.program_uj * cycles);
+  ledger_->programs.fetch_add(cycles, std::memory_order_relaxed);
   chip_telemetry().programs.inc(cycles);
   chip_telemetry().stress_ops.inc();
   return Status::ok();
@@ -477,7 +524,7 @@ void FlashChip::disturb_neighbors(Block& blk, std::uint32_t block,
         // Erased-level cells accumulate positive disturb charge (Fig. 2a's
         // partially-charged non-programmed cells).
         const double inc = std::max(
-            0.0, rng_.normal(noise_.disturb_mu * scale,
+            0.0, blk.rng.normal(noise_.disturb_mu * scale,
                              noise_.disturb_sigma * scale));
         row[c] = static_cast<float>(std::clamp(row[c] + inc, 0.0, kVmax));
       } else {
@@ -485,8 +532,8 @@ void FlashChip::disturb_neighbors(Block& blk, std::uint32_t block,
         // the mechanism behind the public-BER inflation VT-HI's page
         // interval controls (§6.3; calibrated so interval-0 hiding inflates
         // public BER by roughly the paper's 20%).
-        if (rng_.uniform() < 1.2e-6) {
-          const double drop = rng_.exponential(15.0);
+        if (blk.rng.uniform() < 1.2e-6) {
+          const double drop = blk.rng.exponential(15.0);
           row[c] = static_cast<float>(
               std::clamp(row[c] - drop, 0.0, kVmax));
         }
@@ -501,12 +548,12 @@ void FlashChip::disturb_neighbors(Block& blk, std::uint32_t block,
 Status FlashChip::age_cycles(std::uint32_t block, std::uint32_t n,
                              bool charge_ledger) {
   STASH_RETURN_IF_ERROR(check_addr(block, 0));
+  const std::lock_guard<std::mutex> lock(block_lock(block));
   Block& blk = touch(block);
   blk.pec += n;
   if (charge_ledger) {
-    ledger_.time_us += costs_.erase_us * n;
-    ledger_.energy_uj += costs_.erase_uj * n;
-    ledger_.erases += n;
+    charge(costs_.erase_us * n, costs_.erase_uj * n);
+    ledger_->erases.fetch_add(n, std::memory_order_relaxed);
     chip_telemetry().erases.inc(n);
   }
   // Equivalent end state of n random-data cycles: block left erased.
@@ -544,6 +591,7 @@ void FlashChip::leak_page(Block& blk, std::uint32_t block, std::uint32_t page,
 
 void FlashChip::bake_block(std::uint32_t block, double hours) {
   if (!check_addr(block, 0).is_ok() || hours <= 0.0) return;
+  const std::lock_guard<std::mutex> lock(block_lock(block));
   Block& blk = touch(block);
   for (std::uint32_t p = 0; p < geom_.pages_per_block; ++p) {
     leak_page(blk, block, p, hours);
@@ -610,7 +658,10 @@ std::vector<std::vector<std::uint8_t>> FlashChip::program_block_random(
 }
 
 void FlashChip::drop_block(std::uint32_t block) {
-  if (block < blocks_.size()) blocks_[block].reset();
+  if (block < blocks_.size()) {
+    const std::lock_guard<std::mutex> lock(block_lock(block));
+    blocks_[block].reset();
+  }
 }
 
 }  // namespace stash::nand

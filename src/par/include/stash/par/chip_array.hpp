@@ -1,0 +1,124 @@
+#pragma once
+// stash::par::ChipArray — a sharded multi-chip device layer.
+//
+// Owns N FlashChips (a multi-die package or a small array of packages, the
+// scale §7's throughput projections assume).  Chip i is seeded from
+// (root seed, i), so the array's noise is fully determined by one root seed
+// and the geometry — rebuilding the array reproduces every chip exactly.
+//
+// The batch API (submit_erase / submit_program / submit_read / submit_probe)
+// returns futures and dispatches through per-(chip, block-stripe) shard
+// queues running on a shared ThreadPool:
+//
+//   * Operations bound for different shards run concurrently — safe because
+//     FlashChip gives every block its own RNG stream and lock.
+//   * Operations inside one shard run FIFO in submission order — which
+//     pins down the one thing FlashChip cannot make order-free, the noise
+//     stream of same-block operation sequences.
+//
+// Together these make a batch deterministic: for a fixed submission order,
+// an 8-thread run produces bit-identical voltages, reads and ledger totals
+// to a 1-thread run (with an inline pool the shards simply execute during
+// submit()).
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "stash/nand/chip.hpp"
+#include "stash/nand/geometry.hpp"
+#include "stash/nand/noise.hpp"
+#include "stash/par/pool.hpp"
+#include "stash/util/status.hpp"
+
+namespace stash::par {
+
+class ChipArray {
+ public:
+  /// Builds `chips` FlashChips with identical geometry/noise/costs, chip i
+  /// seeded from (root_seed, i).  The pool must outlive the array.
+  ChipArray(const nand::Geometry& geometry, const nand::NoiseModel& noise,
+            std::uint64_t root_seed, std::uint32_t chips, ThreadPool& pool,
+            nand::OpCosts costs = nand::OpCosts{});
+
+  ChipArray(const ChipArray&) = delete;
+  ChipArray& operator=(const ChipArray&) = delete;
+
+  /// Drains all shard queues before releasing the chips.
+  ~ChipArray();
+
+  [[nodiscard]] std::uint32_t chips() const noexcept {
+    return static_cast<std::uint32_t>(chips_.size());
+  }
+  [[nodiscard]] nand::FlashChip& chip(std::uint32_t i) { return *chips_.at(i); }
+  [[nodiscard]] const nand::FlashChip& chip(std::uint32_t i) const {
+    return *chips_.at(i);
+  }
+  /// The seed chip i was built with (derived, not stored on the chip).
+  [[nodiscard]] static std::uint64_t chip_seed(std::uint64_t root_seed,
+                                               std::uint32_t chip);
+
+  // ---- Batch operations ---------------------------------------------------
+  // Each call enqueues onto the (chip, block) shard and returns immediately;
+  // the future resolves when the shard strand executes the operation.
+
+  std::future<util::Status> submit_erase(std::uint32_t chip,
+                                         std::uint32_t block);
+  std::future<util::Status> submit_program(std::uint32_t chip,
+                                           std::uint32_t block,
+                                           std::uint32_t page,
+                                           std::vector<std::uint8_t> bits);
+  std::future<std::vector<std::uint8_t>> submit_read(std::uint32_t chip,
+                                                     std::uint32_t block,
+                                                     std::uint32_t page);
+  std::future<std::vector<int>> submit_probe(std::uint32_t chip,
+                                             std::uint32_t block,
+                                             std::uint32_t page);
+  /// Arbitrary work on the shard strand of (chip, block) — lets callers
+  /// sequence custom per-block operation chains (e.g. a whole embed loop)
+  /// against the batch traffic.
+  std::future<void> submit_on_block(std::uint32_t chip, std::uint32_t block,
+                                    std::function<void(nand::FlashChip&)> fn);
+
+  /// Block until every submitted operation has executed.
+  void drain();
+
+  /// Aggregate ledger across all chips (exact: fixed-point totals).
+  [[nodiscard]] nand::CostLedger total_ledger() const;
+
+ private:
+  /// A FIFO strand: at most one pool task pumps a shard at a time, so the
+  /// shard's operations execute in submission order.
+  struct Shard {
+    std::mutex mu;
+    std::deque<std::function<void()>> q;
+    bool running = false;
+  };
+
+  static constexpr std::uint32_t kStripesPerChip = 16;
+
+  [[nodiscard]] std::size_t shard_of(std::uint32_t chip,
+                                     std::uint32_t block) const {
+    return static_cast<std::size_t>(chip) * kStripesPerChip +
+           block % kStripesPerChip;
+  }
+  void enqueue(std::uint32_t chip, std::uint32_t block,
+               std::function<void()> fn);
+  void pump(Shard& shard);
+
+  ThreadPool* pool_;
+  std::vector<std::unique_ptr<nand::FlashChip>> chips_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  std::size_t inflight_ = 0;   // operations submitted but not yet executed
+  std::size_t pumps_ = 0;      // pump tasks launched but not yet exited
+};
+
+}  // namespace stash::par

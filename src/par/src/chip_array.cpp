@@ -1,0 +1,168 @@
+#include "stash/par/chip_array.hpp"
+
+#include "stash/util/rng.hpp"
+
+namespace stash::par {
+
+ChipArray::ChipArray(const nand::Geometry& geometry,
+                     const nand::NoiseModel& noise, std::uint64_t root_seed,
+                     std::uint32_t chips, ThreadPool& pool,
+                     nand::OpCosts costs)
+    : pool_(&pool) {
+  chips_.reserve(chips);
+  for (std::uint32_t i = 0; i < chips; ++i) {
+    chips_.push_back(std::make_unique<nand::FlashChip>(
+        geometry, noise, chip_seed(root_seed, i), costs));
+  }
+  shards_.reserve(static_cast<std::size_t>(chips) * kStripesPerChip);
+  for (std::size_t s = 0; s < static_cast<std::size_t>(chips) * kStripesPerChip;
+       ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ChipArray::~ChipArray() { drain(); }
+
+std::uint64_t ChipArray::chip_seed(std::uint64_t root_seed,
+                                   std::uint32_t chip) {
+  return util::hash_words(root_seed, 0xC417A55AULL, chip);
+}
+
+void ChipArray::enqueue(std::uint32_t chip, std::uint32_t block,
+                        std::function<void()> fn) {
+  Shard& shard = *shards_.at(shard_of(chip, block));
+  {
+    const std::lock_guard<std::mutex> lock(drain_mu_);
+    ++inflight_;
+  }
+  bool launch = false;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    shard.q.push_back(std::move(fn));
+    if (!shard.running) {
+      shard.running = true;
+      launch = true;
+    }
+  }
+  // Only the task that flipped `running` pumps, so the shard is a strand:
+  // its queue drains FIFO with no two operations in flight at once.
+  if (launch) {
+    {
+      const std::lock_guard<std::mutex> lock(drain_mu_);
+      ++pumps_;
+    }
+    pool_->submit([this, &shard] { pump(shard); });
+  }
+}
+
+void ChipArray::pump(Shard& shard) {
+  std::size_t done = 0;
+  for (;;) {
+    std::function<void()> task;
+    {
+      const std::lock_guard<std::mutex> lock(shard.mu);
+      if (shard.q.empty()) {
+        shard.running = false;
+        break;
+      }
+      task = std::move(shard.q.front());
+      shard.q.pop_front();
+    }
+    task();
+    ++done;
+  }
+  // Single exit-time accounting touch: drain() only wakes once this pump has
+  // finished with the shard, so after drain() returns no pump can still be
+  // dereferencing ChipArray state (the shards are safe to destroy).
+  const std::lock_guard<std::mutex> lock(drain_mu_);
+  inflight_ -= done;
+  --pumps_;
+  if (inflight_ == 0 && pumps_ == 0) drain_cv_.notify_all();
+}
+
+void ChipArray::drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [&] { return inflight_ == 0 && pumps_ == 0; });
+}
+
+std::future<util::Status> ChipArray::submit_erase(std::uint32_t chip,
+                                                  std::uint32_t block) {
+  auto prom = std::make_shared<std::promise<util::Status>>();
+  auto fut = prom->get_future();
+  nand::FlashChip* dev = chips_.at(chip).get();
+  enqueue(chip, block, [prom, dev, block] {
+    prom->set_value(dev->erase_block(block));
+  });
+  return fut;
+}
+
+std::future<util::Status> ChipArray::submit_program(
+    std::uint32_t chip, std::uint32_t block, std::uint32_t page,
+    std::vector<std::uint8_t> bits) {
+  auto prom = std::make_shared<std::promise<util::Status>>();
+  auto fut = prom->get_future();
+  nand::FlashChip* dev = chips_.at(chip).get();
+  auto data = std::make_shared<std::vector<std::uint8_t>>(std::move(bits));
+  enqueue(chip, block, [prom, dev, block, page, data] {
+    prom->set_value(dev->program_page(block, page, *data));
+  });
+  return fut;
+}
+
+std::future<std::vector<std::uint8_t>> ChipArray::submit_read(
+    std::uint32_t chip, std::uint32_t block, std::uint32_t page) {
+  auto prom = std::make_shared<std::promise<std::vector<std::uint8_t>>>();
+  auto fut = prom->get_future();
+  nand::FlashChip* dev = chips_.at(chip).get();
+  enqueue(chip, block, [prom, dev, block, page] {
+    prom->set_value(dev->read_page(block, page));
+  });
+  return fut;
+}
+
+std::future<std::vector<int>> ChipArray::submit_probe(std::uint32_t chip,
+                                                      std::uint32_t block,
+                                                      std::uint32_t page) {
+  auto prom = std::make_shared<std::promise<std::vector<int>>>();
+  auto fut = prom->get_future();
+  nand::FlashChip* dev = chips_.at(chip).get();
+  enqueue(chip, block, [prom, dev, block, page] {
+    prom->set_value(dev->probe_voltages(block, page));
+  });
+  return fut;
+}
+
+std::future<void> ChipArray::submit_on_block(
+    std::uint32_t chip, std::uint32_t block,
+    std::function<void(nand::FlashChip&)> fn) {
+  auto prom = std::make_shared<std::promise<void>>();
+  auto fut = prom->get_future();
+  nand::FlashChip* dev = chips_.at(chip).get();
+  auto body = std::make_shared<std::function<void(nand::FlashChip&)>>(
+      std::move(fn));
+  enqueue(chip, block, [prom, dev, body] {
+    try {
+      (*body)(*dev);
+      prom->set_value();
+    } catch (...) {
+      prom->set_exception(std::current_exception());
+    }
+  });
+  return fut;
+}
+
+nand::CostLedger ChipArray::total_ledger() const {
+  nand::CostLedger total{};
+  for (const auto& c : chips_) {
+    const nand::CostLedger l = c->ledger();
+    total.time_us += l.time_us;
+    total.energy_uj += l.energy_uj;
+    total.reads += l.reads;
+    total.programs += l.programs;
+    total.erases += l.erases;
+    total.partial_programs += l.partial_programs;
+  }
+  return total;
+}
+
+}  // namespace stash::par

@@ -12,8 +12,15 @@
 //
 // The sink is runtime-opt-in: devices trace only while a sink is attached,
 // and the untraced hot path pays a single null-pointer test.
+//
+// Thread-safe: all recording and reading goes through an internal mutex, so
+// one sink may be shared by devices driven from multiple threads.  Note that
+// record/amend pairs from different threads can interleave — attach one sink
+// per device (or serialize the device) when amend_last must hit the matching
+// record.
 
 #include <cstdint>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -64,6 +71,7 @@ class TraceSink {
   [[nodiscard]] std::size_t size() const noexcept;
   /// Events ever recorded, including those the ring has dropped.
   [[nodiscard]] std::uint64_t total_recorded() const noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
     return next_seq_;
   }
 
@@ -82,7 +90,10 @@ class TraceSink {
       std::string_view text);
 
  private:
-  std::vector<TraceEvent> ring_;
+  [[nodiscard]] std::vector<TraceEvent> events_locked() const;
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;  // size fixed at construction
   std::uint64_t next_seq_ = 0;
 };
 

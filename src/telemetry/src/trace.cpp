@@ -12,6 +12,7 @@ TraceSink::TraceSink(std::size_t capacity)
 void TraceSink::record(std::uint8_t opcode, std::uint32_t block,
                        std::uint32_t page, double busy_us, std::uint8_t status,
                        double aux) noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
   TraceEvent& slot = ring_[next_seq_ % ring_.size()];
   slot.seq = next_seq_++;
   slot.opcode = opcode;
@@ -23,6 +24,7 @@ void TraceSink::record(std::uint8_t opcode, std::uint32_t block,
 }
 
 void TraceSink::amend_last(double busy_us, std::uint8_t status) noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (next_seq_ == 0) return;
   TraceEvent& slot = ring_[(next_seq_ - 1) % ring_.size()];
   slot.busy_us += busy_us;
@@ -30,18 +32,22 @@ void TraceSink::amend_last(double busy_us, std::uint8_t status) noexcept {
 }
 
 void TraceSink::amend_last_aux(double aux) noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (next_seq_ == 0) return;
   ring_[(next_seq_ - 1) % ring_.size()].aux = aux;
 }
 
 std::size_t TraceSink::size() const noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
   return next_seq_ < ring_.size() ? static_cast<std::size_t>(next_seq_)
                                   : ring_.size();
 }
 
-std::vector<TraceEvent> TraceSink::events() const {
+std::vector<TraceEvent> TraceSink::events_locked() const {
   std::vector<TraceEvent> out;
-  const std::size_t n = size();
+  const std::size_t n = next_seq_ < ring_.size()
+                            ? static_cast<std::size_t>(next_seq_)
+                            : ring_.size();
   out.reserve(n);
   const std::uint64_t first = next_seq_ - n;
   for (std::uint64_t s = first; s < next_seq_; ++s) {
@@ -50,7 +56,15 @@ std::vector<TraceEvent> TraceSink::events() const {
   return out;
 }
 
-void TraceSink::clear() noexcept { next_seq_ = 0; }
+std::vector<TraceEvent> TraceSink::events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_locked();
+}
+
+void TraceSink::clear() noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  next_seq_ = 0;
+}
 
 void TraceSink::dump_jsonl(std::ostream& os) const {
   for (const TraceEvent& e : events()) {

@@ -4,6 +4,7 @@
 // SVM detectability analysis consumes as its feature vector.
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -13,7 +14,9 @@ namespace stash::util {
 class Histogram {
  public:
   /// Bins cover [lo, hi); values outside are clamped into the edge bins so
-  /// no observation is ever silently dropped.
+  /// no observation is ever silently dropped, and tallied as
+  /// underflow()/overflow() so the clamping is never silent either.
+  /// Throws std::invalid_argument unless bins > 0 and hi > lo.
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x) noexcept;
@@ -28,6 +31,12 @@ class Histogram {
     return counts_.at(bin);
   }
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  /// Observations below lo / at-or-above hi.  They are still counted into
+  /// the edge bins (and into total()), but these tallies let a consumer
+  /// report clamped tail mass honestly instead of mistaking it for real
+  /// edge-bin population.
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
   [[nodiscard]] double bin_center(std::size_t bin) const noexcept {
     return lo_ + (static_cast<double>(bin) + 0.5) * width_;
   }
@@ -52,6 +61,8 @@ class Histogram {
   double width_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
 };
 
 }  // namespace stash::util

@@ -5,13 +5,21 @@
 #include <stdexcept>
 
 namespace stash::util {
+namespace {
 
-Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
-      counts_(bins, 0) {
+/// Validates the constructor arguments before any arithmetic touches them:
+/// the width division must never see bins == 0 or hi <= lo (a pre-throw
+/// inf/NaN would escape into the member before the guard fired).
+double checked_width(double lo, double hi, std::size_t bins) {
   if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
   if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+  return (hi - lo) / static_cast<double>(bins);
 }
+
+}  // namespace
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_(checked_width(lo, hi, bins)), counts_(bins, 0) {}
 
 std::size_t Histogram::bin_of(double x) const noexcept {
   if (x <= lo_) return 0;
@@ -21,6 +29,11 @@ std::size_t Histogram::bin_of(double x) const noexcept {
 }
 
 void Histogram::add(double x) noexcept {
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  }
   ++counts_[bin_of(x)];
   ++total_;
 }
@@ -59,6 +72,8 @@ void Histogram::merge(const Histogram& other) {
   }
   for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
   total_ += other.total_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
 }
 
 std::string Histogram::to_tsv(const std::string& label) const {
@@ -72,6 +87,16 @@ std::string Histogram::to_tsv(const std::string& label) const {
     } else {
       std::snprintf(buf, sizeof buf, "%.1f\t%.6f\n", bin_center(i), norm[i]);
     }
+    out += buf;
+  }
+  // Out-of-range mass is clamped into the edge bins above; report it so a
+  // consumer can tell honest tail mass from clamped spill-over.  Emitted
+  // only when present, as comment rows existing TSV readers skip.
+  if (underflow_ || overflow_) {
+    std::snprintf(buf, sizeof buf,
+                  "# out_of_range\tunderflow=%llu\toverflow=%llu\n",
+                  static_cast<unsigned long long>(underflow_),
+                  static_cast<unsigned long long>(overflow_));
     out += buf;
   }
   return out;

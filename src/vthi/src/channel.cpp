@@ -1,6 +1,8 @@
 #include "stash/vthi/channel.hpp"
 
+#include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "stash/telemetry/metrics.hpp"
 
@@ -36,27 +38,32 @@ VthiChannel::VthiChannel(nand::FlashChip& chip,
 std::vector<std::uint32_t> VthiChannel::select_from_voltages(
     std::uint32_t block, std::uint32_t page, std::uint32_t count,
     const std::vector<int>& volts) const {
-  // Keyed, page-personalized DRBG walk over the whole cell range.  A cell
+  // Keyed, page-personalized permutation of the whole cell range.  A cell
   // is eligible iff it currently measures below the selection guard, i.e.
   // it is an erased-level ("non-programmed") cell.  Eligibility is stable
   // across retention and partial programming, so the decoder re-derives the
   // identical list from its own probe.
+  //
+  // The permutation is an incremental keyed Fisher-Yates shuffle: position i
+  // costs exactly one DRBG draw, so the walk needs at most `cells` draws
+  // total.  (The previous rejection walk redrew already-seen cells without
+  // making progress, degenerating into a coupon-collector tail — O(n log n)
+  // draws expected, unbounded worst case — on near-full pages.)  Encoder and
+  // decoder share this derivation, so both sides see the identical prefix.
   const std::string personalization =
       "vt-hi/b" + std::to_string(block) + "/p" + std::to_string(page);
   crypto::Sha256Drbg drbg(selection_key_, personalization);
 
   const auto cells = static_cast<std::uint32_t>(volts.size());
-  std::vector<std::uint8_t> seen(cells, 0);
+  std::vector<std::uint32_t> order(cells);
+  for (std::uint32_t i = 0; i < cells; ++i) order[i] = i;
   std::vector<std::uint32_t> chosen;
   chosen.reserve(count);
-  // The walk terminates: every cell is visited at most once, and we stop
-  // early once enough eligible cells were found.
-  std::uint32_t visited = 0;
-  while (chosen.size() < count && visited < cells) {
-    const auto c = static_cast<std::uint32_t>(drbg.below(cells));
-    if (seen[c]) continue;
-    seen[c] = 1;
-    ++visited;
+  for (std::uint32_t i = 0; i < cells && chosen.size() < count; ++i) {
+    const auto j =
+        i + static_cast<std::uint32_t>(drbg.below(cells - i));
+    std::swap(order[i], order[j]);
+    const std::uint32_t c = order[i];
     if (static_cast<double>(volts[c]) < config_.select_guard) {
       chosen.push_back(c);
     }
@@ -169,6 +176,62 @@ Result<std::vector<std::uint8_t>> VthiChannel::extract_at(std::uint32_t block,
     bits[i] = static_cast<double>(volts[chosen[i]]) >= vth ? 0 : 1;
   }
   return bits;
+}
+
+namespace {
+
+/// Request indices grouped by block in first-appearance order, preserving
+/// submission order inside each group.  First-appearance ordering (rather
+/// than sorting by block id) keeps the result layout independent of how the
+/// caller numbered its blocks.
+template <typename Req>
+std::vector<std::vector<std::size_t>> group_by_block(
+    std::span<const Req> requests) {
+  std::vector<std::vector<std::size_t>> groups;
+  std::unordered_map<std::uint32_t, std::size_t> index_of;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    auto [it, fresh] = index_of.try_emplace(requests[i].block, groups.size());
+    if (fresh) groups.emplace_back();
+    groups[it->second].push_back(i);
+  }
+  return groups;
+}
+
+}  // namespace
+
+std::vector<Result<EmbedSession>> VthiChannel::embed_batch(
+    std::span<const PageEmbedRequest> requests, par::ThreadPool& pool) {
+  // Result<T> has no default state, so build into optionals and unwrap once
+  // every slot is filled.
+  std::vector<std::optional<Result<EmbedSession>>> slots(requests.size());
+  const auto groups = group_by_block(requests);
+  pool.parallel_for(groups.size(), [&](std::size_t g) {
+    for (const std::size_t i : groups[g]) {
+      const PageEmbedRequest& req = requests[i];
+      slots[i].emplace(embed(req.block, req.page, req.bits));
+    }
+  });
+  std::vector<Result<EmbedSession>> out;
+  out.reserve(slots.size());
+  for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+std::vector<Result<std::vector<std::uint8_t>>> VthiChannel::extract_batch(
+    std::span<const PageExtractRequest> requests, par::ThreadPool& pool) {
+  std::vector<std::optional<Result<std::vector<std::uint8_t>>>> slots(
+      requests.size());
+  const auto groups = group_by_block(requests);
+  pool.parallel_for(groups.size(), [&](std::size_t g) {
+    for (const std::size_t i : groups[g]) {
+      const PageExtractRequest& req = requests[i];
+      slots[i].emplace(extract(req.block, req.page, req.count));
+    }
+  });
+  std::vector<Result<std::vector<std::uint8_t>>> out;
+  out.reserve(slots.size());
+  for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
 }
 
 Result<std::size_t> VthiChannel::natural_above_threshold(std::uint32_t block,

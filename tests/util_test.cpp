@@ -276,6 +276,70 @@ TEST(Histogram, RejectsDegenerateConstruction) {
   EXPECT_THROW(Histogram(9.0, 5.0, 4), std::invalid_argument);
 }
 
+TEST(Histogram, ZeroBinsThrowsBeforeAnyDivision) {
+  // Regression: width_ used to be computed in the member-init list before
+  // the guards ran, so bins == 0 divided by zero (inf width) and hi <= lo
+  // produced a negative/NaN width pre-throw.  The throw must now happen
+  // before any arithmetic, leaving nothing constructed.
+  try {
+    Histogram h(0.0, 10.0, 0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("bins"), std::string::npos);
+  }
+  try {
+    Histogram h(10.0, 0.0, 4);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("hi"), std::string::npos);
+  }
+}
+
+TEST(Histogram, TracksUnderflowAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);
+  h.add(-0.001);
+  h.add(5.0);    // in range
+  h.add(10.0);   // hi is exclusive -> overflow
+  h.add(50.0);
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_EQ(h.overflow(), 2u);
+  // Clamped samples still land in the edge bins and count into total().
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.total(), 5u);
+  // In-range samples touch neither tally.
+  Histogram clean(0.0, 10.0, 10);
+  clean.add(0.0);
+  clean.add(9.999);
+  EXPECT_EQ(clean.underflow(), 0u);
+  EXPECT_EQ(clean.overflow(), 0u);
+}
+
+TEST(Histogram, MergePropagatesOutOfRangeTallies) {
+  Histogram a(0.0, 10.0, 10), b(0.0, 10.0, 10);
+  a.add(-1.0);
+  b.add(11.0);
+  b.add(-2.0);
+  a.merge(b);
+  EXPECT_EQ(a.underflow(), 2u);
+  EXPECT_EQ(a.overflow(), 1u);
+}
+
+TEST(Histogram, TsvReportsOutOfRangeOnlyWhenPresent) {
+  Histogram clean(0.0, 10.0, 2);
+  clean.add(5.0);
+  EXPECT_EQ(clean.to_tsv().find("out_of_range"), std::string::npos);
+
+  Histogram dirty(0.0, 10.0, 2);
+  dirty.add(-1.0);
+  dirty.add(42.0);
+  const std::string tsv = dirty.to_tsv();
+  EXPECT_NE(tsv.find("# out_of_range"), std::string::npos);
+  EXPECT_NE(tsv.find("underflow=1"), std::string::npos);
+  EXPECT_NE(tsv.find("overflow=1"), std::string::npos);
+}
+
 TEST(Status, OkByDefault) {
   Status s;
   EXPECT_TRUE(s.is_ok());

@@ -69,6 +69,49 @@ TEST(Channel, SelectionDependsOnPageAndKey) {
   EXPECT_NE(page0, other_key);
 }
 
+TEST(Channel, SelectionAsksForEveryEligibleCell) {
+  // Worst case for the selection walk: request as many cells as the page
+  // can possibly offer.  The old rejection-sampled walk degenerated into a
+  // coupon-collector tail here (unbounded draws); the Fisher-Yates walk
+  // visits each cell exactly once, so this completes after at most `cells`
+  // DRBG draws and returns every eligible cell.
+  FlashChip chip(vthi_geometry(), NoiseModel::vendor_a(), 64);
+  (void)chip.program_block_random(0, 9);
+  VthiChannel channel(chip, test_key().selection_key());
+  const auto volts = chip.probe_voltages(0, 0);
+  std::size_t eligible = 0;
+  for (int v : volts) {
+    if (static_cast<double>(v) < channel.config().select_guard) ++eligible;
+  }
+  ASSERT_GT(eligible, 0u);
+  const auto all = channel.select_cells(
+      0, 0, static_cast<std::uint32_t>(eligible));
+  ASSERT_TRUE(all.is_ok());
+  EXPECT_EQ(all.value().size(), eligible);
+  const std::set<std::uint32_t> unique(all.value().begin(),
+                                       all.value().end());
+  EXPECT_EQ(unique.size(), eligible) << "selection repeated a cell";
+  // One more than the page holds must fail cleanly, not spin.
+  const auto too_many = channel.select_cells(
+      0, 0, static_cast<std::uint32_t>(eligible) + 1);
+  EXPECT_FALSE(too_many.is_ok());
+  EXPECT_EQ(too_many.status().code(), ErrorCode::kNoSpace);
+}
+
+TEST(Channel, EncoderAndDecoderDeriveIdenticalSelection) {
+  // The decoder re-derives the encoder's cell list from its own probe; the
+  // permutation must therefore be a pure function of (key, block, page,
+  // eligibility), surviving the voltage changes the embed itself causes.
+  FlashChip chip(vthi_geometry(), NoiseModel::vendor_a(), 65);
+  (void)chip.program_block_random(0, 10);
+  VthiChannel channel(chip, test_key().selection_key());
+  const auto before = channel.select_cells(0, 0, 200).value();
+  auto bits = random_hidden_bits(200, 77);
+  ASSERT_TRUE(channel.embed(0, 0, bits).is_ok());
+  const auto after = channel.select_cells(0, 0, 200).value();
+  EXPECT_EQ(before, after);
+}
+
 TEST(Channel, SelectedCellsAreErasedLevel) {
   FlashChip chip(vthi_geometry(), NoiseModel::vendor_a(), 63);
   (void)chip.program_block_random(0, 3);
