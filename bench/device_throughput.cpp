@@ -1,0 +1,248 @@
+// StashDevice end-to-end throughput sweep: threads x read-cache size x
+// hidden/public read mix, on a skewed (hot-set) workload.
+//
+// Each point builds a device, fills the public volume, embeds one hidden
+// payload, then serves a read-heavy workload in which 90% of requests hit
+// a 10% hot set — the regime a read LRU exists for.  Reported throughput
+// uses the simulator's deterministic cost ledger (pages per simulated
+// second), so the cache-on/cache-off comparison is exact and stable in CI;
+// wall-clock seconds are reported alongside for the curious.
+//
+// --deterministic drops every wall-clock field and adds an FNV-1a digest
+// of all read payloads + counters + ledger totals.  In that mode the
+// output is byte-identical for any --threads value (the sweep pins its
+// own thread counts), which is the determinism acceptance check:
+//
+//   bench_device_throughput --quick --deterministic > a.json   # --threads 1
+//   bench_device_throughput --quick --deterministic --threads 8 > b.json
+//   diff a.json b.json                                         # empty
+//
+// JSON lines go to stdout (one object per sweep point plus a summary);
+// the common harness also writes a telemetry sidecar with the dev.* p50/p99
+// latency histograms.
+
+#include <cinttypes>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "common.hpp"
+#include "stash/dev/device.hpp"
+#include "stash/util/rng.hpp"
+
+namespace {
+
+using stash::bench::Options;
+using stash::dev::DeviceConfig;
+using stash::dev::StashDevice;
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+struct Fnv {
+  std::uint64_t h = kFnvOffset;
+  void bytes(const std::uint8_t* p, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) h = (h ^ p[i]) * kFnvPrime;
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ static_cast<std::uint8_t>(v >> (8 * i))) * kFnvPrime;
+    }
+  }
+};
+
+struct PointResult {
+  unsigned threads = 0;
+  std::size_t cache_pages = 0;
+  unsigned hidden_pct = 0;
+  std::uint64_t read_ops = 0;
+  std::uint64_t hidden_loads = 0;
+  double cache_hit_ratio = 0.0;
+  std::uint64_t coalesced_reads = 0;
+  std::uint64_t dispatches = 0;
+  double read_sim_us = 0.0;   // ledger time of the read phase only
+  double sim_pages_per_s = 0.0;
+  double wall_s = 0.0;
+  std::uint64_t digest = 0;
+};
+
+std::vector<std::uint8_t> page_pattern(std::uint32_t bits, std::uint64_t tag) {
+  stash::util::Xoshiro256 rng(tag);
+  std::vector<std::uint8_t> page(bits);
+  for (auto& b : page) b = static_cast<std::uint8_t>(rng() & 1);
+  return page;
+}
+
+PointResult run_point(const Options& opt, unsigned threads,
+                      std::size_t cache_pages, unsigned hidden_pct,
+                      std::uint64_t read_ops) {
+  DeviceConfig config;
+  config.geometry = opt.geometry(16);
+  config.seed = opt.seed;
+  config.threads = threads;
+  config.read_cache_pages = cache_pages;
+  StashDevice dev(config, stash::bench::bench_key());
+
+  // Fill the public volume (also makes blocks eligible to carry hidden
+  // data), then embed one hidden payload for the mixed-read phase.
+  const std::uint64_t pages = dev.logical_pages();
+  std::vector<stash::ftl::PageMappedFtl::WriteRequest> fill(pages);
+  for (std::uint64_t lpn = 0; lpn < pages; ++lpn) {
+    fill[lpn] = {lpn, page_pattern(dev.page_bits(), opt.seed + lpn)};
+  }
+  (void)dev.write_batch(fill);
+  (void)dev.flush();
+  std::vector<std::uint8_t> secret(512);
+  stash::util::Xoshiro256 secret_rng(opt.seed ^ 0x5ec7e7ULL);
+  for (auto& b : secret) b = static_cast<std::uint8_t>(secret_rng());
+  const bool hidden_ok = dev.store_hidden(secret).is_ok();
+
+  // Skewed read phase: 90% of reads land on a 10% hot set.
+  PointResult point;
+  point.threads = threads;
+  point.cache_pages = cache_pages;
+  point.hidden_pct = hidden_pct;
+  const std::uint64_t hot_pages = pages / 10 ? pages / 10 : 1;
+  stash::util::Xoshiro256 rng(opt.seed ^ 0xbadcabULL);
+  Fnv digest;
+
+  const auto stats_before = dev.stats_snapshot();
+  const auto ledger_before = dev.ledger();
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::uint64_t> chunk;
+  for (std::uint64_t op = 0; op < read_ops;) {
+    chunk.clear();
+    while (chunk.size() < 32 && op + chunk.size() < read_ops) {
+      const bool hot = rng() % 100 < 90;
+      chunk.push_back(hot ? rng() % hot_pages
+                          : hot_pages + rng() % (pages - hot_pages));
+    }
+    auto results = dev.read_batch(chunk);
+    for (const auto& r : results) {
+      if (r.is_ok()) digest.bytes(r.value().data(), r.value().size());
+    }
+    op += chunk.size();
+    if (hidden_ok && hidden_pct > 0 && (op / 32) % (100 / hidden_pct) == 0) {
+      auto loaded = dev.load_hidden();
+      if (loaded.is_ok()) {
+        digest.bytes(loaded.value().data(), loaded.value().size());
+        ++point.hidden_loads;
+      }
+    }
+  }
+  const auto wall_end = std::chrono::steady_clock::now();
+  const auto stats_after = dev.stats_snapshot();
+  const auto ledger_after = dev.ledger();
+
+  point.read_ops = read_ops;
+  const std::uint64_t hits =
+      stats_after.cache_hits - stats_before.cache_hits;
+  const std::uint64_t misses =
+      stats_after.cache_misses - stats_before.cache_misses;
+  point.cache_hit_ratio =
+      hits + misses ? static_cast<double>(hits) /
+                          static_cast<double>(hits + misses)
+                    : 0.0;
+  point.coalesced_reads =
+      stats_after.coalesced_reads - stats_before.coalesced_reads;
+  point.dispatches = stats_after.dispatches - stats_before.dispatches;
+  point.read_sim_us = ledger_after.time_us - ledger_before.time_us;
+  point.sim_pages_per_s =
+      point.read_sim_us > 0.0
+          ? static_cast<double>(read_ops) * 1e6 / point.read_sim_us
+          : 0.0;
+  point.wall_s =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+
+  digest.u64(ledger_after.reads);
+  digest.u64(ledger_after.programs);
+  digest.u64(ledger_after.erases);
+  digest.u64(static_cast<std::uint64_t>(ledger_after.time_us * 1e3));
+  digest.u64(stats_after.cache_hits);
+  digest.u64(stats_after.buffer_hits);
+  digest.u64(stats_after.coalesced_reads);
+  digest.u64(stats_after.dispatches);
+  digest.u64(stats_after.deadline_dispatches);
+  point.digest = digest.h;
+  return point;
+}
+
+void print_point(const PointResult& p, bool deterministic) {
+  std::printf("{\"threads\":%u,\"cache_pages\":%zu,\"hidden_pct\":%u,"
+              "\"read_ops\":%" PRIu64 ",\"hidden_loads\":%" PRIu64
+              ",\"cache_hit_ratio\":%.4f,\"coalesced_reads\":%" PRIu64
+              ",\"dispatches\":%" PRIu64 ",\"sim_read_us\":%.1f,"
+              "\"sim_pages_per_s\":%.1f",
+              p.threads, p.cache_pages, p.hidden_pct, p.read_ops,
+              p.hidden_loads, p.cache_hit_ratio, p.coalesced_reads,
+              p.dispatches, p.read_sim_us, p.sim_pages_per_s);
+  if (deterministic) {
+    std::printf(",\"digest\":\"%016" PRIx64 "\"}\n", p.digest);
+  } else {
+    std::printf(",\"wall_s\":%.3f}\n", p.wall_s);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = Options::parse(argc, argv);
+  bool deterministic = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--deterministic")) deterministic = true;
+  }
+
+  stash::bench::print_header(
+      "Device throughput: threads x cache x hidden mix",
+      "StashDevice skewed-read sweep (90% of reads on a 10% hot set)");
+  stash::bench::print_geometry(opt);
+
+  const std::uint64_t read_ops = opt.quick ? 1536 : 4096;
+  // In deterministic mode the sweep pins its own thread counts so the
+  // emitted bytes cannot depend on --threads; otherwise 1 vs the
+  // requested count shows the wall-clock scaling.
+  std::vector<unsigned> thread_counts;
+  if (deterministic) {
+    thread_counts = {1, 2, 8};
+  } else {
+    thread_counts = {1};
+    if (opt.threads > 1) thread_counts.push_back(opt.threads);
+  }
+  const std::size_t cache_sizes[] = {0, 256};
+  const unsigned hidden_mixes[] = {0, 10};
+
+  std::vector<PointResult> points;
+  for (const unsigned threads : thread_counts) {
+    for (const std::size_t cache : cache_sizes) {
+      for (const unsigned mix : hidden_mixes) {
+        points.push_back(run_point(opt, threads, cache, mix, read_ops));
+        print_point(points.back(), deterministic);
+      }
+    }
+  }
+
+  // Summary: cache-on vs cache-off read throughput on the skewed public
+  // workload (threads = first sweep value, hidden mix 0).
+  double off = 0.0;
+  double on = 0.0;
+  bool thread_invariant = true;
+  for (const auto& p : points) {
+    if (p.threads == thread_counts.front() && p.hidden_pct == 0) {
+      (p.cache_pages == 0 ? off : on) = p.sim_pages_per_s;
+    }
+    for (const auto& q : points) {
+      if (q.cache_pages == p.cache_pages && q.hidden_pct == p.hidden_pct &&
+          q.digest != p.digest) {
+        thread_invariant = false;
+      }
+    }
+  }
+  const double speedup = off > 0.0 ? on / off : 0.0;
+  std::printf("{\"summary\":{\"cache_read_speedup\":%.2f", speedup);
+  if (deterministic) {
+    std::printf(",\"thread_invariant\":%s",
+                thread_invariant ? "true" : "false");
+  }
+  std::printf("}}\n");
+  return speedup >= 1.5 && (!deterministic || thread_invariant) ? 0 : 1;
+}

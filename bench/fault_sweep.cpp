@@ -91,7 +91,7 @@ FtlPoint run_ftl_leg(double rate, int writes, std::uint64_t seed) {
   }
 
   point.injected_fails = plan.stats().program_fails;
-  point.rewrites = ftl.stats().program_fail_rewrites;
+  point.rewrites = ftl.stats_snapshot().program_fail_rewrites;
   for (std::uint32_t b = 0; b < geom.blocks; ++b) {
     point.retired_blocks += ftl.is_retired(b) ? 1u : 0u;
   }

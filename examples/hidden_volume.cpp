@@ -76,11 +76,11 @@ int main() {
     (void)volume.reembed_pending();
     std::printf("after churn: GC runs %llu, chunk rescues %llu, re-embeds "
                 "%llu, lost %llu (write amplification %.2f)\n",
-                static_cast<unsigned long long>(volume.ftl_stats().gc_runs),
+                static_cast<unsigned long long>(volume.ftl_stats_snapshot().gc_runs),
                 static_cast<unsigned long long>(volume.stats().rescues),
                 static_cast<unsigned long long>(volume.stats().reembeds),
                 static_cast<unsigned long long>(volume.stats().lost_chunks),
-                volume.ftl_stats().write_amplification());
+                volume.ftl_stats_snapshot().write_amplification());
   }
 
   // --- Session 2: a fresh mount with nothing but the key -----------------

@@ -1,0 +1,94 @@
+#pragma once
+// Caching building blocks of the StashDevice frontend.
+//
+// ReadCache — a sharded LRU over logical pages.  Shard = lpn % shards, each
+// shard its own mutex + LRU list, so concurrent lookups on different shards
+// never contend.  Capacity is split evenly across shards (each at least one
+// page).
+//
+// WriteBackBuffer — the volatile staging area of acknowledged writes.  One
+// entry per lpn in first-touch order; rewriting a buffered lpn coalesces in
+// place (the flash never sees the overwritten version).  trim() buffers a
+// tombstone the same way.  The buffer IS the acked-but-not-durable set: a
+// power cut wipes it, which is exactly the data the device must then report
+// lost (see StashDevice::power_cycle).
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace stash::dev {
+
+class ReadCache {
+ public:
+  /// capacity_pages == 0 disables the cache (lookups miss, inserts drop).
+  ReadCache(std::size_t capacity_pages, std::uint32_t shards);
+
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> lookup(
+      std::uint64_t lpn);
+  void insert(std::uint64_t lpn, std::vector<std::uint8_t> bits);
+  void invalidate(std::uint64_t lpn);
+  void clear();
+
+  [[nodiscard]] bool enabled() const noexcept { return per_shard_ > 0; }
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used.
+    std::list<std::pair<std::uint64_t, std::vector<std::uint8_t>>> lru;
+    std::unordered_map<std::uint64_t, decltype(lru)::iterator> index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  [[nodiscard]] Shard& shard_of(std::uint64_t lpn) {
+    return shards_[lpn % shards_.size()];
+  }
+
+  std::size_t per_shard_;
+  std::vector<Shard> shards_;
+};
+
+class WriteBackBuffer {
+ public:
+  struct Entry {
+    std::uint64_t lpn = 0;
+    std::vector<std::uint8_t> bits;  // empty for a trim tombstone
+    bool trim = false;
+  };
+
+  /// Stage a write; returns true when it coalesced into an existing entry.
+  bool put(std::uint64_t lpn, std::vector<std::uint8_t> bits);
+  /// Stage a trim tombstone for `lpn`.
+  bool put_trim(std::uint64_t lpn);
+
+  /// Buffered data for `lpn`: the staged bits, an engaged-but-empty vector
+  /// meaning "trimmed", or nullopt when the lpn is not buffered.
+  [[nodiscard]] const Entry* find(std::uint64_t lpn) const;
+
+  /// Entries in first-touch order (the flush order).
+  [[nodiscard]] const std::list<Entry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  /// Remove one flushed entry.
+  void erase(std::uint64_t lpn);
+  /// Drop everything (power loss); returns the dropped entries so the
+  /// caller can account for them.
+  std::list<Entry> drop_all();
+
+ private:
+  std::list<Entry> entries_;
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace stash::dev

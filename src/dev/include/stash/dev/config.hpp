@@ -1,0 +1,99 @@
+#pragma once
+// Configuration of the stash::dev::StashDevice frontend — the one serving
+// surface over the whole stack (ChipArray -> per-chip FTL + StegoVolume).
+// Follows the uniform config contract: validate() is checked by the
+// StashDevice constructor, which throws std::invalid_argument on a non-OK
+// status; the nested FtlConfig/VthiConfig validate through it.
+
+#include <cstdint>
+
+#include "stash/ftl/ftl.hpp"
+#include "stash/nand/geometry.hpp"
+#include "stash/nand/noise.hpp"
+#include "stash/util/status.hpp"
+#include "stash/vthi/config.hpp"
+
+namespace stash::dev {
+
+/// QoS class of a queued request.  Lower value = served earlier within a
+/// dispatch batch; ties break on submission order, so the schedule is a
+/// deterministic function of the submission sequence alone.
+enum class Priority : std::uint8_t {
+  kForeground = 0,  // host reads
+  kNormal = 1,      // host writes / trims
+  kBackground = 2,  // GC, hidden-volume maintenance, refresh
+};
+
+struct DeviceConfig {
+  // ---- Substrate ----------------------------------------------------------
+  nand::Geometry geometry = nand::Geometry::tiny();
+  nand::NoiseModel noise{};
+  nand::OpCosts costs{};
+  /// Root seed: chip i of the array is seeded from (seed, i), so the whole
+  /// device is reproducible from this one value.
+  std::uint64_t seed = 0x57a5Fdeb1ceULL;
+  std::uint32_t chips = 1;
+  /// Worker threads for batch fan-out; <= 1 runs everything inline on the
+  /// submitting thread (the fully serial reference schedule).  Results are
+  /// byte-identical for any value — see stash::par.
+  unsigned threads = 1;
+
+  // ---- Request scheduler --------------------------------------------------
+  /// Bound of the submission queue.  Reaching it dispatches inline on the
+  /// submitting caller (backpressure: the producer pays for the drain).
+  std::size_t queue_depth = 64;
+  /// Requests coalesced into one *_batch call per dispatch round.
+  std::size_t batch_pages = 16;
+  /// Deadline, in submission ticks: a request that has waited this many
+  /// submissions is dispatched on the next submit even if the batch is not
+  /// full.  Tick-based (not wall-clock) so the schedule stays a pure
+  /// function of the submission sequence.
+  std::uint64_t deadline_ticks = 32;
+
+  // ---- Caching ------------------------------------------------------------
+  /// Read LRU capacity in pages across all shards; 0 disables the cache.
+  std::size_t read_cache_pages = 256;
+  std::uint32_t read_cache_shards = 4;
+  /// Write-back buffer capacity in pages; reaching it forces a flush
+  /// (backpressure).  0 selects write-through: every write is durable
+  /// before its future resolves.
+  std::size_t write_back_pages = 64;
+
+  // ---- Per-chip layers ----------------------------------------------------
+  ftl::FtlConfig ftl{};
+  vthi::VthiConfig vthi = vthi::VthiConfig::production();
+
+  [[nodiscard]] util::Status validate() const {
+    using util::ErrorCode;
+    using util::Status;
+    if (geometry.blocks == 0 || geometry.pages_per_block == 0 ||
+        geometry.cells_per_page == 0) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "DeviceConfig: geometry dimensions must be non-zero"};
+    }
+    if (chips == 0) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "DeviceConfig: chips must be >= 1"};
+    }
+    if (queue_depth == 0) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "DeviceConfig: queue_depth must be >= 1"};
+    }
+    if (batch_pages == 0 || batch_pages > queue_depth) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "DeviceConfig: batch_pages must be in [1, queue_depth]"};
+    }
+    if (deadline_ticks == 0) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "DeviceConfig: deadline_ticks must be >= 1"};
+    }
+    if (read_cache_shards == 0) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "DeviceConfig: read_cache_shards must be >= 1"};
+    }
+    STASH_RETURN_IF_ERROR(ftl.validate());
+    return vthi.validate();
+  }
+};
+
+}  // namespace stash::dev

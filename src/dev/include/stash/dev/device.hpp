@@ -1,0 +1,263 @@
+#pragma once
+// stash::dev::StashDevice — the asynchronous serving frontend of the stack.
+//
+// Callers used to juggle PageMappedFtl, VthiCodec, StegoVolume and
+// ChipArray directly; StashDevice is the one block-device-shaped surface
+// over all of them (the role PEARL's deniable FTL and Copycat's request
+// frontend play in their systems).  It owns a par::ChipArray of N chips,
+// one StegoVolume (public FTL + hidden VT-HI channel) per chip, and a
+// deterministic request scheduler in front:
+//
+//   * Asynchronous submission: submit_read / submit_write / submit_trim /
+//     submit_store_hidden / submit_load_hidden / submit_gc return futures.
+//     The submission queue is bounded (DeviceConfig::queue_depth); filling
+//     it dispatches inline on the submitting caller — backpressure where
+//     the producer pays for the drain.
+//   * QoS priority classes (Priority): within a dispatch round requests
+//     execute sorted by (priority, submission sequence) — foreground reads
+//     overtake queued background GC/hidden maintenance, and the tie-break
+//     keeps the schedule a pure function of the submission order.
+//   * Deadline-aware batching: dispatch normally waits for batch_pages
+//     requests so same-block reads coalesce into PageMappedFtl::read_batch
+//     (duplicate-lpn reads collapse to one physical read); a request older
+//     than deadline_ticks submissions forces dispatch.  Ticks, not wall
+//     clock, so the schedule is reproducible.
+//   * Sharded read LRU (ReadCache) and a write-back buffer
+//     (WriteBackBuffer) with an explicit flush().  A write is acknowledged
+//     when buffered and durable when flush() returns OK; under a
+//     stash::fault power cut, everything a successful flush() covered
+//     survives, and power_cycle() reports the acked-unflushed remainder as
+//     lost (never corrupted — the FTL remaps only after a program
+//     completes, so torn writes leave the old version readable).
+//
+// Determinism: all flash-touching work happens inside dispatch rounds,
+// driven from the submitting thread; fan-out uses the deterministic batch
+// entry points (read_batch groups same-block requests; per-chip work is
+// independent by FlashChip's per-block RNG streams).  For a fixed
+// submission sequence the device state, every result, and the cost-ledger
+// totals are byte-identical for any DeviceConfig::threads.
+//
+// Concurrency: the public API is thread-safe (one internal mutex); the
+// scheduler executes one dispatch round at a time.  Addressing stripes the
+// device LPN space across chips: lpn -> (chip = lpn % chips,
+// local = lpn / chips).
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "stash/dev/cache.hpp"
+#include "stash/dev/config.hpp"
+#include "stash/crypto/drbg.hpp"
+#include "stash/nand/fault_injector.hpp"
+#include "stash/par/chip_array.hpp"
+#include "stash/par/pool.hpp"
+#include "stash/stego/volume.hpp"
+#include "stash/telemetry/metrics.hpp"
+#include "stash/util/batch.hpp"
+#include "stash/util/status.hpp"
+
+namespace stash::dev {
+
+using util::BatchResult;
+using util::BatchStatus;
+using util::Result;
+using util::Status;
+
+/// Point-in-time device statistics, sourced from the per-instance counters
+/// (same convention as ftl::PageMappedFtl::stats_snapshot).
+struct DeviceStats {
+  std::uint64_t reads = 0;            // read requests completed
+  std::uint64_t writes = 0;           // write requests acknowledged
+  std::uint64_t trims = 0;
+  std::uint64_t cache_hits = 0;       // reads served from the LRU
+  std::uint64_t cache_misses = 0;
+  std::uint64_t buffer_hits = 0;      // reads served from the write-back buffer
+  std::uint64_t coalesced_writes = 0; // buffered lpn overwritten before flush
+  std::uint64_t coalesced_reads = 0;  // duplicate lpns collapsed in a batch
+  std::uint64_t dispatches = 0;       // dispatch rounds executed
+  std::uint64_t deadline_dispatches = 0;  // rounds forced by deadline_ticks
+  std::uint64_t flushes = 0;          // flush() calls that drained something
+  std::uint64_t flushed_pages = 0;    // buffer entries made durable
+  std::uint64_t lost_writes = 0;      // acked-unflushed entries lost to a cut
+  std::uint64_t gc_runs = 0;          // background GC rounds executed
+
+  [[nodiscard]] double cache_hit_ratio() const noexcept {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total ? static_cast<double>(cache_hits) /
+                       static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+class StashDevice {
+ public:
+  /// Kind of a queued (asynchronous) request; exposed for the dispatch
+  /// introspection hook below.
+  enum class OpKind : std::uint8_t { kRead, kStoreHidden, kLoadHidden, kGc };
+
+  /// One executed queue entry, in execution order (test/debug
+  /// introspection of the QoS schedule).
+  struct ExecutedOp {
+    OpKind kind;
+    std::uint64_t seq;
+    Priority priority;
+  };
+
+  StashDevice(const DeviceConfig& config, const crypto::HidingKey& key);
+  StashDevice(const StashDevice&) = delete;
+  StashDevice& operator=(const StashDevice&) = delete;
+  /// Drains the queue and flushes the write-back buffer (best effort; a
+  /// dark device simply keeps its volatile state lost).
+  ~StashDevice();
+
+  // ---- Geometry -----------------------------------------------------------
+  [[nodiscard]] std::uint64_t logical_pages() const noexcept;
+  [[nodiscard]] std::uint32_t page_bits() const noexcept;
+  [[nodiscard]] std::uint32_t chips() const noexcept {
+    return array_.chips();
+  }
+  [[nodiscard]] const DeviceConfig& config() const noexcept { return config_; }
+
+  // ---- Asynchronous frontend ---------------------------------------------
+  /// Queue a read; the future resolves at dispatch with the page data.
+  std::future<Result<std::vector<std::uint8_t>>> submit_read(
+      std::uint64_t lpn, Priority priority = Priority::kForeground);
+  /// Stage a write.  Write-back mode acknowledges as soon as the data is
+  /// buffered (durable only after flush()); write-through mode
+  /// (write_back_pages == 0) is durable before the future resolves.
+  std::future<Status> submit_write(std::uint64_t lpn,
+                                   std::vector<std::uint8_t> bits);
+  std::future<Status> submit_trim(std::uint64_t lpn);
+  /// Queue hidden-volume ops and GC at background priority.
+  std::future<Status> submit_store_hidden(std::vector<std::uint8_t> data);
+  std::future<Result<std::vector<std::uint8_t>>> submit_load_hidden();
+  /// One GC pass on every chip's FTL.
+  std::future<Status> submit_gc();
+
+  // ---- Synchronous convenience -------------------------------------------
+  Result<std::vector<std::uint8_t>> read(std::uint64_t lpn);
+  Status write(std::uint64_t lpn, std::span<const std::uint8_t> bits);
+  Status trim(std::uint64_t lpn);
+  Status store_hidden(std::span<const std::uint8_t> data);
+  Result<std::vector<std::uint8_t>> load_hidden();
+
+  // ---- Batch entry points (util::BatchResult convention) ------------------
+  /// Read many pages in one dispatch round; result i <-> lpns[i].
+  BatchResult<std::vector<std::uint8_t>> read_batch(
+      std::span<const std::uint64_t> lpns);
+  /// Stage many writes; slot i <-> requests[i] (acknowledge status).
+  BatchStatus write_batch(
+      std::span<const ftl::PageMappedFtl::WriteRequest> requests);
+
+  // ---- Durability ---------------------------------------------------------
+  /// Drain the write-back buffer to flash in staging order.  On OK, every
+  /// write acknowledged before this call is durable.  On failure (e.g. a
+  /// power cut mid-drain) the un-persisted entries stay buffered.
+  Status flush();
+  /// Dispatch everything queued (does not flush).
+  void drain();
+
+  // ---- Fault integration --------------------------------------------------
+  /// Attach `injector` to every chip of the array (nullptr detaches).
+  void set_fault_injector(nand::FaultInjector* injector) noexcept;
+  /// Simulated reboot after a power cut: volatile state (write-back
+  /// buffer, read cache, queued requests) is gone.  Queued requests
+  /// resolve with kPowerLoss; acked-unflushed writes are recorded in
+  /// lost_writes() — reported lost, never silently dropped.  Call after
+  /// restoring power on the fault plan.
+  Status power_cycle();
+  /// LPNs of acknowledged writes lost to power cuts, in staging order.
+  [[nodiscard]] const std::vector<std::uint64_t>& lost_writes()
+      const noexcept {
+    return lost_writes_;
+  }
+
+  // ---- Introspection ------------------------------------------------------
+  [[nodiscard]] DeviceStats stats_snapshot() const noexcept;
+  /// Aggregate cost ledger across all chips (exact fixed-point totals).
+  [[nodiscard]] nand::CostLedger ledger() const { return array_.total_ledger(); }
+  /// Execution order of the most recent dispatch round.
+  [[nodiscard]] const std::vector<ExecutedOp>& last_dispatch_order()
+      const noexcept {
+    return last_dispatch_;
+  }
+  /// Direct access to a chip's volume / the pool (expert escape hatches;
+  /// do not interleave with queued traffic).
+  [[nodiscard]] stego::StegoVolume& volume(std::uint32_t chip) {
+    return *volumes_.at(chip);
+  }
+  [[nodiscard]] par::ThreadPool& pool() noexcept { return pool_; }
+
+ private:
+  struct Request {
+    OpKind kind = OpKind::kRead;
+    Priority priority = Priority::kForeground;
+    std::uint64_t seq = 0;
+    std::uint64_t enqueue_tick = 0;
+    std::uint64_t lpn = 0;
+    std::vector<std::uint8_t> data;  // store_hidden payload
+    std::promise<Result<std::vector<std::uint8_t>>> value_promise;
+    std::promise<Status> status_promise;
+    std::chrono::steady_clock::time_point start;
+  };
+
+  [[nodiscard]] std::uint32_t chip_of(std::uint64_t lpn) const noexcept {
+    return static_cast<std::uint32_t>(lpn % array_.chips());
+  }
+  [[nodiscard]] std::uint64_t local_lpn(std::uint64_t lpn) const noexcept {
+    return lpn / array_.chips();
+  }
+
+  /// Enqueue under lock, then run any dispatch the queue state demands.
+  void enqueue(Request req, std::unique_lock<std::mutex>& lock);
+  /// Execute every queued request in (priority, seq) order.  Called with
+  /// the lock held; the lock stays held throughout (dispatch is the
+  /// single-threaded heart of the deterministic schedule).
+  void dispatch(std::unique_lock<std::mutex>& lock);
+  void execute_reads(std::vector<Request>& reads);
+  Status execute_store_hidden(std::span<const std::uint8_t> data);
+  Result<std::vector<std::uint8_t>> execute_load_hidden();
+  Status execute_gc();
+  /// Flush body; requires the lock.
+  Status flush_locked();
+
+  DeviceConfig config_;
+  par::ThreadPool pool_;
+  par::ChipArray array_;
+  std::vector<std::unique_ptr<stego::StegoVolume>> volumes_;
+
+  mutable std::mutex mu_;
+  std::list<Request> queue_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t tick_ = 0;
+  WriteBackBuffer buffer_;
+  ReadCache cache_;
+  std::vector<std::uint64_t> lost_writes_;
+  std::vector<ExecutedOp> last_dispatch_;
+
+  // Per-instance counters (mirrored into the global "dev.*" registry
+  // instruments inside device.cpp).
+  struct Counters {
+    telemetry::Counter reads;
+    telemetry::Counter writes;
+    telemetry::Counter trims;
+    telemetry::Counter buffer_hits;
+    telemetry::Counter coalesced_writes;
+    telemetry::Counter coalesced_reads;
+    telemetry::Counter dispatches;
+    telemetry::Counter deadline_dispatches;
+    telemetry::Counter flushes;
+    telemetry::Counter flushed_pages;
+    telemetry::Counter lost;
+    telemetry::Counter gc_runs;
+  };
+  Counters counters_;
+};
+
+}  // namespace stash::dev

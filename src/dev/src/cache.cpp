@@ -1,0 +1,130 @@
+#include "stash/dev/cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace stash::dev {
+
+ReadCache::ReadCache(std::size_t capacity_pages, std::uint32_t shards)
+    : per_shard_(0), shards_(std::max<std::uint32_t>(1, shards)) {
+  if (capacity_pages > 0) {
+    per_shard_ = std::max<std::size_t>(1, capacity_pages / shards_.size());
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> ReadCache::lookup(std::uint64_t lpn) {
+  if (!enabled()) return std::nullopt;
+  Shard& s = shard_of(lpn);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.index.find(lpn);
+  if (it == s.index.end()) {
+    ++s.misses;
+    return std::nullopt;
+  }
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // touch
+  ++s.hits;
+  return it->second->second;
+}
+
+void ReadCache::insert(std::uint64_t lpn, std::vector<std::uint8_t> bits) {
+  if (!enabled()) return;
+  Shard& s = shard_of(lpn);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  if (const auto it = s.index.find(lpn); it != s.index.end()) {
+    it->second->second = std::move(bits);
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  s.lru.emplace_front(lpn, std::move(bits));
+  s.index.emplace(lpn, s.lru.begin());
+  while (s.lru.size() > per_shard_) {
+    s.index.erase(s.lru.back().first);
+    s.lru.pop_back();
+  }
+}
+
+void ReadCache::invalidate(std::uint64_t lpn) {
+  if (!enabled()) return;
+  Shard& s = shard_of(lpn);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  if (const auto it = s.index.find(lpn); it != s.index.end()) {
+    s.lru.erase(it->second);
+    s.index.erase(it);
+  }
+}
+
+void ReadCache::clear() {
+  for (Shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    s.lru.clear();
+    s.index.clear();
+  }
+}
+
+std::size_t ReadCache::size() const {
+  std::size_t n = 0;
+  for (const Shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    n += s.lru.size();
+  }
+  return n;
+}
+
+std::uint64_t ReadCache::hits() const {
+  std::uint64_t n = 0;
+  for (const Shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    n += s.hits;
+  }
+  return n;
+}
+
+std::uint64_t ReadCache::misses() const {
+  std::uint64_t n = 0;
+  for (const Shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    n += s.misses;
+  }
+  return n;
+}
+
+bool WriteBackBuffer::put(std::uint64_t lpn, std::vector<std::uint8_t> bits) {
+  if (const auto it = index_.find(lpn); it != index_.end()) {
+    it->second->bits = std::move(bits);
+    it->second->trim = false;
+    return true;
+  }
+  entries_.push_back(Entry{lpn, std::move(bits), false});
+  index_.emplace(lpn, std::prev(entries_.end()));
+  return false;
+}
+
+bool WriteBackBuffer::put_trim(std::uint64_t lpn) {
+  if (const auto it = index_.find(lpn); it != index_.end()) {
+    it->second->bits.clear();
+    it->second->trim = true;
+    return true;
+  }
+  entries_.push_back(Entry{lpn, {}, true});
+  index_.emplace(lpn, std::prev(entries_.end()));
+  return false;
+}
+
+const WriteBackBuffer::Entry* WriteBackBuffer::find(std::uint64_t lpn) const {
+  const auto it = index_.find(lpn);
+  return it == index_.end() ? nullptr : &*it->second;
+}
+
+void WriteBackBuffer::erase(std::uint64_t lpn) {
+  if (const auto it = index_.find(lpn); it != index_.end()) {
+    entries_.erase(it->second);
+    index_.erase(it);
+  }
+}
+
+std::list<WriteBackBuffer::Entry> WriteBackBuffer::drop_all() {
+  index_.clear();
+  return std::exchange(entries_, {});
+}
+
+}  // namespace stash::dev

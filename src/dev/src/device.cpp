@@ -1,0 +1,672 @@
+#include "stash/dev/device.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace stash::dev {
+
+using util::ErrorCode;
+
+namespace {
+
+// Process-wide mirrors of the per-instance counters plus the instruments
+// that only make sense globally (latency histograms, queue-depth gauge).
+struct DevTelemetry {
+  telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
+  telemetry::Counter& reads = reg.counter("dev.reads");
+  telemetry::Counter& writes = reg.counter("dev.writes");
+  telemetry::Counter& trims = reg.counter("dev.trims");
+  telemetry::Counter& cache_hits = reg.counter("dev.cache_hits");
+  telemetry::Counter& cache_misses = reg.counter("dev.cache_misses");
+  telemetry::Counter& buffer_hits = reg.counter("dev.buffer_hits");
+  telemetry::Counter& coalesced_writes = reg.counter("dev.coalesced_writes");
+  telemetry::Counter& coalesced_reads = reg.counter("dev.coalesced_reads");
+  telemetry::Counter& dispatches = reg.counter("dev.dispatches");
+  telemetry::Counter& deadline_dispatches =
+      reg.counter("dev.deadline_dispatches");
+  telemetry::Counter& flushes = reg.counter("dev.flushes");
+  telemetry::Counter& flushed_pages = reg.counter("dev.flushed_pages");
+  telemetry::Counter& lost_writes = reg.counter("dev.lost_writes");
+  telemetry::Counter& gc_runs = reg.counter("dev.gc_runs");
+  telemetry::Gauge& queue_depth = reg.gauge("dev.queue_depth");
+  telemetry::Gauge& cache_hit_ratio = reg.gauge("dev.cache_hit_ratio");
+  telemetry::Gauge& buffered_pages = reg.gauge("dev.buffered_pages");
+  telemetry::LatencyHistogram& read_latency =
+      reg.histogram("dev.read_latency_ns");
+  telemetry::LatencyHistogram& hidden_latency =
+      reg.histogram("dev.hidden_latency_ns");
+  telemetry::LatencyHistogram& flush_latency =
+      reg.histogram("dev.flush_latency_ns");
+  telemetry::LatencyHistogram& dispatch_batch =
+      reg.histogram("dev.dispatch_batch");
+};
+
+DevTelemetry& dev_telemetry() {
+  static DevTelemetry t;
+  return t;
+}
+
+/// Nanoseconds since a request's submission (0 in telemetry-disabled
+/// builds, where the histograms are compiled out anyway).
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point start) {
+#ifndef STASH_TELEMETRY_DISABLED
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  return ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
+#else
+  (void)start;
+  return 0;
+#endif
+}
+
+// Device-level framing of one per-chip hidden segment: the hidden payload
+// is split across chips in chip order, and each chip's StegoVolume stores
+// [index:u16][used_chips:u16][payload_len:u32][payload].  The header is
+// what lets load detect a missing middle segment instead of silently
+// splicing the remainder.
+constexpr std::size_t kSegmentHeaderBytes = 8;
+
+std::vector<std::uint8_t> pack_segment(std::uint16_t index,
+                                       std::uint16_t used_chips,
+                                       std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kSegmentHeaderBytes + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  out.push_back(static_cast<std::uint8_t>(index));
+  out.push_back(static_cast<std::uint8_t>(index >> 8));
+  out.push_back(static_cast<std::uint8_t>(used_chips));
+  out.push_back(static_cast<std::uint8_t>(used_chips >> 8));
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+struct Segment {
+  std::uint16_t index = 0;
+  std::uint16_t used_chips = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+std::optional<Segment> unpack_segment(std::span<const std::uint8_t> raw) {
+  if (raw.size() < kSegmentHeaderBytes) return std::nullopt;
+  Segment seg;
+  seg.index = static_cast<std::uint16_t>(raw[0] |
+                                         (static_cast<unsigned>(raw[1]) << 8));
+  seg.used_chips = static_cast<std::uint16_t>(
+      raw[2] | (static_cast<unsigned>(raw[3]) << 8));
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(raw[4 + static_cast<std::size_t>(i)])
+           << (8 * i);
+  }
+  if (seg.used_chips == 0 || seg.index >= seg.used_chips ||
+      raw.size() - kSegmentHeaderBytes != len) {
+    return std::nullopt;
+  }
+  seg.payload.assign(raw.begin() + kSegmentHeaderBytes, raw.end());
+  return seg;
+}
+
+/// Uniform config contract: reject an invalid DeviceConfig before any
+/// member (pool, chip array) is built from it.
+const DeviceConfig& validated(const DeviceConfig& config) {
+  if (const Status valid = config.validate(); !valid.is_ok()) {
+    throw std::invalid_argument(valid.to_string());
+  }
+  return config;
+}
+
+}  // namespace
+
+StashDevice::StashDevice(const DeviceConfig& config,
+                         const crypto::HidingKey& key)
+    : config_(validated(config)),
+      pool_(config.threads),
+      array_(config.geometry, config.noise, config.seed, config.chips, pool_,
+             config.costs),
+      cache_(config.read_cache_pages, config.read_cache_shards) {
+  volumes_.reserve(config_.chips);
+  for (std::uint32_t c = 0; c < config_.chips; ++c) {
+    volumes_.push_back(std::make_unique<stego::StegoVolume>(
+        array_.chip(c), key, stego::StegoConfig{config_.ftl, config_.vthi}));
+  }
+}
+
+StashDevice::~StashDevice() {
+  drain();
+  (void)flush();  // best effort; a dark device keeps its volatile loss
+}
+
+std::uint64_t StashDevice::logical_pages() const noexcept {
+  return volumes_.front()->public_pages() * volumes_.size();
+}
+
+std::uint32_t StashDevice::page_bits() const noexcept {
+  return volumes_.front()->page_bits();
+}
+
+// ---- Submission ------------------------------------------------------------
+
+void StashDevice::enqueue(Request req, std::unique_lock<std::mutex>& lock) {
+  req.seq = next_seq_++;
+  req.enqueue_tick = ++tick_;
+  req.start = std::chrono::steady_clock::now();
+  queue_.push_back(std::move(req));
+  dev_telemetry().queue_depth.set(static_cast<double>(queue_.size()));
+  if (queue_.size() >= config_.queue_depth) {
+    dispatch(lock);  // backpressure: the submitting caller pays the drain
+  } else if (queue_.size() >= config_.batch_pages) {
+    dispatch(lock);
+  } else if (tick_ - queue_.front().enqueue_tick >= config_.deadline_ticks) {
+    counters_.deadline_dispatches.inc();
+    dev_telemetry().deadline_dispatches.inc();
+    dispatch(lock);
+  }
+}
+
+std::future<Result<std::vector<std::uint8_t>>> StashDevice::submit_read(
+    std::uint64_t lpn, Priority priority) {
+  Request req;
+  req.kind = OpKind::kRead;
+  req.priority = priority;
+  req.lpn = lpn;
+  auto fut = req.value_promise.get_future();
+  std::unique_lock<std::mutex> lock(mu_);
+  enqueue(std::move(req), lock);
+  return fut;
+}
+
+std::future<Status> StashDevice::submit_write(std::uint64_t lpn,
+                                              std::vector<std::uint8_t> bits) {
+  std::promise<Status> promise;
+  auto fut = promise.get_future();
+  std::unique_lock<std::mutex> lock(mu_);
+  ++tick_;
+  counters_.writes.inc();
+  dev_telemetry().writes.inc();
+  Status st = Status::ok();
+  if (lpn >= logical_pages()) {
+    st = Status{ErrorCode::kOutOfBounds, "lpn beyond device capacity"};
+  } else if (bits.size() != page_bits()) {
+    st = Status{ErrorCode::kInvalidArgument, "write size != page size"};
+  } else {
+    cache_.invalidate(lpn);
+    if (config_.write_back_pages == 0) {
+      // Write-through: durable before the future resolves.
+      st = volumes_[chip_of(lpn)]->write_public(local_lpn(lpn),
+                                                std::move(bits));
+    } else {
+      if (buffer_.put(lpn, std::move(bits))) {
+        counters_.coalesced_writes.inc();
+        dev_telemetry().coalesced_writes.inc();
+      }
+      dev_telemetry().buffered_pages.set(static_cast<double>(buffer_.size()));
+      if (buffer_.size() >= config_.write_back_pages) {
+        // Backpressure flush.  The staged data survives a failure (it stays
+        // buffered); the triggering writer carries the health report.
+        st = flush_locked();
+      }
+    }
+  }
+  // A queued read may be past its deadline now that the tick advanced.
+  if (!queue_.empty() &&
+      tick_ - queue_.front().enqueue_tick >= config_.deadline_ticks) {
+    counters_.deadline_dispatches.inc();
+    dev_telemetry().deadline_dispatches.inc();
+    dispatch(lock);
+  }
+  promise.set_value(st);
+  return fut;
+}
+
+std::future<Status> StashDevice::submit_trim(std::uint64_t lpn) {
+  std::promise<Status> promise;
+  auto fut = promise.get_future();
+  std::unique_lock<std::mutex> lock(mu_);
+  ++tick_;
+  counters_.trims.inc();
+  dev_telemetry().trims.inc();
+  Status st = Status::ok();
+  if (lpn >= logical_pages()) {
+    st = Status{ErrorCode::kOutOfBounds, "lpn beyond device capacity"};
+  } else {
+    cache_.invalidate(lpn);
+    if (config_.write_back_pages == 0) {
+      st = volumes_[chip_of(lpn)]->ftl().trim(local_lpn(lpn));
+    } else {
+      buffer_.put_trim(lpn);
+      dev_telemetry().buffered_pages.set(static_cast<double>(buffer_.size()));
+      if (buffer_.size() >= config_.write_back_pages) st = flush_locked();
+    }
+  }
+  promise.set_value(st);
+  return fut;
+}
+
+std::future<Status> StashDevice::submit_store_hidden(
+    std::vector<std::uint8_t> data) {
+  Request req;
+  req.kind = OpKind::kStoreHidden;
+  req.priority = Priority::kBackground;
+  req.data = std::move(data);
+  auto fut = req.status_promise.get_future();
+  std::unique_lock<std::mutex> lock(mu_);
+  enqueue(std::move(req), lock);
+  return fut;
+}
+
+std::future<Result<std::vector<std::uint8_t>>>
+StashDevice::submit_load_hidden() {
+  Request req;
+  req.kind = OpKind::kLoadHidden;
+  req.priority = Priority::kBackground;
+  auto fut = req.value_promise.get_future();
+  std::unique_lock<std::mutex> lock(mu_);
+  enqueue(std::move(req), lock);
+  return fut;
+}
+
+std::future<Status> StashDevice::submit_gc() {
+  Request req;
+  req.kind = OpKind::kGc;
+  req.priority = Priority::kBackground;
+  auto fut = req.status_promise.get_future();
+  std::unique_lock<std::mutex> lock(mu_);
+  enqueue(std::move(req), lock);
+  return fut;
+}
+
+// ---- Dispatch --------------------------------------------------------------
+
+void StashDevice::dispatch(std::unique_lock<std::mutex>& lock) {
+  (void)lock;  // held throughout: dispatch is the serial scheduler heart
+  if (queue_.empty()) return;
+  counters_.dispatches.inc();
+  auto& tel = dev_telemetry();
+  tel.dispatches.inc();
+  tel.dispatch_batch.record(queue_.size());
+
+  std::vector<Request> batch;
+  batch.reserve(queue_.size());
+  for (auto& req : queue_) batch.push_back(std::move(req));
+  queue_.clear();
+  tel.queue_depth.set(0.0);
+
+  // QoS order: priority class first, submission sequence as tie-break —
+  // a deterministic function of the submission order alone.
+  std::sort(batch.begin(), batch.end(), [](const Request& a, const Request& b) {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.seq < b.seq;
+  });
+
+  last_dispatch_.clear();
+  for (const Request& req : batch) {
+    last_dispatch_.push_back(ExecutedOp{req.kind, req.seq, req.priority});
+  }
+
+  // Execute: consecutive reads coalesce into one batched round (capped at
+  // batch_pages per round); everything else runs singly, in order.
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    if (batch[i].kind == OpKind::kRead) {
+      std::size_t j = i;
+      while (j < batch.size() && batch[j].kind == OpKind::kRead &&
+             j - i < config_.batch_pages) {
+        ++j;
+      }
+      std::vector<Request> reads(std::make_move_iterator(batch.begin() + i),
+                                 std::make_move_iterator(batch.begin() + j));
+      execute_reads(reads);
+      i = j;
+      continue;
+    }
+    Request& req = batch[i++];
+    switch (req.kind) {
+      case OpKind::kStoreHidden:
+        req.status_promise.set_value(execute_store_hidden(req.data));
+        tel.hidden_latency.record(elapsed_ns(req.start));
+        break;
+      case OpKind::kLoadHidden:
+        req.value_promise.set_value(execute_load_hidden());
+        tel.hidden_latency.record(elapsed_ns(req.start));
+        break;
+      case OpKind::kGc:
+        req.status_promise.set_value(execute_gc());
+        break;
+      case OpKind::kRead:
+        break;  // unreachable
+    }
+  }
+  tel.cache_hit_ratio.set(
+      static_cast<double>(cache_.hits()) /
+      std::max<double>(1.0, static_cast<double>(cache_.hits() +
+                                                cache_.misses())));
+}
+
+void StashDevice::execute_reads(std::vector<Request>& reads) {
+  auto& tel = dev_telemetry();
+  // Resolve what never needs flash: bounds errors, write-back buffer hits,
+  // cache hits.  Collect the rest as unique (chip, local-lpn) misses.
+  struct Miss {
+    std::uint64_t lpn = 0;
+    std::vector<std::size_t> requesters;  // indices into `reads`
+  };
+  std::vector<Miss> misses;  // first-appearance order
+  std::unordered_map<std::uint64_t, std::size_t> miss_of;
+  for (std::size_t r = 0; r < reads.size(); ++r) {
+    const std::uint64_t lpn = reads[r].lpn;
+    if (lpn >= logical_pages()) {
+      reads[r].value_promise.set_value(
+          Status{ErrorCode::kOutOfBounds, "lpn beyond device capacity"});
+      continue;
+    }
+    if (const WriteBackBuffer::Entry* staged = buffer_.find(lpn)) {
+      counters_.buffer_hits.inc();
+      tel.buffer_hits.inc();
+      if (staged->trim) {
+        reads[r].value_promise.set_value(
+            Status{ErrorCode::kNotFound, "logical page trimmed"});
+      } else {
+        reads[r].value_promise.set_value(staged->bits);
+      }
+      counters_.reads.inc();
+      tel.reads.inc();
+      tel.read_latency.record(elapsed_ns(reads[r].start));
+      continue;
+    }
+    if (auto cached = cache_.lookup(lpn)) {
+      counters_.reads.inc();
+      tel.reads.inc();
+      tel.cache_hits.inc();
+      reads[r].value_promise.set_value(std::move(*cached));
+      tel.read_latency.record(elapsed_ns(reads[r].start));
+      continue;
+    }
+    tel.cache_misses.inc();
+    const auto [it, fresh] = miss_of.try_emplace(lpn, misses.size());
+    if (fresh) {
+      misses.push_back(Miss{lpn, {}});
+    } else {
+      counters_.coalesced_reads.inc();
+      tel.coalesced_reads.inc();
+    }
+    misses[it->second].requesters.push_back(r);
+  }
+
+  // One read_batch per chip over that chip's unique misses, in chip order;
+  // within a chip the FTL groups same-block reads and fans out on the
+  // pool, deterministically for any thread count.
+  std::vector<std::vector<std::uint64_t>> chip_lpns(volumes_.size());
+  std::vector<std::vector<std::size_t>> chip_miss(volumes_.size());
+  for (std::size_t m = 0; m < misses.size(); ++m) {
+    const std::uint32_t c = chip_of(misses[m].lpn);
+    chip_lpns[c].push_back(local_lpn(misses[m].lpn));
+    chip_miss[c].push_back(m);
+  }
+  for (std::uint32_t c = 0; c < volumes_.size(); ++c) {
+    if (chip_lpns[c].empty()) continue;
+    auto results = volumes_[c]->ftl().read_batch(chip_lpns[c], pool_);
+    for (std::size_t k = 0; k < results.size(); ++k) {
+      Miss& miss = misses[chip_miss[c][k]];
+      if (results[k].is_ok()) {
+        cache_.insert(miss.lpn, results[k].value());
+      }
+      for (std::size_t r : miss.requesters) {
+        counters_.reads.inc();
+        tel.reads.inc();
+        if (results[k].is_ok()) {
+          reads[r].value_promise.set_value(results[k].value());
+        } else {
+          reads[r].value_promise.set_value(results[k].status());
+        }
+        tel.read_latency.record(elapsed_ns(reads[r].start));
+      }
+    }
+  }
+}
+
+// ---- Hidden volume and GC --------------------------------------------------
+
+Status StashDevice::execute_store_hidden(std::span<const std::uint8_t> data) {
+  // Plan the split first so a too-large payload fails before any chip is
+  // touched: chip i takes min(remaining, capacity_i - header).
+  std::vector<std::size_t> take(volumes_.size(), 0);
+  std::size_t remaining = data.size();
+  std::size_t used = 0;
+  for (std::uint32_t c = 0; c < volumes_.size(); ++c) {
+    const std::size_t cap = volumes_[c]->hidden_capacity_bytes();
+    if (cap <= kSegmentHeaderBytes) break;  // later chips would leave a gap
+    take[c] = std::min(remaining, cap - kSegmentHeaderBytes);
+    remaining -= take[c];
+    used = c + 1;
+    if (remaining == 0) break;
+  }
+  if (remaining > 0 || used == 0) {
+    return Status{ErrorCode::kNoSpace,
+                  "hidden payload exceeds device hidden capacity"};
+  }
+  std::size_t offset = 0;
+  for (std::uint32_t c = 0; c < used; ++c) {
+    const auto segment =
+        pack_segment(static_cast<std::uint16_t>(c),
+                     static_cast<std::uint16_t>(used),
+                     data.subspan(offset, take[c]));
+    STASH_RETURN_IF_ERROR(volumes_[c]->store_hidden(segment));
+    offset += take[c];
+  }
+  return Status::ok();
+}
+
+Result<std::vector<std::uint8_t>> StashDevice::execute_load_hidden() {
+  std::vector<Segment> found;
+  for (std::uint32_t c = 0; c < volumes_.size(); ++c) {
+    auto loaded = volumes_[c]->load_hidden();
+    if (!loaded.is_ok()) continue;  // MAC rejects chips without our data
+    if (auto seg = unpack_segment(loaded.value())) {
+      found.push_back(std::move(*seg));
+    }
+  }
+  if (found.empty()) {
+    return Status{ErrorCode::kNotFound, "no hidden volume under this key"};
+  }
+  const std::uint16_t total = found.front().used_chips;
+  std::vector<const Segment*> ordered(total, nullptr);
+  for (const Segment& seg : found) {
+    if (seg.used_chips != total || seg.index >= total) {
+      return Status{ErrorCode::kCorrupted,
+                    "inconsistent hidden segment set across chips"};
+    }
+    ordered[seg.index] = &seg;
+  }
+  std::vector<std::uint8_t> out;
+  for (std::uint16_t i = 0; i < total; ++i) {
+    if (!ordered[i]) {
+      return Status{ErrorCode::kCorrupted,
+                    "hidden segment " + std::to_string(i) + " missing"};
+    }
+    out.insert(out.end(), ordered[i]->payload.begin(),
+               ordered[i]->payload.end());
+  }
+  return out;
+}
+
+Status StashDevice::execute_gc() {
+  counters_.gc_runs.inc();
+  dev_telemetry().gc_runs.inc();
+  util::BatchStatus results;
+  results.reserve(volumes_.size());
+  for (auto& volume : volumes_) {
+    results.push_back(volume->ftl().run_gc());
+  }
+  return util::first_error(results);
+}
+
+// ---- Durability ------------------------------------------------------------
+
+Status StashDevice::flush_locked() {
+  if (buffer_.empty()) return Status::ok();
+  auto& tel = dev_telemetry();
+  counters_.flushes.inc();
+  tel.flushes.inc();
+  const telemetry::ScopedTimer timer(tel.flush_latency);
+
+  // Snapshot per chip in staging order; chips drain concurrently (each
+  // chip's volume is independent), entries within a chip in order.
+  struct Item {
+    const WriteBackBuffer::Entry* entry = nullptr;
+    Status status;
+  };
+  std::vector<std::vector<Item>> per_chip(volumes_.size());
+  for (const WriteBackBuffer::Entry& entry : buffer_.entries()) {
+    per_chip[chip_of(entry.lpn)].push_back(Item{&entry, Status::ok()});
+  }
+  pool_.parallel_for(per_chip.size(), [&](std::size_t c) {
+    for (Item& item : per_chip[c]) {
+      const std::uint64_t local = local_lpn(item.entry->lpn);
+      item.status = item.entry->trim
+                        ? volumes_[c]->ftl().trim(local)
+                        : volumes_[c]->write_public(local, item.entry->bits);
+    }
+  });
+
+  Status first = Status::ok();
+  std::vector<std::uint64_t> flushed;
+  for (const auto& chip_items : per_chip) {
+    for (const Item& item : chip_items) {
+      if (item.status.is_ok()) {
+        flushed.push_back(item.entry->lpn);
+        counters_.flushed_pages.inc();
+        tel.flushed_pages.inc();
+      } else if (first.is_ok()) {
+        first = item.status;
+      }
+    }
+  }
+  for (const std::uint64_t lpn : flushed) buffer_.erase(lpn);
+  tel.buffered_pages.set(static_cast<double>(buffer_.size()));
+  return first;
+}
+
+Status StashDevice::flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  return flush_locked();
+}
+
+void StashDevice::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  dispatch(lock);
+}
+
+// ---- Fault integration -----------------------------------------------------
+
+void StashDevice::set_fault_injector(nand::FaultInjector* injector) noexcept {
+  for (std::uint32_t c = 0; c < array_.chips(); ++c) {
+    array_.chip(c).set_fault_injector(injector);
+  }
+}
+
+Status StashDevice::power_cycle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // RAM dies with the power: queued requests, the read cache, and the
+  // write-back buffer are gone.  Acked-unflushed writes become *reported*
+  // losses — the honest contract of a write-back device.
+  for (Request& req : queue_) {
+    const Status lost{ErrorCode::kPowerLoss, "request lost to power cut"};
+    if (req.kind == OpKind::kRead || req.kind == OpKind::kLoadHidden) {
+      req.value_promise.set_value(lost);
+    } else {
+      req.status_promise.set_value(lost);
+    }
+  }
+  queue_.clear();
+  cache_.clear();
+  for (const WriteBackBuffer::Entry& entry : buffer_.drop_all()) {
+    if (entry.trim) continue;
+    lost_writes_.push_back(entry.lpn);
+    counters_.lost.inc();
+    dev_telemetry().lost_writes.inc();
+  }
+  dev_telemetry().queue_depth.set(0.0);
+  dev_telemetry().buffered_pages.set(0.0);
+  return Status::ok();
+}
+
+// ---- Synchronous convenience ----------------------------------------------
+
+Result<std::vector<std::uint8_t>> StashDevice::read(std::uint64_t lpn) {
+  auto fut = submit_read(lpn);
+  drain();
+  return fut.get();
+}
+
+Status StashDevice::write(std::uint64_t lpn,
+                          std::span<const std::uint8_t> bits) {
+  return submit_write(lpn, std::vector<std::uint8_t>(bits.begin(), bits.end()))
+      .get();
+}
+
+Status StashDevice::trim(std::uint64_t lpn) { return submit_trim(lpn).get(); }
+
+Status StashDevice::store_hidden(std::span<const std::uint8_t> data) {
+  auto fut = submit_store_hidden(
+      std::vector<std::uint8_t>(data.begin(), data.end()));
+  drain();
+  return fut.get();
+}
+
+Result<std::vector<std::uint8_t>> StashDevice::load_hidden() {
+  auto fut = submit_load_hidden();
+  drain();
+  return fut.get();
+}
+
+BatchResult<std::vector<std::uint8_t>> StashDevice::read_batch(
+    std::span<const std::uint64_t> lpns) {
+  std::vector<std::future<Result<std::vector<std::uint8_t>>>> futures;
+  futures.reserve(lpns.size());
+  for (const std::uint64_t lpn : lpns) futures.push_back(submit_read(lpn));
+  drain();
+  BatchResult<std::vector<std::uint8_t>> out;
+  out.reserve(futures.size());
+  for (auto& fut : futures) out.push_back(fut.get());
+  return out;
+}
+
+BatchStatus StashDevice::write_batch(
+    std::span<const ftl::PageMappedFtl::WriteRequest> requests) {
+  BatchStatus out;
+  out.reserve(requests.size());
+  for (const auto& req : requests) {
+    out.push_back(submit_write(req.lpn, req.bits).get());
+  }
+  return out;
+}
+
+DeviceStats StashDevice::stats_snapshot() const noexcept {
+  DeviceStats s;
+  s.reads = counters_.reads.value();
+  s.writes = counters_.writes.value();
+  s.trims = counters_.trims.value();
+  s.cache_hits = cache_.hits();
+  s.cache_misses = cache_.misses();
+  s.buffer_hits = counters_.buffer_hits.value();
+  s.coalesced_writes = counters_.coalesced_writes.value();
+  s.coalesced_reads = counters_.coalesced_reads.value();
+  s.dispatches = counters_.dispatches.value();
+  s.deadline_dispatches = counters_.deadline_dispatches.value();
+  s.flushes = counters_.flushes.value();
+  s.flushed_pages = counters_.flushed_pages.value();
+  s.lost_writes = counters_.lost.value();
+  s.gc_runs = counters_.gc_runs.value();
+  return s;
+}
+
+}  // namespace stash::dev

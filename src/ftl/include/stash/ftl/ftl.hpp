@@ -15,10 +15,13 @@
 #include "stash/nand/chip.hpp"
 #include "stash/par/pool.hpp"
 #include "stash/telemetry/metrics.hpp"
+#include "stash/util/batch.hpp"
 #include "stash/util/status.hpp"
 
 namespace stash::ftl {
 
+using util::BatchResult;
+using util::BatchStatus;
 using util::Result;
 using util::Status;
 
@@ -36,6 +39,11 @@ struct FtlConfig {
   /// Placement attempts for one page write before the FTL gives up.  Each
   /// failed attempt burns the failed page and moves to another block.
   std::uint32_t max_program_retries = 8;
+
+  /// Uniform config contract: every layer's config exposes validate(), and
+  /// construction entry points check it (throwing std::invalid_argument on
+  /// a non-OK status, the library's programming-error convention).
+  [[nodiscard]] Status validate() const;
 };
 
 /// Point-in-time FTL statistics.  Assembled on demand from the telemetry
@@ -91,21 +99,22 @@ class PageMappedFtl {
 
   /// Read many logical pages, fanning the physical reads across the pool
   /// grouped by physical block (same-block reads stay in request order, so
-  /// read-disturb noise is deterministic for any thread count).  Result i
+  /// read-disturb noise is deterministic for any thread count).  Follows
+  /// the util::BatchResult convention (stash/util/batch.hpp): result i
   /// corresponds to lpns[i].  The mapping tables must not be concurrently
   /// mutated: do not interleave with write()/trim()/run_gc().
-  std::vector<Result<std::vector<std::uint8_t>>> read_batch(
+  BatchResult<std::vector<std::uint8_t>> read_batch(
       std::span<const std::uint64_t> lpns, par::ThreadPool& pool);
 
   struct WriteRequest {
     std::uint64_t lpn = 0;
     std::vector<std::uint8_t> bits;
   };
-  /// Transactional convenience for symmetric call sites: writes execute
-  /// sequentially in request order (the mapping tables, allocator and GC
-  /// are global state — parallelizing them would reorder placement), and
-  /// the batch stops at the first failure, returning it.
-  Status write_batch(std::span<const WriteRequest> requests);
+  /// Writes execute sequentially in request order (the mapping tables,
+  /// allocator and GC are global state — parallelizing them would reorder
+  /// placement).  Follows the util::BatchStatus convention: slot i holds
+  /// request i's outcome, and one failure does not abort the rest.
+  BatchStatus write_batch(std::span<const WriteRequest> requests);
 
   /// Physical location of a logical page, if mapped.
   [[nodiscard]] std::optional<nand::PageAddr> locate(std::uint64_t lpn) const;
@@ -115,9 +124,8 @@ class PageMappedFtl {
     pre_erase_hook_ = std::move(hook);
   }
 
-  /// Compatibility accessor: materializes the per-instance telemetry
-  /// counters into the legacy FtlStats value type.
-  [[nodiscard]] FtlStats stats() const noexcept {
+  /// Point-in-time snapshot of the per-instance telemetry counters.
+  [[nodiscard]] FtlStats stats_snapshot() const noexcept {
     FtlStats s;
     s.host_writes = counters_.host_writes.value();
     s.nand_writes = counters_.nand_writes.value();

@@ -33,8 +33,31 @@ FtlTelemetry& ftl_telemetry() {
 
 }  // namespace
 
+Status FtlConfig::validate() const {
+  if (!(overprovision >= 0.0) || overprovision >= 1.0) {
+    return {ErrorCode::kInvalidArgument,
+            "FtlConfig: overprovision must be in [0, 1)"};
+  }
+  if (gc_low_watermark == 0) {
+    return {ErrorCode::kInvalidArgument,
+            "FtlConfig: gc_low_watermark must be >= 1"};
+  }
+  if (bad_block_program_fail_threshold == 0) {
+    return {ErrorCode::kInvalidArgument,
+            "FtlConfig: bad_block_program_fail_threshold must be >= 1"};
+  }
+  if (max_program_retries == 0) {
+    return {ErrorCode::kInvalidArgument,
+            "FtlConfig: max_program_retries must be >= 1"};
+  }
+  return Status::ok();
+}
+
 PageMappedFtl::PageMappedFtl(nand::FlashChip& chip, FtlConfig config)
     : chip_(&chip), config_(config) {
+  if (const Status valid = config_.validate(); !valid.is_ok()) {
+    throw std::invalid_argument(valid.to_string());
+  }
   const auto& geom = chip.geometry();
   const auto op_blocks = static_cast<std::uint32_t>(
       static_cast<double>(geom.blocks) * config_.overprovision);
@@ -182,7 +205,7 @@ Status PageMappedFtl::write(std::uint64_t lpn,
   auto& tel = ftl_telemetry();
   tel.host_writes.inc();
   tel.nand_writes.inc();
-  tel.write_amp.set(stats().write_amplification());
+  tel.write_amp.set(stats_snapshot().write_amplification());
 
   STASH_RETURN_IF_ERROR(maybe_wear_level());
   return Status::ok();
@@ -231,11 +254,13 @@ std::vector<Result<std::vector<std::uint8_t>>> PageMappedFtl::read_batch(
   return out;
 }
 
-Status PageMappedFtl::write_batch(std::span<const WriteRequest> requests) {
+BatchStatus PageMappedFtl::write_batch(std::span<const WriteRequest> requests) {
+  BatchStatus out;
+  out.reserve(requests.size());
   for (const WriteRequest& req : requests) {
-    STASH_RETURN_IF_ERROR(write(req.lpn, req.bits));
+    out.push_back(write(req.lpn, req.bits));
   }
-  return Status::ok();
+  return out;
 }
 
 Status PageMappedFtl::trim(std::uint64_t lpn) {

@@ -101,15 +101,18 @@ class OnfiDevice {
   }
 
   // ---- Convenience wrappers (the sequences host software would issue) ----
+  // Fallible operations follow the library-wide Status/Result convention:
+  // a FAIL status-register bit (or a malformed command sequence) surfaces
+  // as a non-OK Status carrying the diagnostic from last_error().
   [[nodiscard]] std::vector<std::uint8_t> read_page(std::uint32_t block,
                                                     std::uint32_t page);
-  bool program_page(std::uint32_t block, std::uint32_t page,
-                    std::span<const std::uint8_t> bytes);
-  bool erase_block(std::uint32_t block);
+  util::Status program_page(std::uint32_t block, std::uint32_t page,
+                            std::span<const std::uint8_t> bytes);
+  util::Status erase_block(std::uint32_t block);
   /// PROGRAM ... RESET-midway: partially program the 0-bits of `bytes`.
-  bool partial_program_page(std::uint32_t block, std::uint32_t page,
-                            std::span<const std::uint8_t> bytes,
-                            double fraction = 0.5);
+  util::Status partial_program_page(std::uint32_t block, std::uint32_t page,
+                                    std::span<const std::uint8_t> bytes,
+                                    double fraction = 0.5);
   /// Vendor feature write: shift the read reference for subsequent READs.
   void set_read_reference(double vref);
 
@@ -134,6 +137,10 @@ class OnfiDevice {
   };
 
   [[nodiscard]] bool decode_row(RowAddress& out) const;
+  /// Status-register verdict of the sequence just issued: OK when the FAIL
+  /// bit is clear, otherwise `code` with last_error() (or `fallback`).
+  [[nodiscard]] util::Status command_status(util::ErrorCode code,
+                                            const char* fallback) const;
   void set_ready(bool ready) noexcept;
   void set_fail(bool fail) noexcept;
   /// set_fail(true) plus a diagnostic message and the onfi.bad_command

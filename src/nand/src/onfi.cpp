@@ -323,8 +323,14 @@ std::vector<std::uint8_t> OnfiDevice::read_page(std::uint32_t block,
   return data_out(page_bytes());
 }
 
-bool OnfiDevice::program_page(std::uint32_t block, std::uint32_t page,
-                              std::span<const std::uint8_t> bytes) {
+util::Status OnfiDevice::command_status(util::ErrorCode code,
+                                        const char* fallback) const {
+  if ((status_ & kStatusFail) == 0) return util::Status::ok();
+  return util::Status{code, last_error_.empty() ? fallback : last_error_};
+}
+
+util::Status OnfiDevice::program_page(std::uint32_t block, std::uint32_t page,
+                                      std::span<const std::uint8_t> bytes) {
   const std::uint32_t row = block * chip_->geometry().pages_per_block + page;
   cmd(kProgram);
   addr(0);
@@ -335,22 +341,22 @@ bool OnfiDevice::program_page(std::uint32_t block, std::uint32_t page,
   data_in(bytes);
   cmd(kProgramConfirm);
   wait_ready();
-  return (status_ & kStatusFail) == 0;
+  return command_status(util::ErrorCode::kProgramFail, "PROGRAM failed");
 }
 
-bool OnfiDevice::erase_block(std::uint32_t block) {
+util::Status OnfiDevice::erase_block(std::uint32_t block) {
   const std::uint32_t row = block * chip_->geometry().pages_per_block;
   cmd(kErase);
   addr(static_cast<std::uint8_t>(row));
   addr(static_cast<std::uint8_t>(row >> 8));
   addr(static_cast<std::uint8_t>(row >> 16));
   cmd(kEraseConfirm);
-  return (status_ & kStatusFail) == 0;
+  return command_status(util::ErrorCode::kEraseFail, "ERASE failed");
 }
 
-bool OnfiDevice::partial_program_page(std::uint32_t block, std::uint32_t page,
-                                      std::span<const std::uint8_t> bytes,
-                                      double fraction) {
+util::Status OnfiDevice::partial_program_page(
+    std::uint32_t block, std::uint32_t page,
+    std::span<const std::uint8_t> bytes, double fraction) {
   const std::uint32_t row = block * chip_->geometry().pages_per_block + page;
   cmd(kProgram);
   addr(0);
@@ -361,7 +367,8 @@ bool OnfiDevice::partial_program_page(std::uint32_t block, std::uint32_t page,
   data_in(bytes);
   cmd(kProgramConfirm);
   reset_after(fraction);
-  return (status_ & kStatusFail) == 0;
+  return command_status(util::ErrorCode::kProgramFail,
+                        "partial PROGRAM failed");
 }
 
 void OnfiDevice::set_read_reference(double vref) {

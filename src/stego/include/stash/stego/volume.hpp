@@ -37,11 +37,29 @@ struct StegoStats {
   std::uint64_t lost_chunks = 0;  // chunks that could not be re-homed
 };
 
+/// Aggregate configuration of one steganographic volume: the public FTL's
+/// knobs plus the hidden channel's.  Follows the uniform config contract
+/// (see FtlConfig::validate): validate() is checked by the StegoVolume
+/// constructor, which throws std::invalid_argument on a non-OK status.
+struct StegoConfig {
+  ftl::FtlConfig ftl;
+  vthi::VthiConfig vthi = vthi::VthiConfig::production();
+
+  [[nodiscard]] Status validate() const {
+    STASH_RETURN_IF_ERROR(ftl.validate());
+    return vthi.validate();
+  }
+};
+
 class StegoVolume {
  public:
   StegoVolume(nand::FlashChip& chip, const crypto::HidingKey& key,
-              ftl::FtlConfig ftl_config = {},
-              vthi::VthiConfig vthi_config = vthi::VthiConfig::production());
+              StegoConfig config = {});
+  /// Convenience overload for call sites configuring only one layer.
+  StegoVolume(nand::FlashChip& chip, const crypto::HidingKey& key,
+              ftl::FtlConfig ftl_config,
+              vthi::VthiConfig vthi_config = vthi::VthiConfig::production())
+      : StegoVolume(chip, key, StegoConfig{ftl_config, vthi_config}) {}
 
   // ---- Public (normal user) volume ---------------------------------------
   Status write_public(std::uint64_t lpn, std::span<const std::uint8_t> bits);
@@ -71,10 +89,15 @@ class StegoVolume {
   Status reembed_pending();
 
   [[nodiscard]] std::size_t hidden_chunk_capacity() const;
+  /// Payload bytes store_hidden() could accept right now: per-chunk
+  /// capacity times the blocks currently eligible to carry a chunk.
+  [[nodiscard]] std::size_t hidden_capacity_bytes() const;
   [[nodiscard]] const StegoStats& stats() const noexcept { return stats_; }
-  [[nodiscard]] ftl::FtlStats ftl_stats() const noexcept {
-    return ftl_.stats();
+  [[nodiscard]] ftl::FtlStats ftl_stats_snapshot() const noexcept {
+    return ftl_.stats_snapshot();
   }
+  /// The public FTL beneath this volume (batch reads, GC, locate).
+  [[nodiscard]] ftl::PageMappedFtl& ftl() noexcept { return ftl_; }
   [[nodiscard]] const std::set<std::uint32_t>& hidden_blocks() const noexcept {
     return hidden_blocks_;
   }

@@ -27,9 +27,11 @@ StegoTelemetry& stego_telemetry() {
 }  // namespace
 
 StegoVolume::StegoVolume(nand::FlashChip& chip, const crypto::HidingKey& key,
-                         ftl::FtlConfig ftl_config,
-                         vthi::VthiConfig vthi_config)
-    : chip_(&chip), ftl_(chip, ftl_config), codec_(chip, key, vthi_config) {
+                         StegoConfig config)
+    : chip_(&chip), ftl_(chip, config.ftl), codec_(chip, key, config.vthi) {
+  if (const Status valid = config.validate(); !valid.is_ok()) {
+    throw std::invalid_argument(valid.to_string());
+  }
   // Rescue on the pre-erase hook: it fires exactly once per victim block,
   // before any cell is touched — even for blocks whose public pages are all
   // invalid (a relocation hook alone would miss those and the erase would
@@ -53,6 +55,10 @@ std::size_t StegoVolume::hidden_chunk_capacity() const {
   const std::size_t block_capacity = codec_.capacity_bytes();
   return block_capacity > kChunkHeaderBytes ? block_capacity - kChunkHeaderBytes
                                             : 0;
+}
+
+std::size_t StegoVolume::hidden_capacity_bytes() const {
+  return hidden_chunk_capacity() * eligible_blocks().size();
 }
 
 std::vector<std::uint8_t> StegoVolume::pack_chunk(const Chunk& chunk) const {

@@ -14,6 +14,7 @@
 #include "stash/crypto/sha256.hpp"
 #include "stash/ecc/bch.hpp"
 #include "stash/nand/chip.hpp"
+#include "stash/util/batch.hpp"
 #include "stash/util/status.hpp"
 #include "stash/vthi/channel.hpp"
 #include "stash/vthi/config.hpp"
@@ -119,19 +120,20 @@ class VthiCodec {
   // ---- Batch entry points (stash::par) -----------------------------------
   // Blocks are independent hiding containers, so a batch fans out one pool
   // task per distinct block; requests naming the same block run
-  // sequentially in request order.  Result i corresponds to request i, and
-  // results are bit-identical for any thread count.
+  // sequentially in request order.  Both calls follow the util::BatchResult
+  // convention (stash/util/batch.hpp): result i corresponds to request i,
+  // and results are bit-identical for any thread count.
 
   struct BlockHideRequest {
     std::uint32_t block = 0;
     std::vector<std::uint8_t> payload;
   };
-  std::vector<util::Result<HideReport>> hide_batch(
+  util::BatchResult<HideReport> hide_batch(
       std::span<const BlockHideRequest> requests, par::ThreadPool& pool);
 
   /// Reveal many blocks; when `corrected_bits` is non-null it receives one
   /// entry per request (ECC-repaired bit count, 0 on failed reveals).
-  std::vector<util::Result<std::vector<std::uint8_t>>> reveal_batch(
+  util::BatchResult<std::vector<std::uint8_t>> reveal_batch(
       std::span<const std::uint32_t> blocks, par::ThreadPool& pool,
       std::vector<int>* corrected_bits = nullptr);
 

@@ -6,6 +6,8 @@
 
 #include <cstdint>
 
+#include "stash/util/status.hpp"
+
 namespace stash::vthi {
 
 /// Parameters of the raw per-page voltage channel.
@@ -65,6 +67,47 @@ struct VthiConfig {
   int max_read_retries = 4;
   /// Initial reference shift of the retry ladder, in normalized levels.
   double read_retry_shift = 1.0;
+
+  /// Uniform config contract (see FtlConfig::validate): checked by the
+  /// VthiCodec/VthiChannel construction entry points, which throw
+  /// std::invalid_argument on a non-OK status.
+  [[nodiscard]] util::Status validate() const {
+    using util::ErrorCode;
+    using util::Status;
+    if (!(channel.vth > 0.0) || channel.vth >= 255.0) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "VthiConfig: channel.vth must be in (0, 255)"};
+    }
+    if (!(channel.select_guard > channel.vth) || channel.select_guard > 255.0) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "VthiConfig: select_guard must be in (vth, 255]"};
+    }
+    if (channel.max_pp_steps < 1) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "VthiConfig: max_pp_steps must be >= 1"};
+    }
+    if (hidden_bits_per_page == 0) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "VthiConfig: hidden_bits_per_page must be > 0"};
+    }
+    if (bch_m != 0 && (bch_m < 2 || bch_m > 16)) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "VthiConfig: bch_m must be 0 (ECC off) or in [2, 16]"};
+    }
+    if (bch_t < 0) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "VthiConfig: bch_t must be >= 0"};
+    }
+    if (!(raw_ber_estimate >= 0.0) || raw_ber_estimate >= 0.5) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "VthiConfig: raw_ber_estimate must be in [0, 0.5)"};
+    }
+    if (max_read_retries < 0 || !(read_retry_shift >= 0.0)) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "VthiConfig: read-retry parameters must be non-negative"};
+    }
+    return Status::ok();
+  }
 
   /// §6.3 production configuration (the paper's Table 1 / Fig. 10 setup).
   [[nodiscard]] static VthiConfig production() noexcept { return {}; }

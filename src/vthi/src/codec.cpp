@@ -46,6 +46,9 @@ VthiCodec::VthiCodec(nand::FlashChip& chip, const crypto::HidingKey& key,
       key_(key),
       config_(config),
       channel_(chip, key.selection_key(), config.channel) {
+  if (const Status valid = config_.validate(); !valid.is_ok()) {
+    throw std::invalid_argument(valid.to_string());
+  }
   if (config_.bch_m > 0) {
     int t = config_.bch_t;
     if (t == 0) {

@@ -245,10 +245,10 @@ TEST(FaultPlan, InjectedProgramFailSurfacesInOnfiStatus) {
   chip.set_fault_injector(&plan);
 
   const std::vector<std::uint8_t> bytes(dev.page_bytes(), 0xA5);
-  EXPECT_FALSE(dev.program_page(0, 0, bytes));
+  EXPECT_FALSE(dev.program_page(0, 0, bytes).is_ok());
   EXPECT_TRUE(dev.status() & nand::onfi::kStatusFail);
   // The next program (fresh page, no fault scheduled) clears the failure.
-  EXPECT_TRUE(dev.program_page(0, 1, bytes));
+  EXPECT_TRUE(dev.program_page(0, 1, bytes).is_ok());
   EXPECT_FALSE(dev.status() & nand::onfi::kStatusFail);
 }
 

@@ -124,8 +124,8 @@ TEST(Ftl, GarbageCollectionReclaimsSpace) {
     ASSERT_TRUE(ftl.write(0, pattern_page(ftl.page_bits(), i)).is_ok())
         << "write " << i;
   }
-  EXPECT_GT(ftl.stats().gc_runs, 0u);
-  EXPECT_GE(ftl.stats().write_amplification(), 1.0);
+  EXPECT_GT(ftl.stats_snapshot().gc_runs, 0u);
+  EXPECT_GE(ftl.stats_snapshot().write_amplification(), 1.0);
 }
 
 TEST(Ftl, WriteAmplificationNearOneForSequentialOverwrite) {
@@ -143,7 +143,7 @@ TEST(Ftl, WriteAmplificationNearOneForSequentialOverwrite) {
               .is_ok());
     }
   }
-  EXPECT_LT(ftl.stats().write_amplification(), 1.6);
+  EXPECT_LT(ftl.stats_snapshot().write_amplification(), 1.6);
 }
 
 TEST(Ftl, RelocationHookFiresWithValidData) {
@@ -169,7 +169,7 @@ TEST(Ftl, RelocationHookFiresWithValidData) {
   for (std::uint64_t i = 0; i < writes; ++i) {
     ASSERT_TRUE(ftl.write(i % 4, pattern_page(ftl.page_bits(), i)).is_ok());
   }
-  EXPECT_EQ(hook_calls, ftl.stats().relocations);
+  EXPECT_EQ(hook_calls, ftl.stats_snapshot().relocations);
   EXPECT_GT(hook_calls, 0u);
   // Every cold page survived the relocations.
   for (std::uint64_t lpn = 10; lpn < 10 + cold; ++lpn) {

@@ -44,7 +44,7 @@ TEST(Onfi, ProgramReadRoundTripThroughBus) {
   FlashChip chip(onfi_geometry(), NoiseModel::vendor_a(), 3);
   OnfiDevice dev(chip);
   const auto data = random_bytes(dev.page_bytes(), 3);
-  ASSERT_TRUE(dev.program_page(0, 0, data));
+  ASSERT_TRUE(dev.program_page(0, 0, data).is_ok());
   EXPECT_TRUE(dev.status() & onfi::kStatusReady);
   EXPECT_FALSE(dev.status() & onfi::kStatusFail);
 
@@ -74,9 +74,9 @@ TEST(Onfi, ProgramFailSurfacesInStatus) {
   FlashChip chip(onfi_geometry(), NoiseModel::vendor_a(), 5);
   OnfiDevice dev(chip);
   const auto data = random_bytes(dev.page_bytes(), 5);
-  ASSERT_TRUE(dev.program_page(0, 0, data));
+  ASSERT_TRUE(dev.program_page(0, 0, data).is_ok());
   // Reprogramming the same page violates the no-in-place-update rule.
-  EXPECT_FALSE(dev.program_page(0, 0, data));
+  EXPECT_FALSE(dev.program_page(0, 0, data).is_ok());
   EXPECT_TRUE(dev.status() & onfi::kStatusFail);
 }
 
@@ -84,8 +84,8 @@ TEST(Onfi, EraseBlockThroughBus) {
   FlashChip chip(onfi_geometry(), NoiseModel::vendor_a(), 6);
   OnfiDevice dev(chip);
   const auto data = random_bytes(dev.page_bytes(), 6);
-  ASSERT_TRUE(dev.program_page(0, 0, data));
-  ASSERT_TRUE(dev.erase_block(0));
+  ASSERT_TRUE(dev.program_page(0, 0, data).is_ok());
+  ASSERT_TRUE(dev.erase_block(0).is_ok());
   EXPECT_EQ(chip.pec(0), 1u);
   // All bytes read as 0xFF after erase (all cells '1').
   const auto readback = dev.read_page(0, 0);
@@ -103,7 +103,7 @@ TEST(Onfi, PartialProgramViaProgramPlusReset) {
   for (int i = 0; i < 8; ++i) pattern[static_cast<std::size_t>(i)] = 0x00;
 
   const auto before = chip.probe_voltages(0, 0);
-  ASSERT_TRUE(dev.partial_program_page(0, 0, pattern, 0.5));
+  ASSERT_TRUE(dev.partial_program_page(0, 0, pattern, 0.5).is_ok());
   const auto after = chip.probe_voltages(0, 0);
 
   util::RunningStats targeted, untouched;
@@ -126,9 +126,9 @@ TEST(Onfi, AbortFractionScalesCharge) {
   pattern[0] = 0x00;
 
   const auto before0 = chip.probe_voltages(0, 0);
-  ASSERT_TRUE(dev.partial_program_page(0, 0, pattern, 0.25));
+  ASSERT_TRUE(dev.partial_program_page(0, 0, pattern, 0.25).is_ok());
   const auto early = chip.probe_voltages(0, 0);
-  ASSERT_TRUE(dev.partial_program_page(0, 1, pattern, 0.9));
+  ASSERT_TRUE(dev.partial_program_page(0, 1, pattern, 0.9).is_ok());
   const auto before1_cells = chip.probe_voltages(0, 1);
 
   double early_gain = 0.0, late_gain = 0.0;
@@ -139,7 +139,7 @@ TEST(Onfi, AbortFractionScalesCharge) {
   FlashChip chip2(onfi_geometry(), NoiseModel::vendor_a(), 8);
   OnfiDevice dev2(chip2);
   const auto b2 = chip2.probe_voltages(0, 0);
-  ASSERT_TRUE(dev2.partial_program_page(0, 0, pattern, 0.9));
+  ASSERT_TRUE(dev2.partial_program_page(0, 0, pattern, 0.9).is_ok());
   const auto a2 = chip2.probe_voltages(0, 0);
   for (int c = 0; c < 8; ++c) late_gain += a2[c] - b2[c];
   EXPECT_GT(late_gain, early_gain);

@@ -137,7 +137,7 @@ TEST(FtlRobustness, SustainedRandomWorkloadToThousandsOfWrites) {
     }
     EXPECT_LE(diffs, 4u) << "lpn " << lpn;
   }
-  EXPECT_GT(ftl.stats().gc_runs, 10u);
+  EXPECT_GT(ftl.stats_snapshot().gc_runs, 10u);
 }
 
 TEST(FtlRobustness, WearLevelingBoundsPecSpread) {
@@ -157,7 +157,7 @@ TEST(FtlRobustness, WearLevelingBoundsPecSpread) {
     const std::uint64_t lpn = 8 + rng.below(4);
     ASSERT_TRUE(ftl.write(lpn, rand_bits(ftl.page_bits(), 1000 + op)).is_ok());
   }
-  EXPECT_GT(ftl.stats().wear_swaps, 0u);
+  EXPECT_GT(ftl.stats_snapshot().wear_swaps, 0u);
   std::uint32_t min_pec = ~0u, max_pec = 0;
   for (std::uint32_t b = 0; b < chip.geometry().blocks; ++b) {
     min_pec = std::min(min_pec, chip.pec(b));
@@ -472,8 +472,8 @@ TEST(FaultRecovery, FtlSurvivesOnePercentProgramFailures) {
   EXPECT_GE(retired, 1u);
   EXPECT_GT(ftl.free_blocks(), 0u);
 #ifndef STASH_TELEMETRY_DISABLED
-  EXPECT_GT(ftl.stats().program_fail_rewrites, 0u);
-  EXPECT_EQ(ftl.stats().grown_bad_blocks, retired);
+  EXPECT_GT(ftl.stats_snapshot().program_fail_rewrites, 0u);
+  EXPECT_EQ(ftl.stats_snapshot().grown_bad_blocks, retired);
 #endif
 }
 

@@ -179,7 +179,7 @@ TEST(TraceSink, PartialProgramEmitsProgramThenReset) {
   dev.set_trace_sink(&sink);
 
   const std::vector<std::uint8_t> bytes(dev.page_bytes(), 0x00);
-  ASSERT_TRUE(dev.partial_program_page(2, 3, bytes, 0.5));
+  ASSERT_TRUE(dev.partial_program_page(2, 3, bytes, 0.5).is_ok());
   dev.set_trace_sink(nullptr);
 
   const auto events = sink.events();
@@ -203,7 +203,7 @@ TEST(TraceSink, FullProgramTraceCarriesBusyTimeAndStatus) {
   dev.set_trace_sink(&sink);
 
   const std::vector<std::uint8_t> bytes(dev.page_bytes(), 0xA5);
-  ASSERT_TRUE(dev.program_page(0, 0, bytes));
+  ASSERT_TRUE(dev.program_page(0, 0, bytes).is_ok());
   const auto events = sink.events();
   ASSERT_EQ(events.size(), 2u);
   // wait_ready() amends the confirm event with tPROG and the final status.
@@ -223,11 +223,11 @@ TEST(TraceSink, EraseReadAndReferenceShiftAreTraced) {
   dev.set_trace_sink(&sink);
 
   const std::vector<std::uint8_t> bytes(dev.page_bytes(), 0x00);
-  ASSERT_TRUE(dev.program_page(1, 0, bytes));
+  ASSERT_TRUE(dev.program_page(1, 0, bytes).is_ok());
   (void)dev.read_page(1, 0);
   dev.set_read_reference(34.0);
   (void)dev.read_page(1, 0);
-  ASSERT_TRUE(dev.erase_block(1));
+  ASSERT_TRUE(dev.erase_block(1).is_ok());
   dev.set_trace_sink(nullptr);
 
   const auto events = sink.events();
@@ -253,7 +253,7 @@ TEST(TraceSink, ResetEventCarriesAbortFraction) {
   TraceSink sink;
   dev.set_trace_sink(&sink);
   const std::vector<std::uint8_t> bytes(dev.page_bytes(), 0x00);
-  ASSERT_TRUE(dev.partial_program_page(2, 3, bytes, 0.35));
+  ASSERT_TRUE(dev.partial_program_page(2, 3, bytes, 0.35).is_ok());
   const auto events = sink.events();
   ASSERT_EQ(events.size(), 3u);
   EXPECT_EQ(events[2].opcode, nand::onfi::kReset);
