@@ -1,0 +1,315 @@
+// Perf baseline harness (ISSUE 5): the repo's defended performance numbers.
+//
+// Measures the voltage-domain hot paths end to end and emits BENCH_perf.json:
+//   * ns/cell page program   (program_page incl. program-disturb on neighbours)
+//   * ns/cell page read      (read_page incl. read-disturb accounting)
+//   * BCH decode MB/s        (syndromes + BM + Chien + verify, errors at t/2)
+//   * fig06-style wall time  (VT-HI embed/extract inner loop, one combo)
+//
+// The committed BENCH_perf.json at the repo root is the perf trajectory's
+// first point; CI re-runs this harness with --check against it and fails on
+// a >25% ns/cell regression.
+//
+// Determinism: --state-checksum prints an FNV-1a checksum of every voltage
+// probed after the timed phases.  The checksum is byte-identical for any
+// --threads value (see the FlashChip concurrency contract), which CI uses
+// as the threads-1-vs-8 bit-exactness gate.
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "stash/ecc/bch.hpp"
+#include "stash/vthi/channel.hpp"
+
+using namespace stash;
+using namespace stash::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct PerfResult {
+  double ns_per_cell_program = 0.0;
+  double ns_per_cell_read = 0.0;
+  double bch_decode_mbps = 0.0;
+  double fig06_wall_s = 0.0;
+  std::uint64_t state_checksum = 0;
+  std::uint64_t cells_per_page = 0;
+  std::uint32_t threads = 1;
+};
+
+/// FNV-1a over probed voltages: the deterministic digest of chip state.
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  return h * 0x100000001b3ULL;
+}
+
+/// Time program_page over `blocks` pre-erased blocks, then read_page passes
+/// over the same pages.  Both phases run block-parallel on the pool; with
+/// one thread this is the single-thread scalar number.
+void run_nand_phase(const Options& opt, std::uint32_t blocks,
+                    std::uint32_t read_passes, PerfResult& result) {
+  nand::FlashChip chip(opt.geometry(blocks), nand::NoiseModel::vendor_a(),
+                       opt.seed);
+  const auto& geom = chip.geometry();
+  result.cells_per_page = geom.cells_per_page;
+
+  // Pre-generate the data pattern outside the timed region.
+  util::Xoshiro256 data_rng(opt.seed ^ 0xDA7AULL);
+  std::vector<std::uint8_t> pattern(geom.cells_per_page);
+  for (auto& b : pattern) b = static_cast<std::uint8_t>(data_rng() & 1);
+
+  par::ThreadPool pool(opt.threads);
+
+  // Erase every block up front (the normal lifecycle for a block about to
+  // be programmed): block materialization and the erased-state fill happen
+  // here, outside the timed region, so ns/cell program measures
+  // program_page itself — target draws, ISPP apply, and neighbour disturb.
+  pool.parallel_for(blocks, [&](std::size_t b) {
+    (void)chip.erase_block(static_cast<std::uint32_t>(b));
+  });
+
+  const std::uint64_t programmed_cells = static_cast<std::uint64_t>(blocks) *
+                                         geom.pages_per_block *
+                                         geom.cells_per_page;
+  auto t0 = Clock::now();
+  pool.parallel_for(blocks, [&](std::size_t b) {
+    for (std::uint32_t p = 0; p < geom.pages_per_block; ++p) {
+      (void)chip.program_page(static_cast<std::uint32_t>(b), p, pattern);
+    }
+  });
+  result.ns_per_cell_program =
+      seconds_since(t0) * 1e9 / static_cast<double>(programmed_cells);
+
+  const std::uint64_t read_cells = programmed_cells * read_passes;
+  t0 = Clock::now();
+  pool.parallel_for(blocks, [&](std::size_t b) {
+    for (std::uint32_t pass = 0; pass < read_passes; ++pass) {
+      for (std::uint32_t p = 0; p < geom.pages_per_block; ++p) {
+        (void)chip.read_page(static_cast<std::uint32_t>(b), p);
+      }
+    }
+  });
+  result.ns_per_cell_read =
+      seconds_since(t0) * 1e9 / static_cast<double>(read_cells);
+
+  // State digest: probe every page (probes draw no noise, so this is a pure
+  // measurement of the post-workload voltage state).
+  std::uint64_t checksum = 0xcbf29ce484222325ULL;
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    for (std::uint32_t p = 0; p < geom.pages_per_block; ++p) {
+      const auto volts = chip.probe_voltages(b, p);
+      for (int v : volts) {
+        checksum = fnv1a(checksum, static_cast<std::uint64_t>(
+                                       static_cast<std::int64_t>(v)));
+      }
+    }
+  }
+  result.state_checksum = checksum;
+}
+
+void run_bch_phase(const Options& opt, PerfResult& result) {
+  constexpr int kM = 13;
+  constexpr int kT = 12;
+  const ecc::BchCode code(kM, kT);
+  const std::size_t k = code.k();
+
+  util::Xoshiro256 rng(opt.seed ^ 0xECCULL);
+  constexpr std::size_t kCodewords = 24;
+  std::vector<std::vector<std::uint8_t>> codewords;
+  codewords.reserve(kCodewords);
+  for (std::size_t i = 0; i < kCodewords; ++i) {
+    std::vector<std::uint8_t> data(k);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng() & 1);
+    auto cw = code.encode(data);
+    // Flip t/2 distinct-ish bits: decode exercises the full corrective path.
+    for (int e = 0; e < kT / 2; ++e) {
+      cw[rng.below(cw.size())] ^= 1;
+    }
+    codewords.push_back(std::move(cw));
+  }
+
+  const int reps = opt.quick ? 6 : 20;
+  std::uint64_t decoded_bits = 0;
+  std::size_t failures = 0;
+  const auto t0 = Clock::now();
+  for (int r = 0; r < reps; ++r) {
+    for (const auto& cw : codewords) {
+      const auto decoded = code.decode(cw);
+      if (!decoded.ok) ++failures;
+      decoded_bits += k;
+    }
+  }
+  const double elapsed = seconds_since(t0);
+  result.bch_decode_mbps =
+      static_cast<double>(decoded_bits) / 8.0 / 1e6 / elapsed;
+  if (failures != 0) {
+    std::fprintf(stderr, "warning: %zu BCH decodes failed\n", failures);
+  }
+}
+
+/// One fig06-style combo (interval 0, 128 hidden bits/page): the embed
+/// session inner loop that dominates every VT-HI figure reproduction.
+void run_fig06_phase(const Options& opt, PerfResult& result) {
+  const auto key = bench_key();
+  const auto t0 = Clock::now();
+  nand::FlashChip chip(opt.geometry(2), nand::NoiseModel::vendor_a(),
+                       opt.seed + 7);
+  (void)chip.program_block_random(0, opt.seed + 7);
+  vthi::VthiChannel channel(chip, key.selection_key(), vthi::ChannelConfig{});
+
+  constexpr std::uint32_t kBitsPerPage = 128;
+  constexpr int kSteps = 15;
+  std::vector<vthi::EmbedSession> sessions;
+  std::vector<std::vector<std::uint8_t>> intents;
+  util::Xoshiro256 rng(opt.seed + 13);
+  for (std::uint32_t p = 0; p < chip.geometry().pages_per_block; ++p) {
+    std::vector<std::uint8_t> bits(kBitsPerPage);
+    for (auto& bit : bits) bit = static_cast<std::uint8_t>(rng() & 1);
+    auto session = channel.begin(0, p, bits);
+    if (!session.is_ok()) continue;
+    sessions.push_back(std::move(session).take());
+    intents.push_back(std::move(bits));
+  }
+  std::uint64_t errors = 0;
+  for (int step = 0; step < kSteps; ++step) {
+    for (auto& session : sessions) (void)channel.step(session);
+    for (std::size_t s = 0; s < sessions.size(); ++s) {
+      auto readback = channel.extract(0, sessions[s].page, kBitsPerPage);
+      if (!readback.is_ok()) continue;
+      for (std::size_t i = 0; i < intents[s].size(); ++i) {
+        errors += (intents[s][i] ^ readback.value()[i]) & 1;
+      }
+    }
+  }
+  result.fig06_wall_s = seconds_since(t0);
+  // Fold the BER tally into the checksum so the fig06 phase participates in
+  // the determinism gate too.
+  result.state_checksum = fnv1a(result.state_checksum, errors);
+}
+
+std::string to_json(const PerfResult& r) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"bench\": \"perf_baseline\",\n"
+      << "  \"schema\": 1,\n"
+      << "  \"threads\": " << r.threads << ",\n"
+      << "  \"cells_per_page\": " << r.cells_per_page << ",\n"
+      << "  \"ns_per_cell_program\": " << r.ns_per_cell_program << ",\n"
+      << "  \"ns_per_cell_read\": " << r.ns_per_cell_read << ",\n"
+      << "  \"bch_decode_mbps\": " << r.bch_decode_mbps << ",\n"
+      << "  \"fig06_wall_s\": " << r.fig06_wall_s << ",\n"
+      << "  \"state_checksum\": \"" << std::hex << r.state_checksum << std::dec
+      << "\"\n"
+      << "}\n";
+  return out.str();
+}
+
+/// Minimal scan for `"key": <number>` in a baseline JSON file.
+bool json_number(const std::string& text, const std::string& key, double* out) {
+  const auto pos = text.find("\"" + key + "\"");
+  if (pos == std::string::npos) return false;
+  const auto colon = text.find(':', pos);
+  if (colon == std::string::npos) return false;
+  return std::sscanf(text.c_str() + colon + 1, "%lf", out) == 1;
+}
+
+int check_against(const std::string& baseline_path, const PerfResult& r) {
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::fprintf(stderr, "check: cannot open baseline %s\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  struct Gate {
+    const char* key;
+    double current;
+    bool higher_is_better;
+  };
+  const Gate gates[] = {
+      {"ns_per_cell_program", r.ns_per_cell_program, false},
+      {"ns_per_cell_read", r.ns_per_cell_read, false},
+      {"bch_decode_mbps", r.bch_decode_mbps, true},
+  };
+  constexpr double kTolerance = 0.25;
+  int failures = 0;
+  for (const Gate& gate : gates) {
+    double base = 0.0;
+    if (!json_number(text, gate.key, &base) || base <= 0.0) {
+      std::fprintf(stderr, "check: baseline lacks %s; skipping\n", gate.key);
+      continue;
+    }
+    const double ratio = gate.current / base;
+    const bool regressed = gate.higher_is_better ? ratio < 1.0 - kTolerance
+                                                 : ratio > 1.0 + kTolerance;
+    std::printf("check %-22s baseline %10.3f current %10.3f  %s\n", gate.key,
+                base, gate.current, regressed ? "REGRESSED" : "ok");
+    if (regressed) ++failures;
+  }
+  return failures ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt = Options::parse(argc, argv);
+  std::string check_path;
+  std::string out_path = "BENCH_perf.json";
+  bool checksum_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--check") && i + 1 < argc) {
+      check_path = argv[i + 1];
+    } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      out_path = argv[i + 1];
+    } else if (!std::strcmp(argv[i], "--state-checksum")) {
+      checksum_only = true;
+    }
+  }
+
+  PerfResult result;
+  result.threads = opt.threads;
+  const std::uint32_t blocks = opt.quick ? 2 : 4;
+  const std::uint32_t read_passes = opt.quick ? 2 : 3;
+
+  run_nand_phase(opt, blocks, read_passes, result);
+  run_bch_phase(opt, result);
+  run_fig06_phase(opt, result);
+
+  if (checksum_only) {
+    std::printf("state_checksum %016" PRIx64 "\n", result.state_checksum);
+    return 0;
+  }
+
+  print_header("Perf baseline: voltage-domain hot paths",
+               "ns/cell program+read, BCH decode MB/s, fig06 wall time.");
+  print_geometry(opt);
+  std::printf("%-24s %12.2f\n", "ns/cell program", result.ns_per_cell_program);
+  std::printf("%-24s %12.2f\n", "ns/cell read", result.ns_per_cell_read);
+  std::printf("%-24s %12.2f\n", "BCH decode MB/s", result.bch_decode_mbps);
+  std::printf("%-24s %12.3f\n", "fig06 wall s", result.fig06_wall_s);
+  std::printf("%-24s %016" PRIx64 "\n", "state checksum",
+              result.state_checksum);
+
+  const std::string json = to_json(result);
+  std::ofstream out(out_path);
+  out << json;
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (!check_path.empty()) return check_against(check_path, result);
+  return 0;
+}

@@ -64,6 +64,11 @@ class BchCode {
                                                double margin_sigmas = 3.0);
 
  private:
+  /// S_i = c(alpha^i) for i = 1..2t, shared by decode's initial pass and
+  /// the post-correction verify.
+  [[nodiscard]] std::vector<std::uint32_t> syndromes_of(
+      std::span<const std::uint8_t> codeword_bits) const;
+
   GaloisField gf_;
   int t_;
   std::vector<std::uint8_t> generator_;  // over GF(2), low-degree-first

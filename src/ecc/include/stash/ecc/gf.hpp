@@ -35,20 +35,28 @@ class GaloisField {
 
   [[nodiscard]] std::uint32_t mul(std::uint32_t a, std::uint32_t b) const noexcept {
     if (a == 0 || b == 0) return 0;
-    return antilog_[static_cast<std::size_t>((log_[a] + log_[b]) % n_)];
+    // The antilog table is doubled (size 2n), so the log sum — at most
+    // 2n - 2 — indexes directly without a `% n`.
+    return antilog_[static_cast<std::size_t>(log_[a] + log_[b])];
   }
 
   /// a / b; b must be nonzero.
   [[nodiscard]] std::uint32_t div(std::uint32_t a, std::uint32_t b) const noexcept {
     if (a == 0) return 0;
-    int e = log_[a] - log_[b];
-    if (e < 0) e += n_;
-    return antilog_[static_cast<std::size_t>(e)];
+    return antilog_[static_cast<std::size_t>(log_[a] - log_[b] + n_)];
   }
 
   /// Multiplicative inverse; a must be nonzero.
   [[nodiscard]] std::uint32_t inv(std::uint32_t a) const noexcept {
-    return antilog_[static_cast<std::size_t>((n_ - log_[a]) % n_)];
+    // log in [0, n-1] puts n - log in [1, n]: inside the doubled table,
+    // and antilog[n] == antilog[0] == 1 handles a == 1.
+    return antilog_[static_cast<std::size_t>(n_ - log_[a])];
+  }
+
+  /// Direct antilog lookup for callers that maintain exponents
+  /// incrementally (syndrome and Chien loops); e must be in [0, 2n).
+  [[nodiscard]] std::uint32_t antilog(int e) const noexcept {
+    return antilog_[static_cast<std::size_t>(e)];
   }
 
   /// a^e for non-negative e.

@@ -122,6 +122,28 @@ BchCode::DecodeResult record(BchCode::DecodeResult result) {
 
 }  // namespace
 
+std::vector<std::uint32_t> BchCode::syndromes_of(
+    std::span<const std::uint8_t> codeword_bits) const {
+  // S_i = c(alpha^i), i = 1..2t: every set bit at transmitted degree d
+  // contributes alpha^(i*d).  Log domain, incrementally: the exponent
+  // advances by d from one syndrome to the next, folded back below n by a
+  // single subtraction (d < n) — no integer multiply or `%` in the loop.
+  const int n = gf_.n();
+  const std::size_t len = codeword_bits.size();
+  std::vector<std::uint32_t> syndromes(static_cast<std::size_t>(2 * t_), 0);
+  for (std::size_t j = 0; j < len; ++j) {
+    if (!(codeword_bits[j] & 1)) continue;
+    const int d = static_cast<int>((len - 1 - j) % static_cast<std::size_t>(n));
+    int e = 0;
+    for (int i = 0; i < 2 * t_; ++i) {
+      e += d;
+      if (e >= n) e -= n;
+      syndromes[static_cast<std::size_t>(i)] ^= gf_.antilog(e);
+    }
+  }
+  return syndromes;
+}
+
 BchCode::DecodeResult BchCode::decode(
     std::span<const std::uint8_t> codeword_bits) const {
   DecodeResult result;
@@ -132,18 +154,9 @@ BchCode::DecodeResult BchCode::decode(
   const std::size_t len = codeword_bits.size();
   std::vector<std::uint8_t> cw(codeword_bits.begin(), codeword_bits.end());
 
-  // Syndromes S_i = c(alpha^i), i = 1..2t.  Vector index j holds the
-  // coefficient of x^(len-1-j).
-  std::vector<std::uint32_t> syndromes(static_cast<std::size_t>(2 * t_), 0);
+  const std::vector<std::uint32_t> syndromes = syndromes_of(cw);
   bool all_zero = true;
-  for (int i = 1; i <= 2 * t_; ++i) {
-    std::uint32_t s = 0;
-    for (std::size_t j = 0; j < len; ++j) {
-      if (cw[j] & 1) {
-        s = gf_.add(s, gf_.alpha_pow(i * static_cast<int>(len - 1 - j)));
-      }
-    }
-    syndromes[static_cast<std::size_t>(i - 1)] = s;
+  for (const std::uint32_t s : syndromes) {
     if (s != 0) all_zero = false;
   }
 
@@ -200,14 +213,32 @@ BchCode::DecodeResult BchCode::decode(
   }
 
   // Chien search restricted to transmitted degrees [0, len).  An error at
-  // degree p means Lambda(alpha^-p) == 0.
+  // degree p means Lambda(alpha^-p) == 0.  Each nonzero term's exponent
+  // log(lambda_i) - i*p is maintained incrementally: stepping p -> p+1 adds
+  // n - i (mod n, one conditional subtraction) — the classic Chien
+  // register scheme, with no multiply or `%` in the scan.
+  const int n_field = gf_.n();
+  std::vector<std::uint32_t> exps;
+  std::vector<std::uint32_t> steps;
+  exps.reserve(lambda.size());
+  steps.reserve(lambda.size());
+  for (std::size_t i = 0; i < lambda.size(); ++i) {
+    if (lambda[i] == 0) continue;
+    exps.push_back(static_cast<std::uint32_t>(gf_.log(lambda[i])));
+    steps.push_back(static_cast<std::uint32_t>(
+        (n_field - static_cast<int>(i % static_cast<std::size_t>(n_field))) %
+        n_field));
+  }
   int found = 0;
   for (std::size_t p = 0; p < len && found < nu; ++p) {
     std::uint32_t acc = 0;
-    for (std::size_t i = 0; i < lambda.size(); ++i) {
-      if (lambda[i] == 0) continue;
-      acc = gf_.add(acc, gf_.mul(lambda[i], gf_.alpha_pow(-static_cast<int>(
-                                                 i * p))));
+    for (std::size_t i = 0; i < exps.size(); ++i) {
+      acc ^= gf_.antilog(static_cast<int>(exps[i]));
+      std::uint32_t e = exps[i] + steps[i];
+      if (e >= static_cast<std::uint32_t>(n_field)) {
+        e -= static_cast<std::uint32_t>(n_field);
+      }
+      exps[i] = e;
     }
     if (acc == 0) {
       cw[len - 1 - p] ^= 1;
@@ -220,13 +251,7 @@ BchCode::DecodeResult BchCode::decode(
 
   // Verify the repair really zeroed the syndromes (guards against
   // miscorrection just past the design distance).
-  for (int i = 1; i <= 2 * t_; ++i) {
-    std::uint32_t s = 0;
-    for (std::size_t j = 0; j < len; ++j) {
-      if (cw[j] & 1) {
-        s = gf_.add(s, gf_.alpha_pow(i * static_cast<int>(len - 1 - j)));
-      }
-    }
+  for (const std::uint32_t s : syndromes_of(cw)) {
     if (s != 0) return record(result);
   }
 

@@ -32,13 +32,17 @@ GaloisField::GaloisField(int m) : m_(m), n_((1 << m) - 1) {
   if (m < 2 || m > 16) {
     throw std::invalid_argument("GaloisField: m must be in [2, 16]");
   }
-  antilog_.resize(static_cast<std::size_t>(n_));
+  // Doubled antilog table: entries [n, 2n) repeat [0, n), so any exponent
+  // in [0, 2n) — e.g. the sum of two logs — indexes directly, with no
+  // `% n` on the multiply fast path.
+  antilog_.resize(2 * static_cast<std::size_t>(n_));
   log_.assign(static_cast<std::size_t>(n_) + 1, 0);
 
   const std::uint32_t poly = kPrimitivePoly[m];
   std::uint32_t x = 1;
   for (int i = 0; i < n_; ++i) {
     antilog_[static_cast<std::size_t>(i)] = x;
+    antilog_[static_cast<std::size_t>(i + n_)] = x;
     log_[x] = i;
     x <<= 1;
     if (x & (1u << m)) x ^= poly;

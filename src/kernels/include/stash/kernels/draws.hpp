@@ -1,0 +1,82 @@
+#pragma once
+// Per-cell draw compositions on top of the Philox counter RNG.
+//
+// Everything here is a pure function of (key, cell, sub), inline so the
+// batch kernels, the scalar reference build, and FlashChip's sparse paths
+// (cell lists, read-disturb events) share one definition — which is what
+// makes "vectorized == scalar" a bit-exactness statement rather than a
+// distributional one.
+
+#include <cmath>
+
+#include "stash/kernels/philox.hpp"
+#include "stash/kernels/vmath.hpp"
+
+namespace stash::kernels {
+
+/// Standard normal from one 128-bit draw (branch-free Box-Muller; the
+/// cosine branch only, so one draw yields one deviate).
+[[nodiscard]] inline double normal01_of(
+    const std::array<std::uint32_t, 4>& r) noexcept {
+  const double u1 = 1.0 - u53(r[0], r[1]);  // (0, 1]
+  const double u2 = u53(r[2], r[3]);        // [0, 1)
+  const double m2l = -2.0 * vlog(u1);
+  // vlog(1.0) is exactly 0, but guard the sqrt against a last-ulp positive.
+  return std::sqrt(m2l < 0.0 ? 0.0 : m2l) * vcos2pi(u2);
+}
+
+[[nodiscard]] inline double normal_at(DrawKey key, std::uint32_t cell,
+                                      std::uint32_t sub, double mu,
+                                      double sigma) noexcept {
+  return mu + sigma * normal01_of(draw128(key, cell, sub));
+}
+
+[[nodiscard]] inline double uniform_at(DrawKey key, std::uint32_t cell,
+                                       std::uint32_t sub) noexcept {
+  const auto r = draw128(key, cell, sub);
+  return u53(r[0], r[1]);
+}
+
+/// Exponential of the given mean, drawn from lanes 2/3 so it can share a
+/// (cell, sub) draw with a lane-0/1 bernoulli.
+[[nodiscard]] inline double exponential_at(DrawKey key, std::uint32_t cell,
+                                           std::uint32_t sub,
+                                           double mean) noexcept {
+  const auto r = draw128(key, cell, sub);
+  return -mean * vlog(1.0 - u53(r[2], r[3]));
+}
+
+[[nodiscard]] inline std::uint64_t u64_at(DrawKey key, std::uint32_t cell,
+                                          std::uint32_t sub) noexcept {
+  const auto r = draw128(key, cell, sub);
+  return u64_of(r[0], r[1]);
+}
+
+// ---- Stateless manufacturing-trait hashes ----------------------------------
+// Bit-compatible with the trait derivations FlashChip has always used
+// (traits are permanent physical identity and survive the noise-model
+// version bump; only ephemeral noise moved onto the counter RNG).
+
+/// Standard-normal deviate from a hash: sum of four uniforms, variance
+/// corrected.  Cheap, bounded, plenty for trait generation.
+[[nodiscard]] inline double hash_normal(std::uint64_t h) noexcept {
+  // Four splitmix64 steps, written straight-line: an inner `for` here would
+  // show up as control flow in the leak kernel's batch loop and block
+  // vectorization.
+  const std::uint64_t h1 = util::splitmix64(h);
+  const std::uint64_t h2 = util::splitmix64(h1);
+  const std::uint64_t h3 = util::splitmix64(h2);
+  const std::uint64_t h4 = util::splitmix64(h3);
+  double s = static_cast<double>(h1 >> 11) * 0x1.0p-53;
+  s += static_cast<double>(h2 >> 11) * 0x1.0p-53;
+  s += static_cast<double>(h3 >> 11) * 0x1.0p-53;
+  s += static_cast<double>(h4 >> 11) * 0x1.0p-53;
+  // Sum of 4 U(0,1): mean 2, variance 4/12.
+  return (s - 2.0) / std::sqrt(4.0 / 12.0);
+}
+
+[[nodiscard]] inline double hash_uniform(std::uint64_t h) noexcept {
+  return static_cast<double>(util::splitmix64(h) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace stash::kernels

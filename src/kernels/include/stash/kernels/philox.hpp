@@ -1,0 +1,119 @@
+#pragma once
+// Philox4x32-10: the counter-based per-cell RNG under stash::kernels.
+//
+// Every voltage-domain noise draw in the simulator is a pure function of
+//   (chip seed, op kind, block, page, op epoch)  ->  Philox key
+//   (cell index, sub-draw index)                 ->  Philox counter
+// so draws are order-independent within an operation: any partition of a
+// page across threads or SIMD lanes produces byte-identical voltages.  This
+// is what replaced the sequential per-block xoshiro stream (noise-model v1),
+// whose draw order serialized the innermost per-cell loops.
+//
+// Philox4x32-10 is the counter-based generator of Salmon et al. (SC'11,
+// "Parallel random numbers: as easy as 1, 2, 3"); it passes BigCrush and
+// needs only 32x32->64 multiplies and XORs, which auto-vectorize.
+
+#include <array>
+#include <cstdint>
+
+#include "stash/util/rng.hpp"
+
+namespace stash::kernels {
+
+/// Physical operation kinds; each gets its own key domain so the per-cell
+/// counter streams of different ops never collide.
+enum class Op : std::uint32_t {
+  kErasedFill = 1,
+  kProgramTarget = 2,
+  kDisturb = 3,
+  kReadDisturb = 4,
+  kPartialStep = 5,
+  kFineTarget = 6,
+};
+
+/// 64-bit Philox key, derived once per (op, page) and shared by every cell.
+struct DrawKey {
+  std::uint32_t k0 = 0;
+  std::uint32_t k1 = 0;
+};
+
+/// Key derivation: hash the full op coordinate through splitmix64.
+[[nodiscard]] constexpr DrawKey derive_key(std::uint64_t seed, Op op,
+                                           std::uint32_t block,
+                                           std::uint32_t page,
+                                           std::uint64_t epoch) noexcept {
+  const std::uint64_t h =
+      util::hash_words(seed, static_cast<std::uint64_t>(op), block, page,
+                       epoch);
+  return {static_cast<std::uint32_t>(h),
+          static_cast<std::uint32_t>(h >> 32)};
+}
+
+namespace detail {
+constexpr std::uint32_t kPhiloxM0 = 0xD2511F53u;
+constexpr std::uint32_t kPhiloxM1 = 0xCD9E8D57u;
+constexpr std::uint32_t kPhiloxW0 = 0x9E3779B9u;
+constexpr std::uint32_t kPhiloxW1 = 0xBB67AE85u;
+}  // namespace detail
+
+namespace detail {
+/// One Philox round.  Kept as a separate always-inline step and invoked ten
+/// times straight-line in draw128: an inner `for` would survive into the
+/// vectorizer as real control flow and block if-conversion of the batch
+/// loops ("not vectorized: control flow in loop").
+struct PhiloxState {
+  std::uint32_t c0, c1, c2, c3, k0, k1;
+};
+
+[[nodiscard]] constexpr PhiloxState philox_round(PhiloxState s) noexcept {
+  const std::uint64_t p0 = static_cast<std::uint64_t>(kPhiloxM0) * s.c0;
+  const std::uint64_t p1 = static_cast<std::uint64_t>(kPhiloxM1) * s.c2;
+  return {static_cast<std::uint32_t>(p1 >> 32) ^ s.c1 ^ s.k0,
+          static_cast<std::uint32_t>(p1),
+          static_cast<std::uint32_t>(p0 >> 32) ^ s.c3 ^ s.k1,
+          static_cast<std::uint32_t>(p0),
+          s.k0 + kPhiloxW0,
+          s.k1 + kPhiloxW1};
+}
+}  // namespace detail
+
+/// One 128-bit Philox4x32-10 block for counter (cell, sub).  Pure function;
+/// safe to evaluate from any thread or lane.
+[[nodiscard]] constexpr std::array<std::uint32_t, 4> draw128(
+    DrawKey key, std::uint32_t cell, std::uint32_t sub) noexcept {
+  // Domain constant 0x5741 ("WA"): stash voltage draws.
+  detail::PhiloxState s{cell, sub, 0x5741u, 0, key.k0, key.k1};
+  s = detail::philox_round(s);
+  s = detail::philox_round(s);
+  s = detail::philox_round(s);
+  s = detail::philox_round(s);
+  s = detail::philox_round(s);
+  s = detail::philox_round(s);
+  s = detail::philox_round(s);
+  s = detail::philox_round(s);
+  s = detail::philox_round(s);
+  s = detail::philox_round(s);
+  return {s.c0, s.c1, s.c2, s.c3};
+}
+
+/// 53-bit uniform in [0, 1) from two 32-bit lanes.
+[[nodiscard]] constexpr double u53(std::uint32_t hi, std::uint32_t lo) noexcept {
+  const std::uint64_t bits =
+      (static_cast<std::uint64_t>(hi) << 32) | lo;
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+/// Full 64-bit word from two lanes (bounded-integer derivation).
+[[nodiscard]] constexpr std::uint64_t u64_of(std::uint32_t hi,
+                                             std::uint32_t lo) noexcept {
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+/// Bias-free-enough bounded integer: multiply-shift (bias < 2^-64 * n).
+[[nodiscard]] constexpr std::uint64_t bounded(std::uint64_t word,
+                                              std::uint64_t n) noexcept {
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(word) * n) >> 64);
+}
+
+}  // namespace stash::kernels

@@ -1,0 +1,133 @@
+// Batch voltage-domain kernels: the SIMD build.  This translation unit is
+// compiled -O3 -fopenmp-simd -ffp-contract=off (see CMakeLists.txt); every
+// loop body is a pure per-cell function from cell_ops.hpp, so forcing SIMD
+// cannot change results — only throughput.
+//
+// The normal-drawing kernels iterate over cell PAIRS (erased_fill) or
+// QUADS (normal_row, disturb_row) — one Philox draw per group; see
+// cell_ops.hpp.  A chunk whose boundary splits a group is handled by
+// scalar prologue/epilogue cells that recompute the shared draw and keep
+// one lane — bit-identical to the grouped path, so the chunk-partition
+// contract holds at any split point.
+
+#include "stash/kernels/kernels.hpp"
+
+#include "cell_ops.hpp"
+
+namespace stash::kernels {
+
+void erased_fill(DrawKey key, const ErasedParams& p, float* row,
+                 std::uint32_t cell0, std::uint32_t n) noexcept {
+  const double inv_tail_prob = 1.0 / p.tail_prob;
+  std::uint32_t c = cell0;
+  const std::uint32_t end = cell0 + n;
+  if (c < end && (c & 1u)) {
+    row[0] = detail::erased_cell(key, p, inv_tail_prob, c);
+    ++c;
+  }
+  const std::uint32_t pairs = (end - c) / 2;
+  const std::uint32_t pair0 = c >> 1;
+  float* out = row + (c - cell0);
+#pragma omp simd
+  for (std::uint32_t i = 0; i < pairs; ++i) {
+    detail::erased_pair(key, p, inv_tail_prob, pair0 + i, out[2 * i],
+                        out[2 * i + 1]);
+  }
+  c += pairs * 2;
+  if (c < end) {
+    row[c - cell0] = detail::erased_cell(key, p, inv_tail_prob, c);
+  }
+}
+
+void normal_row(DrawKey key, double mu, double sigma, double* out,
+                std::uint32_t cell0, std::uint32_t n) noexcept {
+  std::uint32_t c = cell0;
+  const std::uint32_t end = cell0 + n;
+  while (c < end && (c & 3u)) {
+    out[c - cell0] = detail::normal_cell(key, mu, sigma, c);
+    ++c;
+  }
+  const std::uint32_t quads = (end - c) / 4;
+  const std::uint32_t quad0 = c >> 2;
+  double* o = out + (c - cell0);
+#pragma omp simd
+  for (std::uint32_t i = 0; i < quads; ++i) {
+    detail::normal_quad(key, mu, sigma, quad0 + i, o[4 * i], o[4 * i + 1],
+                        o[4 * i + 2], o[4 * i + 3]);
+  }
+  c += quads * 4;
+  while (c < end) {
+    out[c - cell0] = detail::normal_cell(key, mu, sigma, c);
+    ++c;
+  }
+}
+
+void program_apply(float* row, const double* targets,
+                   const std::uint8_t* bits, std::uint32_t n, double frac,
+                   double vmax) noexcept {
+#pragma omp simd
+  for (std::uint32_t i = 0; i < n; ++i) {
+    row[i] = detail::program_apply_cell(row[i], targets[i], bits[i], frac,
+                                        vmax);
+  }
+}
+
+void disturb_row(DrawKey key, const DisturbParams& p, float* row,
+                 std::uint32_t cell0, std::uint32_t n) noexcept {
+  std::uint32_t c = cell0;
+  const std::uint32_t end = cell0 + n;
+  while (c < end && (c & 3u)) {
+    row[c - cell0] = detail::disturb_cell(key, p, row[c - cell0], c);
+    ++c;
+  }
+  const std::uint32_t quads = (end - c) / 4;
+  const std::uint32_t quad0 = c >> 2;
+  float* r = row + (c - cell0);
+#pragma omp simd
+  for (std::uint32_t i = 0; i < quads; ++i) {
+    detail::disturb_quad(key, p, quad0 + i, r[4 * i], r[4 * i + 1],
+                         r[4 * i + 2], r[4 * i + 3]);
+  }
+  c += quads * 4;
+  while (c < end) {
+    row[c - cell0] = detail::disturb_cell(key, p, row[c - cell0], c);
+    ++c;
+  }
+}
+
+void leak_row(std::uint64_t seed, std::uint32_t block, std::uint32_t page,
+              double base, double floor_v, double sigma_ln, float* row,
+              std::uint32_t cell0, std::uint32_t n) noexcept {
+#pragma omp simd
+  for (std::uint32_t i = 0; i < n; ++i) {
+    row[i] = detail::leak_cell(seed, block, page, base, floor_v, sigma_ln,
+                               row[i], cell0 + i);
+  }
+}
+
+void weak_mask(std::uint64_t seed, std::uint32_t block, std::uint32_t page,
+               double prob, std::uint8_t* mask, std::uint32_t cell0,
+               std::uint32_t n) noexcept {
+#pragma omp simd
+  for (std::uint32_t i = 0; i < n; ++i) {
+    mask[i] = detail::weak_cell(seed, block, page, prob, cell0 + i);
+  }
+}
+
+void quantize_row(const float* row, int* out, std::uint32_t n) noexcept {
+#pragma omp simd
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out[i] = detail::quantize_cell(row[i]);
+  }
+}
+
+void threshold_row(const float* row, double vref, std::uint8_t* out,
+                   std::uint32_t n) noexcept {
+#pragma omp simd
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out[i] = static_cast<double>(row[i]) < vref ? std::uint8_t{1}
+                                                : std::uint8_t{0};
+  }
+}
+
+}  // namespace stash::kernels

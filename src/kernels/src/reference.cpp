@@ -1,0 +1,47 @@
+// Scalar reference build of the voltage kernels: same per-cell bodies
+// (cell_ops.hpp), vectorization disabled (see CMakeLists.txt).  The
+// kernels_test bit-exactness battery diffs these against the SIMD build —
+// any divergence means the SIMD build changed semantics, not just speed.
+//
+// Each loop uses the single-cell form of the paired bodies: the pair's
+// shared draw is recomputed for every cell and one lane kept, which is
+// arithmetic-for-arithmetic the lane the SIMD pair loop writes.
+
+#include "stash/kernels/kernels.hpp"
+
+#include "cell_ops.hpp"
+
+namespace stash::kernels::reference {
+
+void erased_fill(DrawKey key, const ErasedParams& p, float* row,
+                 std::uint32_t cell0, std::uint32_t n) noexcept {
+  const double inv_tail_prob = 1.0 / p.tail_prob;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    row[i] = detail::erased_cell(key, p, inv_tail_prob, cell0 + i);
+  }
+}
+
+void normal_row(DrawKey key, double mu, double sigma, double* out,
+                std::uint32_t cell0, std::uint32_t n) noexcept {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out[i] = detail::normal_cell(key, mu, sigma, cell0 + i);
+  }
+}
+
+void disturb_row(DrawKey key, const DisturbParams& p, float* row,
+                 std::uint32_t cell0, std::uint32_t n) noexcept {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    row[i] = detail::disturb_cell(key, p, row[i], cell0 + i);
+  }
+}
+
+void leak_row(std::uint64_t seed, std::uint32_t block, std::uint32_t page,
+              double base, double floor_v, double sigma_ln, float* row,
+              std::uint32_t cell0, std::uint32_t n) noexcept {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    row[i] = detail::leak_cell(seed, block, page, base, floor_v, sigma_ln,
+                               row[i], cell0 + i);
+  }
+}
+
+}  // namespace stash::kernels::reference

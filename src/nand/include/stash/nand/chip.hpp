@@ -18,16 +18,19 @@
 // blocks that are touched.
 //
 // Concurrency contract (stash::par builds on this):
-//   * Every block owns its own RNG stream, derived from (serial seed,
-//     block), and every mutating operation touches only the addressed
-//     block, so operations on DISTINCT blocks may run concurrently from
-//     any threads and still produce bit-identical per-block voltages —
-//     regardless of how the operations interleave across blocks.
+//   * Noise draws are counter-based (stash::kernels Philox): every draw is
+//     a pure function of (serial seed, op kind, block, page, per-block op
+//     epoch, cell index).  Every mutating operation touches only the
+//     addressed block, so operations on DISTINCT blocks may run
+//     concurrently from any threads and still produce byte-identical
+//     per-block voltages — regardless of how the operations interleave
+//     across blocks, of thread count, and of SIMD lane width.
 //   * Operations on the SAME block are serialized by an internal striped
 //     lock (no data races), but their relative order determines the
-//     block's noise stream: callers that need reproducibility must submit
-//     same-block operations in a deterministic order (stash::par's shard
-//     queues do exactly this).
+//     block's epoch sequence: callers that need reproducibility must
+//     submit same-block operations in a deterministic order (stash::par's
+//     shard queues do exactly this).  Within one operation, per-cell draws
+//     are order-independent by construction.
 //   * The cost ledger accumulates in fixed-point atomics, so totals are
 //     exact and thread-count independent.
 //   * Whole-chip sweeps (bake(), voltage_histogram(), program_block_random)
@@ -57,6 +60,8 @@ enum class PageState : std::uint8_t { kErased, kProgrammed };
 
 class FlashChip {
  public:
+  /// Throws std::invalid_argument if noise.validate() is non-OK (uniform
+  /// config contract).
   FlashChip(const Geometry& geometry, const NoiseModel& noise,
             std::uint64_t serial_seed, OpCosts costs = OpCosts{});
 
@@ -103,6 +108,13 @@ class FlashChip {
   /// Costs one read operation.
   [[nodiscard]] std::vector<int> probe_voltages(std::uint32_t block,
                                                 std::uint32_t page);
+
+  /// Allocation-free variant: quantize the page's voltages into a caller
+  /// buffer of exactly cells_per_page entries.  Same semantics and ledger
+  /// costs as probe_voltages; hot callers (the VT-HI step loop) reuse one
+  /// buffer across probes.
+  Status probe_voltages_into(std::uint32_t block, std::uint32_t page,
+                             std::span<int> out);
 
   /// Partial program: a PROGRAM aborted midway (§6.2).  Applies one coarse,
   /// noisy voltage increment to the listed cells and program-disturb to
@@ -192,11 +204,13 @@ class FlashChip {
     /// page * cells_per_page + cell.  Survives erase: it is permanent
     /// physical wear, which is exactly why PT-HI can use it.
     std::unordered_map<std::uint64_t, float> stress;
-    /// Per-block noise stream, seeded from (chip serial, block).  Keeping
-    /// the stream block-local is what makes concurrent operations on
-    /// distinct blocks bit-reproducible (see the concurrency contract in
-    /// the file header).
-    util::Xoshiro256 rng;
+    /// Per-block operation epoch: incremented once by every noise-drawing
+    /// operation and folded into the draw keys, so repeating an op on the
+    /// same page yields fresh noise while the draws inside one op stay a
+    /// pure function of (seed, op, block, page, epoch, cell) — the
+    /// counter-based scheme the concurrency contract in the file header
+    /// relies on.
+    std::uint64_t epoch = 0;
     std::uint32_t pec = 0;
     std::uint32_t next_program_page = 0;
   };
@@ -238,8 +252,8 @@ class FlashChip {
                                   std::uint32_t cell) const noexcept;
   [[nodiscard]] bool cell_is_weak(std::uint32_t block, std::uint32_t page,
                                   std::uint32_t cell) const noexcept;
-  [[nodiscard]] double cell_leak_factor(std::uint32_t block, std::uint32_t page,
-                                        std::uint32_t cell) const noexcept;
+  // (The per-cell leak factor lives in kernels::leak_row now — retention is
+  // a stateless trait, computed where it is applied.)
 
   /// Redraw every cell of a page from the erased-state distribution (used
   /// by block construction, erase, and fast-forward aging).

@@ -5,9 +5,19 @@
 // DESIGN.md §4 records how the defaults were calibrated against the paper's
 // figures.  Voltages are in the tester's normalized units [0, 255].
 
+#include "stash/util/status.hpp"
+
 namespace stash::nand {
 
 struct NoiseModel {
+  /// Noise-model version.  Golden values and figure benches are keyed on
+  /// this: bump it whenever a change alters the drawn voltages.
+  ///   v1 — sequential per-block xoshiro noise stream.
+  ///   v2 — counter-based per-cell draws (stash::kernels Philox): every
+  ///        draw is a pure function of (seed, op, block, page, epoch, cell),
+  ///        so results are identical for any thread count and SIMD width.
+  static constexpr int kVersion = 2;
+
   // ---- Erased ('1') state ------------------------------------------------
   /// Chip-family mean of the erased-state measured voltage.  Together with
   /// ~+1.2 of accumulated program disturb this puts the bulk of
@@ -70,9 +80,20 @@ struct NoiseModel {
   /// Zero-mean jitter disturb on programmed neighbours.
   double disturb_prog_sigma = 0.5;
 
+  /// Pass-voltage-assisted charge de-trapping on programmed neighbours: the
+  /// rare per-cell probability and the exponential mean of the voltage drop
+  /// (the mechanism behind the public-BER inflation VT-HI's page interval
+  /// controls, §6.3).  Unlike the erased-cell disturb above these are NOT
+  /// scaled by the per-op disturb intensity — de-trapping is triggered by
+  /// the pass voltage, which every program-class operation applies in full.
+  double detrap_prob = 1.2e-6;
+  double detrap_mean = 15.0;
+
   // ---- Read disturb --------------------------------------------------------
   double read_disturb_prob = 2e-5;   // per erased cell per read
   double read_disturb_mu = 0.30;
+  /// Spread of the per-event disturb charge around read_disturb_mu.
+  double read_disturb_sigma = 0.2;
 
   // ---- Retention (charge leakage; calibrated against Fig. 11) -------------
   /// v -= leak_rate * sqrt(v - leak_floor) * dlog1p(t/tau) * wear_accel(pec)
@@ -88,6 +109,80 @@ struct NoiseModel {
   // ---- Read reference thresholds -------------------------------------------
   /// SLC public read reference (between erased and programmed states).
   double public_read_vref = 127.0;
+
+  /// Uniform config contract (see FtlConfig::validate): checked by the
+  /// FlashChip construction entry point, which throws std::invalid_argument
+  /// on a non-OK status.
+  [[nodiscard]] util::Status validate() const {
+    using util::ErrorCode;
+    using util::Status;
+    const auto bad = [](const char* msg) {
+      return Status{ErrorCode::kInvalidArgument, msg};
+    };
+    // Level means and the read reference must sit on the tester's scale.
+    const struct { double v; const char* name; } levels[] = {
+        {erased_mu, "NoiseModel: erased_mu must be in [0, 255]"},
+        {prog_mu, "NoiseModel: prog_mu must be in [0, 255]"},
+        {weak_cell_mu, "NoiseModel: weak_cell_mu must be in [0, 255]"},
+    };
+    for (const auto& l : levels) {
+      if (!(l.v >= 0.0) || l.v > 255.0) return bad(l.name);
+    }
+    if (!(public_read_vref > 0.0) || public_read_vref >= 255.0) {
+      return bad("NoiseModel: public_read_vref must be in (0, 255)");
+    }
+    // Spreads must be non-negative (zero = phenomenon disabled).
+    const struct { double v; const char* name; } sigmas[] = {
+        {erased_cell_sigma, "NoiseModel: erased_cell_sigma must be >= 0"},
+        {tail_block_sigma, "NoiseModel: tail_block_sigma must be >= 0"},
+        {tail_page_sigma, "NoiseModel: tail_page_sigma must be >= 0"},
+        {tail_mean_block_sigma,
+         "NoiseModel: tail_mean_block_sigma must be >= 0"},
+        {prog_cell_sigma, "NoiseModel: prog_cell_sigma must be >= 0"},
+        {wear_sigma_per_kpec, "NoiseModel: wear_sigma_per_kpec must be >= 0"},
+        {weak_cell_sigma, "NoiseModel: weak_cell_sigma must be >= 0"},
+        {chip_mu_sigma, "NoiseModel: chip_mu_sigma must be >= 0"},
+        {block_mu_sigma, "NoiseModel: block_mu_sigma must be >= 0"},
+        {page_mu_sigma, "NoiseModel: page_mu_sigma must be >= 0"},
+        {cell_speed_sigma, "NoiseModel: cell_speed_sigma must be >= 0"},
+        {speed_wear_sigma, "NoiseModel: speed_wear_sigma must be >= 0"},
+        {pp_step_sigma, "NoiseModel: pp_step_sigma must be >= 0"},
+        {disturb_sigma, "NoiseModel: disturb_sigma must be >= 0"},
+        {disturb_prog_sigma, "NoiseModel: disturb_prog_sigma must be >= 0"},
+        {read_disturb_sigma, "NoiseModel: read_disturb_sigma must be >= 0"},
+        {leak_cell_sigma, "NoiseModel: leak_cell_sigma must be >= 0"},
+    };
+    for (const auto& s : sigmas) {
+      if (!(s.v >= 0.0)) return bad(s.name);
+    }
+    // Probabilities.
+    const struct { double v; const char* name; } probs[] = {
+        {erased_tail_prob, "NoiseModel: erased_tail_prob must be in [0, 1]"},
+        {weak_cell_prob, "NoiseModel: weak_cell_prob must be in [0, 1]"},
+        {detrap_prob, "NoiseModel: detrap_prob must be in [0, 1]"},
+        {read_disturb_prob,
+         "NoiseModel: read_disturb_prob must be in [0, 1]"},
+    };
+    for (const auto& p : probs) {
+      if (!(p.v >= 0.0) || p.v > 1.0) return bad(p.name);
+    }
+    // Non-negative magnitudes and rates.
+    const struct { double v; const char* name; } mags[] = {
+        {erased_tail_mean, "NoiseModel: erased_tail_mean must be >= 0"},
+        {detrap_mean, "NoiseModel: detrap_mean must be >= 0"},
+        {read_disturb_mu, "NoiseModel: read_disturb_mu must be >= 0"},
+        {leak_rate, "NoiseModel: leak_rate must be >= 0"},
+        {leak_floor, "NoiseModel: leak_floor must be >= 0"},
+        {leak_wear_base, "NoiseModel: leak_wear_base must be >= 0"},
+    };
+    for (const auto& m : mags) {
+      if (!(m.v >= 0.0)) return bad(m.name);
+    }
+    if (!(leak_tau_hours > 0.0)) {
+      return bad("NoiseModel: leak_tau_hours must be > 0");
+    }
+    return Status::ok();
+  }
 
   /// Defaults above model the paper's primary ("vendor A") chip family.
   [[nodiscard]] static NoiseModel vendor_a() noexcept { return {}; }

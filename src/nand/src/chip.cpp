@@ -1,8 +1,12 @@
 #include "stash/nand/chip.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <stdexcept>
 
+#include "stash/kernels/draws.hpp"
+#include "stash/kernels/kernels.hpp"
 #include "stash/telemetry/metrics.hpp"
 
 namespace stash::nand {
@@ -12,7 +16,25 @@ using util::ErrorCode;
 using util::hash_words;
 using util::Xoshiro256;
 
+// Stateless trait hashes live in stash::kernels now so the batch kernels
+// and FlashChip's sparse paths share one (bit-compatible) definition.
+using kernels::hash_normal;
+using kernels::hash_uniform;
+
 constexpr double kVmax = 255.0;
+
+/// Thread-local batch scratch: program_page draws a full page of targets
+/// and a weak-cell mask per call; reusing the buffers keeps the hot path
+/// allocation-free after the first page on each thread.
+struct Scratch {
+  std::vector<double> targets;
+  std::vector<std::uint8_t> weak;
+};
+
+Scratch& scratch() {
+  thread_local Scratch s;
+  return s;
+}
 
 /// Process-wide instrument handles, resolved once so the per-operation cost
 /// is a single relaxed atomic add.  Counts mirror the CostLedger semantics
@@ -28,28 +50,15 @@ struct ChipTelemetry {
   telemetry::Counter& stress_ops = reg.counter("nand.stress_ops");
   /// Per-block PEC observed at each erase: the wear distribution.
   telemetry::LatencyHistogram& pec_at_erase = reg.histogram("nand.pec_at_erase");
+  /// Wall-clock nanoseconds per cell of the voltage-domain hot loops
+  /// (program_page and read_page_at) — the perf-baseline harness asserts on
+  /// this same quantity.
+  telemetry::LatencyHistogram& ns_per_cell = reg.histogram("nand.ns_per_cell");
 };
 
 ChipTelemetry& chip_telemetry() {
   static ChipTelemetry t;
   return t;
-}
-
-/// Standard-normal deviate derived deterministically from a hash (used for
-/// never-stored manufacturing traits).  Sum of four uniforms, variance
-/// corrected: cheap, bounded, and plenty for trait generation.
-double hash_normal(std::uint64_t h) noexcept {
-  double s = 0.0;
-  for (int i = 0; i < 4; ++i) {
-    h = util::splitmix64(h);
-    s += static_cast<double>(h >> 11) * 0x1.0p-53;
-  }
-  // Sum of 4 U(0,1): mean 2, variance 4/12.
-  return (s - 2.0) / std::sqrt(4.0 / 12.0);
-}
-
-double hash_uniform(std::uint64_t h) noexcept {
-  return static_cast<double>(util::splitmix64(h) >> 11) * 0x1.0p-53;
 }
 
 }  // namespace
@@ -62,7 +71,11 @@ FlashChip::FlashChip(const Geometry& geometry, const NoiseModel& noise,
       seed_(serial_seed),
       blocks_(geometry.blocks),
       locks_(std::make_unique<std::mutex[]>(kLockStripes + 1)),
-      ledger_(std::make_unique<AtomicLedger>()) {}
+      ledger_(std::make_unique<AtomicLedger>()) {
+  if (util::Status valid = noise.validate(); !valid.is_ok()) {
+    throw std::invalid_argument(valid.to_string());
+  }
+}
 
 void FlashChip::charge(double us, double uj) noexcept {
   // Fixed-point (nano-unit) accumulation: integer adds are exact and
@@ -116,7 +129,6 @@ FlashChip::Block& FlashChip::touch(std::uint32_t block) {
   auto& slot = blocks_[block];
   if (!slot) {
     slot = std::make_unique<Block>();
-    slot->rng = Xoshiro256(hash_words(seed_, 0xB10C5EEDULL, block));
     slot->state.assign(geom_.pages_per_block, PageState::kErased);
     slot->age_hours.assign(geom_.pages_per_block, 0.0f);
     slot->v.resize(static_cast<std::size_t>(geom_.pages_per_block) *
@@ -160,12 +172,6 @@ bool FlashChip::cell_is_weak(std::uint32_t block, std::uint32_t page,
                              std::uint32_t cell) const noexcept {
   return hash_uniform(hash_words(seed_, 0x3EAFULL, block, page, cell)) <
          noise_.weak_cell_prob;
-}
-
-double FlashChip::cell_leak_factor(std::uint32_t block, std::uint32_t page,
-                                   std::uint32_t cell) const noexcept {
-  return std::exp(noise_.leak_cell_sigma *
-                  hash_normal(hash_words(seed_, 0x1EA4ULL, block, page, cell)));
 }
 
 double FlashChip::effective_speed(std::uint32_t block, std::uint32_t page,
@@ -214,15 +220,14 @@ void FlashChip::redraw_page_erased(Block& blk, std::uint32_t block,
 
   float* row =
       blk.v.data() + static_cast<std::size_t>(page) * geom_.cells_per_page;
-  for (std::uint32_t c = 0; c < geom_.cells_per_page; ++c) {
-    double v = blk.rng.normal(mu, noise_.erased_cell_sigma);
-    if (blk.rng.bernoulli(tail_prob)) {
-      v += blk.rng.exponential(tail_mean);
-    }
-    // The erased state physically cannot hold half-programmed charge: cap
-    // the tail well below any read reference (Fig. 2a's ~70-level reach).
-    row[c] = static_cast<float>(std::clamp(v, 0.0, 80.0));
-  }
+  const kernels::DrawKey key = kernels::derive_key(
+      seed_, kernels::Op::kErasedFill, block, page, blk.epoch);
+  // Cap at 80: the erased state physically cannot hold half-programmed
+  // charge — the tail stays well below any read reference (Fig. 2a's
+  // ~70-level reach).
+  const kernels::ErasedParams params{mu, noise_.erased_cell_sigma, tail_prob,
+                                     tail_mean, 80.0};
+  kernels::erased_fill(key, params, row, 0, geom_.cells_per_page);
 }
 
 // ---- Standard operations ------------------------------------------------------
@@ -238,6 +243,7 @@ Status FlashChip::erase_block(std::uint32_t block) {
   if (fault_) fd = consult_fault(FaultOp::kErase, block, 0);
   // Even an interrupted erase pulse wears the block.
   ++blk.pec;
+  ++blk.epoch;  // one epoch per erase; pages share it (keys include page)
   blk.next_program_page = 0;
   // An interrupted erase leaves a prefix of wordlines cleanly erased and the
   // rest untouched (still reading as programmed) — the block is unusable
@@ -286,6 +292,9 @@ Status FlashChip::program_page(std::uint32_t block, std::uint32_t page,
           ? std::clamp(fd.completed_fraction, 0.0, 1.0)
           : 0.5;
 
+#ifndef STASH_TELEMETRY_DISABLED
+  const auto hot_start = std::chrono::steady_clock::now();
+#endif
   const double wear_k = static_cast<double>(blk.pec) / 1000.0;
   const double mu = noise_.prog_mu + chip_mu_offset() + block_mu_offset(block) +
                     page_mu_offset(block, page) +
@@ -293,24 +302,34 @@ Status FlashChip::program_page(std::uint32_t block, std::uint32_t page,
   const double sigma =
       noise_.prog_cell_sigma + noise_.wear_sigma_per_kpec * wear_k;
 
-  float* row = blk.v.data() + static_cast<std::size_t>(page) * geom_.cells_per_page;
-  for (std::uint32_t c = 0; c < geom_.cells_per_page; ++c) {
-    if (bits[c] & 1) continue;  // logical '1': leave the cell erased
-    double target;
-    if (cell_is_weak(block, page, c)) {
-      // Weak cells program low, and wear makes them weaker still — the
-      // public-data BER growth of §8.
-      target = blk.rng.normal(noise_.weak_cell_mu - 2.0 * wear_k,
-                           noise_.weak_cell_sigma);
-    } else {
-      target = blk.rng.normal(mu, sigma);
+  const std::uint32_t cells = geom_.cells_per_page;
+  float* row = blk.v.data() + static_cast<std::size_t>(page) * cells;
+  ++blk.epoch;
+  const kernels::DrawKey tkey = kernels::derive_key(
+      seed_, kernels::Op::kProgramTarget, block, page, blk.epoch);
+  Scratch& s = scratch();
+  s.targets.resize(cells);
+  s.weak.resize(cells);
+  // Batch-draw nominal targets for every cell (sub-stream 0), then
+  // overwrite the rare weak cells from sub-stream 1: weak cells program
+  // low, and wear makes them weaker still — the public-data BER growth of
+  // §8.  Drawing all cells and masking afterwards keeps the loop dense;
+  // counter-based draws make the unused targets free of side effects.
+  kernels::normal_row(tkey, mu, sigma, s.targets.data(), 0, cells);
+  kernels::weak_mask(seed_, block, page, noise_.weak_cell_prob, s.weak.data(),
+                     0, cells);
+  for (std::uint32_t c = 0; c < cells; ++c) {
+    if (s.weak[c]) {
+      s.targets[c] = kernels::normal_at(tkey, c, 1,
+                                        noise_.weak_cell_mu - 2.0 * wear_k,
+                                        noise_.weak_cell_sigma);
     }
-    // ISPP never lowers a cell's voltage; an interrupted program only moves
-    // the cell `frac` of the way toward its target.
-    const double full =
-        std::clamp(std::max(static_cast<double>(row[c]), target), 0.0, kVmax);
-    row[c] = static_cast<float>(row[c] + (full - row[c]) * frac);
   }
+  // ISPP apply: never lowers a cell's voltage; an interrupted program only
+  // moves each cell `frac` of the way toward its target.  Data-'1' cells
+  // stay erased.
+  kernels::program_apply(row, s.targets.data(), bits.data(), cells, frac,
+                         kVmax);
   // The page is consumed even when the program was interrupted: the device
   // cannot tell how much charge landed, so it may not be reprogrammed
   // without an erase.
@@ -319,6 +338,15 @@ Status FlashChip::program_page(std::uint32_t block, std::uint32_t page,
   blk.next_program_page = std::max(blk.next_program_page, page + 1);
 
   disturb_neighbors(blk, block, page, frac);
+#ifndef STASH_TELEMETRY_DISABLED
+  {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - hot_start)
+                        .count();
+    chip_telemetry().ns_per_cell.record(
+        static_cast<std::uint64_t>(ns) / std::max<std::uint32_t>(1, cells));
+  }
+#endif
 
   charge(costs_.program_us, costs_.program_uj);
   ledger_->programs.fetch_add(1, std::memory_order_relaxed);
@@ -342,28 +370,48 @@ std::vector<std::uint8_t> FlashChip::read_page_at(std::uint32_t block,
   }
   const std::lock_guard<std::mutex> lock(block_lock(block));
   Block& blk = touch(block);
-  const float* row =
-      blk.v.data() + static_cast<std::size_t>(page) * geom_.cells_per_page;
-  std::vector<std::uint8_t> out(geom_.cells_per_page);
-  for (std::uint32_t c = 0; c < geom_.cells_per_page; ++c) {
-    out[c] = row[c] < vref ? 1 : 0;
-  }
+#ifndef STASH_TELEMETRY_DISABLED
+  const auto hot_start = std::chrono::steady_clock::now();
+#endif
+  const std::uint32_t cells = geom_.cells_per_page;
+  const float* row = blk.v.data() + static_cast<std::size_t>(page) * cells;
+  std::vector<std::uint8_t> out(cells);
+  kernels::threshold_row(row, vref, out.data(), cells);
 
   // Read disturb: a handful of erased-level cells gain a whisker of charge.
+  // Event count, victim cells, and magnitudes are all counter-based draws
+  // (cell index = event index), so reads stay deterministic under the same
+  // contract as every other op.
+  ++blk.epoch;
+  const kernels::DrawKey rkey = kernels::derive_key(
+      seed_, kernels::Op::kReadDisturb, block, page, blk.epoch);
   const double expected =
-      noise_.read_disturb_prob * static_cast<double>(geom_.cells_per_page);
-  const auto events = static_cast<std::uint32_t>(
-      expected + (blk.rng.uniform() < (expected - std::floor(expected)) ? 1 : 0));
-  float* mrow =
-      blk.v.data() + static_cast<std::size_t>(page) * geom_.cells_per_page;
+      noise_.read_disturb_prob * static_cast<double>(cells);
+  auto events = static_cast<std::uint32_t>(expected);
+  if (kernels::uniform_at(rkey, 0, 2) < expected - std::floor(expected)) {
+    ++events;
+  }
+  float* mrow = blk.v.data() + static_cast<std::size_t>(page) * cells;
   for (std::uint32_t i = 0; i < events; ++i) {
-    const auto c = static_cast<std::uint32_t>(blk.rng.below(geom_.cells_per_page));
+    const auto c = static_cast<std::uint32_t>(
+        kernels::bounded(kernels::u64_at(rkey, i, 0), cells));
     if (mrow[c] < 90.0f) {
       mrow[c] = static_cast<float>(std::clamp(
-          mrow[c] + std::max(0.0, blk.rng.normal(noise_.read_disturb_mu, 0.2)),
+          mrow[c] + std::max(0.0, kernels::normal_at(
+                                      rkey, i, 1, noise_.read_disturb_mu,
+                                      noise_.read_disturb_sigma)),
           0.0, kVmax));
     }
   }
+#ifndef STASH_TELEMETRY_DISABLED
+  {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - hot_start)
+                        .count();
+    chip_telemetry().ns_per_cell.record(
+        static_cast<std::uint64_t>(ns) / std::max<std::uint32_t>(1, cells));
+  }
+#endif
 
   charge(costs_.read_us, costs_.read_uj);
   ledger_->reads.fetch_add(1, std::memory_order_relaxed);
@@ -378,17 +426,25 @@ std::vector<std::uint8_t> FlashChip::read_page_at(std::uint32_t block,
 std::vector<int> FlashChip::probe_voltages(std::uint32_t block,
                                            std::uint32_t page) {
   if (!check_addr(block, page).is_ok()) return {};
+  std::vector<int> out(geom_.cells_per_page);
+  if (!probe_voltages_into(block, page, out).is_ok()) return {};
+  return out;
+}
+
+Status FlashChip::probe_voltages_into(std::uint32_t block, std::uint32_t page,
+                                      std::span<int> out) {
+  STASH_RETURN_IF_ERROR(check_addr(block, page));
+  if (out.size() != geom_.cells_per_page) {
+    return {ErrorCode::kInvalidArgument, "probe buffer != cells per page"};
+  }
   if (fault_ && consult_fault(FaultOp::kRead, block, page).interrupts()) {
-    return {};
+    return {ErrorCode::kCorrupted, "probe dropped by fault injection"};
   }
   const std::lock_guard<std::mutex> lock(block_lock(block));
   Block& blk = touch(block);
   const float* row =
       blk.v.data() + static_cast<std::size_t>(page) * geom_.cells_per_page;
-  std::vector<int> out(geom_.cells_per_page);
-  for (std::uint32_t c = 0; c < geom_.cells_per_page; ++c) {
-    out[c] = static_cast<int>(std::lround(row[c]));
-  }
+  kernels::quantize_row(row, out.data(), geom_.cells_per_page);
   charge(costs_.read_us, costs_.read_uj);
   ledger_->reads.fetch_add(1, std::memory_order_relaxed);
   chip_telemetry().reads.inc();
@@ -397,7 +453,7 @@ std::vector<int> FlashChip::probe_voltages(std::uint32_t block,
     const std::lock_guard<std::mutex> fault_guard(locks_[kLockStripes]);
     fault_->corrupt_probe(block, page, {out.data(), out.size()});
   }
-  return out;
+  return Status::ok();
 }
 
 // ---- Vendor programming ---------------------------------------------------
@@ -415,6 +471,9 @@ Status FlashChip::partial_program(std::uint32_t block, std::uint32_t page,
       fd.interrupts() ? std::clamp(fd.completed_fraction, 0.0, 1.0) : 1.0;
   const std::lock_guard<std::mutex> lock(block_lock(block));
   Block& blk = touch(block);
+  ++blk.epoch;
+  const kernels::DrawKey key = kernels::derive_key(
+      seed_, kernels::Op::kPartialStep, block, page, blk.epoch);
   float* row =
       blk.v.data() + static_cast<std::size_t>(page) * geom_.cells_per_page;
   for (std::uint32_t c : cells) {
@@ -422,11 +481,14 @@ Status FlashChip::partial_program(std::uint32_t block, std::uint32_t page,
       return {ErrorCode::kOutOfBounds, "cell index outside page"};
     }
     const double speed = effective_speed(block, page, c);
-    // A truncated step deposits only `frac` of its charge (the increment is
-    // drawn either way so the noise stream stays aligned with the plan).
+    // A truncated step deposits only `frac` of its charge.  The increment
+    // is keyed on the cell index, so the cell list's order (or chunking
+    // across threads) cannot change any cell's draw.
     const double inc =
-        frac * std::max(0.0, blk.rng.normal(noise_.pp_step_mu * speed * step_scale,
-                                         noise_.pp_step_sigma * step_scale));
+        frac * std::max(0.0, kernels::normal_at(
+                                 key, c, 0,
+                                 noise_.pp_step_mu * speed * step_scale,
+                                 noise_.pp_step_sigma * step_scale));
     row[c] = static_cast<float>(std::clamp(row[c] + inc, 0.0, kVmax));
   }
   // An aborted program still stresses neighbouring wordlines, just far
@@ -456,14 +518,19 @@ Status FlashChip::fine_program(std::uint32_t block, std::uint32_t page,
       fd.interrupts() ? std::clamp(fd.completed_fraction, 0.0, 1.0) : 1.0;
   const std::lock_guard<std::mutex> lock(block_lock(block));
   Block& blk = touch(block);
+  ++blk.epoch;
+  const kernels::DrawKey key = kernels::derive_key(
+      seed_, kernels::Op::kFineTarget, block, page, blk.epoch);
   float* row =
       blk.v.data() + static_cast<std::size_t>(page) * geom_.cells_per_page;
   for (std::uint32_t c : cells) {
     if (c >= geom_.cells_per_page) {
       return {ErrorCode::kOutOfBounds, "cell index outside page"};
     }
-    double target = blk.rng.normal(target_mu, target_sigma);
-    if (target_tail > 0.0) target += blk.rng.exponential(target_tail);
+    double target = kernels::normal_at(key, c, 0, target_mu, target_sigma);
+    if (target_tail > 0.0) {
+      target += kernels::exponential_at(key, c, 1, target_tail);
+    }
     // The precise pass never drives an erased-level cell anywhere near the
     // read window — cap at the erased-state ceiling (cf. redraw_page_erased)
     // so hidden cells remain cleanly inside the non-programmed band.
@@ -513,34 +580,49 @@ Status FlashChip::stress_cells(std::uint32_t block, std::uint32_t page,
 
 void FlashChip::disturb_neighbors(Block& blk, std::uint32_t block,
                                   std::uint32_t page, double scale) noexcept {
+  // Erased-level cells accumulate positive disturb charge (Fig. 2a's
+  // partially-charged non-programmed cells); programmed cells suffer rare
+  // pass-voltage-assisted charge de-trapping — the mechanism behind the
+  // public-BER inflation VT-HI's page interval controls (§6.3; calibrated
+  // so interval-0 hiding inflates public BER by roughly the paper's 20%).
+  // Draws share the calling operation's epoch; the key's page coordinate is
+  // the *disturbed* wordline, so the two neighbours get distinct streams.
+  const kernels::DisturbParams params{noise_.disturb_mu * scale,
+                                      noise_.disturb_sigma * scale, 90.0,
+                                      kVmax};
+  const std::uint32_t cells = geom_.cells_per_page;
   for (int d = -1; d <= 1; d += 2) {
     const long npl = static_cast<long>(page) + d;
     if (npl < 0 || npl >= static_cast<long>(geom_.pages_per_block)) continue;
     const auto np = static_cast<std::uint32_t>(npl);
-    float* row =
-        blk.v.data() + static_cast<std::size_t>(np) * geom_.cells_per_page;
-    for (std::uint32_t c = 0; c < geom_.cells_per_page; ++c) {
-      if (row[c] < 90.0f) {
-        // Erased-level cells accumulate positive disturb charge (Fig. 2a's
-        // partially-charged non-programmed cells).
-        const double inc = std::max(
-            0.0, blk.rng.normal(noise_.disturb_mu * scale,
-                             noise_.disturb_sigma * scale));
-        row[c] = static_cast<float>(std::clamp(row[c] + inc, 0.0, kVmax));
-      } else {
-        // Programmed cells: rare pass-voltage-assisted charge de-trapping —
-        // the mechanism behind the public-BER inflation VT-HI's page
-        // interval controls (§6.3; calibrated so interval-0 hiding inflates
-        // public BER by roughly the paper's 20%).
-        if (blk.rng.uniform() < 1.2e-6) {
-          const double drop = blk.rng.exponential(15.0);
-          row[c] = static_cast<float>(
-              std::clamp(row[c] - drop, 0.0, kVmax));
-        }
+    float* row = blk.v.data() + static_cast<std::size_t>(np) * cells;
+    const kernels::DrawKey key = kernels::derive_key(
+        seed_, kernels::Op::kDisturb, block, np, blk.epoch);
+    kernels::disturb_row(key, params, row, 0, cells);
+    // Pass-voltage de-trap: at ~1e-6 per cell it is cheaper to sample the
+    // events than to screen every cell, so this uses the read-disturb
+    // expected-count scheme.  A victim drawn uniformly but applied only to
+    // programmed cells keeps the per-programmed-cell probability at
+    // detrap_prob.  NOT scaled by the disturb intensity: de-trapping is
+    // triggered by the pass voltage, which every program-class op applies
+    // in full.  Sub-streams 2/3/4 are disjoint from the row kernel's pair
+    // draws on sub-stream 0.
+    const double expected = noise_.detrap_prob * static_cast<double>(cells);
+    auto events = static_cast<std::uint32_t>(expected);
+    if (kernels::uniform_at(key, 0, 2) < expected - std::floor(expected)) {
+      ++events;
+    }
+    for (std::uint32_t i = 0; i < events; ++i) {
+      const auto c = static_cast<std::uint32_t>(
+          kernels::bounded(kernels::u64_at(key, i, 3), cells));
+      if (row[c] >= 90.0f) {
+        const double drop =
+            kernels::exponential_at(key, i, 4, noise_.detrap_mean);
+        row[c] = static_cast<float>(
+            std::max(0.0, static_cast<double>(row[c]) - drop));
       }
     }
   }
-  (void)block;
 }
 
 // ---- Wear and retention -----------------------------------------------------
@@ -551,6 +633,7 @@ Status FlashChip::age_cycles(std::uint32_t block, std::uint32_t n,
   const std::lock_guard<std::mutex> lock(block_lock(block));
   Block& blk = touch(block);
   blk.pec += n;
+  ++blk.epoch;  // one epoch for the whole fast-forward redraw
   if (charge_ledger) {
     charge(costs_.erase_us * n, costs_.erase_uj * n);
     ledger_->erases.fetch_add(n, std::memory_order_relaxed);
@@ -578,15 +661,12 @@ void FlashChip::leak_page(Block& blk, std::uint32_t block, std::uint32_t page,
   blk.age_hours[page] = static_cast<float>(t1);
   if (base <= 0.0) return;
 
+  // Stateless per-cell leak factors (manufacturing traits) — retention
+  // draws no fresh randomness, so there is no epoch here.
   float* row =
       blk.v.data() + static_cast<std::size_t>(page) * geom_.cells_per_page;
-  for (std::uint32_t c = 0; c < geom_.cells_per_page; ++c) {
-    const double headroom = static_cast<double>(row[c]) - noise_.leak_floor;
-    if (headroom <= 0.0) continue;
-    const double drop =
-        base * std::sqrt(headroom) * cell_leak_factor(block, page, c);
-    row[c] = static_cast<float>(std::max(0.0, row[c] - drop));
-  }
+  kernels::leak_row(seed_, block, page, base, noise_.leak_floor,
+                    noise_.leak_cell_sigma, row, 0, geom_.cells_per_page);
 }
 
 void FlashChip::bake_block(std::uint32_t block, double hours) {

@@ -34,15 +34,19 @@ PageTrait measure_page(FlashChip& chip, std::uint32_t block,
   return trait;
 }
 
-/// Cluster program-speed bits: race 16-cell clusters with a few PP steps
+/// Cluster program-speed bits: race 16-cell clusters with a run of PP steps
 /// and compare adjacent clusters' mean voltage gain.  Speed is a permanent
 /// per-cell trait, so the ordering reproduces across extractions (with a
-/// few percent of fuzzy bits near ties).
+/// few percent of fuzzy bits near ties).  The race length sets the
+/// signal-to-noise ratio of each comparison: the speed signal in a
+/// cluster's gain grows linearly with the number of steps while the
+/// per-step programming noise grows only with its square root, so longer
+/// races quadratically suppress same-device bit flips.
 std::vector<std::uint8_t> speed_bits(FlashChip& chip, std::uint32_t block,
                                      std::uint32_t page,
                                      std::uint32_t cells, int reads) {
   constexpr std::uint32_t kCluster = 16;
-  constexpr int kSteps = 6;
+  constexpr int kSteps = 16;
   const std::uint32_t usable =
       std::min(cells, chip.geometry().cells_per_page) / kCluster * kCluster;
   std::vector<double> gain(usable / kCluster, 0.0);
