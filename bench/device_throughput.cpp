@@ -21,13 +21,26 @@
 // the common harness also writes a telemetry sidecar with the dev.* p50/p99
 // latency histograms.
 
+// --trace appends a causal-tracing phase: one extra traced point, a
+// per-stage p50/p99/p999 attribution table, dominant-stage tags on the
+// tail requests, and Perfetto JSON + JSONL exports (--trace-out sets the
+// file prefix).  With --deterministic the tracer runs on the virtual
+// (cost-ledger) clock and the exports are byte-identical for any
+// --threads; the per-request consistency gate (root == queue_wait +
+// service, no gap) is enforced on the exit code.
+
+#include <algorithm>
 #include <cinttypes>
 #include <chrono>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "common.hpp"
 #include "stash/dev/device.hpp"
+#include "stash/trace/breakdown.hpp"
+#include "stash/trace/export.hpp"
+#include "stash/trace/trace.hpp"
 #include "stash/util/rng.hpp"
 
 namespace {
@@ -167,6 +180,76 @@ PointResult run_point(const Options& opt, unsigned threads,
   return point;
 }
 
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return n == text.size();
+}
+
+/// The --trace phase: re-run one sweep point with the tracer on, fold the
+/// spans into the per-stage attribution table, tag the tail, export.
+/// Returns false when the deterministic consistency gate fails.
+bool run_trace_phase(const Options& opt, bool deterministic,
+                     std::uint64_t sample_every, const std::string& out_prefix,
+                     std::uint64_t read_ops) {
+  namespace trace = stash::trace;
+  auto& tracer = trace::Tracer::global();
+  const auto mode =
+      deterministic ? trace::ClockMode::kVirtual : trace::ClockMode::kWall;
+  tracer.clear();
+  tracer.enable(mode, sample_every);
+  (void)run_point(opt, opt.threads, 256, 10, read_ops);
+  tracer.disable();
+  const auto spans = tracer.collect();
+
+  trace::LatencyBreakdown breakdown;
+  breakdown.fold(spans, mode);
+  std::printf("\nper-stage latency attribution (%s clock, 1-in-%" PRIu64
+              " request sampling):\n%s",
+              deterministic ? "virtual" : "wall", sample_every,
+              breakdown.attribution_table().c_str());
+
+  // Tag the slowest requests (>= p99 end-to-end) with the stage that cost
+  // the most — the "why is this read slow" answer, per sample.
+  const std::uint64_t p99 = breakdown.request_total_quantile(0.99);
+  std::vector<trace::LatencyBreakdown::RequestRecord> tail;
+  for (const auto& req : breakdown.requests()) {
+    if (req.total_ns >= p99 && req.total_ns > 0) tail.push_back(req);
+  }
+  std::sort(tail.begin(), tail.end(),
+            [](const auto& a, const auto& b) {
+              if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+              return a.trace_id < b.trace_id;
+            });
+  if (tail.size() > 5) tail.resize(5);
+  std::printf("tail requests (>= p99 end-to-end, dominant stage):\n");
+  for (const auto& req : tail) {
+    std::printf("  trace=0x%016" PRIx64 " op=%-12s total=%" PRIu64
+                "ns dominant=%s (%" PRIu64 "ns)\n",
+                req.trace_id, trace::op_name(req.op), req.total_ns,
+                trace::stage_name(req.dominant), req.dominant_ns);
+  }
+
+  const std::uint64_t gap = breakdown.max_request_gap_ns();
+  const bool consistent = gap == 0;
+
+  bool exported = true;
+  if (!out_prefix.empty()) {
+    exported &= write_text_file(out_prefix + ".perfetto.json",
+                                trace::to_perfetto_json(spans, mode));
+    exported &= write_text_file(out_prefix + ".jsonl",
+                                trace::to_jsonl(spans, mode));
+  }
+  std::printf("{\"trace\":{\"spans\":%zu,\"requests\":%zu,"
+              "\"max_request_gap_ns\":%" PRIu64
+              ",\"attribution_consistent\":%s,\"exported\":%s}}\n",
+              spans.size(), breakdown.requests().size(), gap,
+              consistent ? "true" : "false", exported ? "true" : "false");
+  return (!deterministic || consistent) && exported;
+}
+
 void print_point(const PointResult& p, bool deterministic) {
   std::printf("{\"threads\":%u,\"cache_pages\":%zu,\"hidden_pct\":%u,"
               "\"read_ops\":%" PRIu64 ",\"hidden_loads\":%" PRIu64
@@ -188,8 +271,19 @@ void print_point(const PointResult& p, bool deterministic) {
 int main(int argc, char** argv) {
   const Options opt = Options::parse(argc, argv);
   bool deterministic = false;
+  bool do_trace = false;
+  std::string trace_out = "device_trace";
+  std::uint64_t trace_sample = 1;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--deterministic")) deterministic = true;
+    if (!std::strcmp(argv[i], "--trace")) do_trace = true;
+    if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc) {
+      trace_out = argv[++i];
+    }
+    if (!std::strcmp(argv[i], "--trace-sample") && i + 1 < argc) {
+      trace_sample = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      if (trace_sample == 0) trace_sample = 1;
+    }
   }
 
   stash::bench::print_header(
@@ -244,5 +338,13 @@ int main(int argc, char** argv) {
                 thread_invariant ? "true" : "false");
   }
   std::printf("}}\n");
-  return speedup >= 1.5 && (!deterministic || thread_invariant) ? 0 : 1;
+
+  bool trace_ok = true;
+  if (do_trace) {
+    trace_ok = run_trace_phase(opt, deterministic, trace_sample, trace_out,
+                               read_ops);
+  }
+  return speedup >= 1.5 && (!deterministic || thread_invariant) && trace_ok
+             ? 0
+             : 1;
 }

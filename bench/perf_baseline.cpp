@@ -5,10 +5,15 @@
 //   * ns/cell page read      (read_page incl. read-disturb accounting)
 //   * BCH decode MB/s        (syndromes + BM + Chien + verify, errors at t/2)
 //   * fig06-style wall time  (VT-HI embed/extract inner loop, one combo)
+//   * device read p99 us     (StashDevice end-to-end skewed-read tail)
 //
-// The committed BENCH_perf.json at the repo root is the perf trajectory's
-// first point; CI re-runs this harness with --check against it and fails on
-// a >25% ns/cell regression.
+// The committed BENCH_perf.json at the repo root is always the *latest*
+// trajectory point; CI re-runs this harness with --check against it and
+// fails on a >25% regression of any gated metric (ns/cell program+read,
+// BCH decode MB/s, device read p99).  --trajectory FILE appends one dated
+// markdown row per run (date from $STASH_DATE when set, so tests stay
+// reproducible) — EXPERIMENTS.md keeps the history, BENCH_perf.json the
+// head.
 //
 // Determinism: --state-checksum prints an FNV-1a checksum of every voltage
 // probed after the timed phases.  The checksum is byte-identical for any
@@ -18,13 +23,16 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common.hpp"
+#include "stash/dev/device.hpp"
 #include "stash/ecc/bch.hpp"
 #include "stash/vthi/channel.hpp"
 
@@ -44,6 +52,7 @@ struct PerfResult {
   double ns_per_cell_read = 0.0;
   double bch_decode_mbps = 0.0;
   double fig06_wall_s = 0.0;
+  double device_read_p99_us = 0.0;
   std::uint64_t state_checksum = 0;
   std::uint64_t cells_per_page = 0;
   std::uint32_t threads = 1;
@@ -140,20 +149,24 @@ void run_bch_phase(const Options& opt, PerfResult& result) {
     codewords.push_back(std::move(cw));
   }
 
+  // Time each pass over the codeword set separately and quote the fastest
+  // pass: decode cost is deterministic, so min-of-N measures the code and
+  // discards scheduler noise — this number feeds a CI regression gate where
+  // a noisy sample reads as a false regression.
   const int reps = opt.quick ? 6 : 20;
-  std::uint64_t decoded_bits = 0;
   std::size_t failures = 0;
-  const auto t0 = Clock::now();
+  double best_s = 0.0;
   for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
     for (const auto& cw : codewords) {
       const auto decoded = code.decode(cw);
       if (!decoded.ok) ++failures;
-      decoded_bits += k;
     }
+    const double round_s = seconds_since(t0);
+    if (r == 0 || round_s < best_s) best_s = round_s;
   }
-  const double elapsed = seconds_since(t0);
-  result.bch_decode_mbps =
-      static_cast<double>(decoded_bits) / 8.0 / 1e6 / elapsed;
+  const double round_bits = static_cast<double>(kCodewords * k);
+  result.bch_decode_mbps = round_bits / 8.0 / 1e6 / best_s;
   if (failures != 0) {
     std::fprintf(stderr, "warning: %zu BCH decodes failed\n", failures);
   }
@@ -199,6 +212,75 @@ void run_fig06_phase(const Options& opt, PerfResult& result) {
   result.state_checksum = fnv1a(result.state_checksum, errors);
 }
 
+/// StashDevice end-to-end read-tail phase: fill a small device, serve a
+/// skewed read workload through the full submit/dispatch/FTL/NAND stack,
+/// and report the wall-clock p99 of dev.read_latency_ns in microseconds.
+void run_device_phase(const Options& opt, PerfResult& result) {
+  dev::DeviceConfig config;
+  config.geometry = opt.geometry(8);
+  config.seed = opt.seed;
+  config.threads = opt.threads;
+  config.read_cache_pages = 128;
+  dev::StashDevice device(config, bench_key());
+
+  const std::uint64_t pages = device.logical_pages();
+  util::Xoshiro256 fill_rng(opt.seed ^ 0xf111ULL);
+  std::vector<ftl::PageMappedFtl::WriteRequest> fill(pages);
+  for (std::uint64_t lpn = 0; lpn < pages; ++lpn) {
+    std::vector<std::uint8_t> page(device.page_bits());
+    for (auto& b : page) b = static_cast<std::uint8_t>(fill_rng() & 1);
+    fill[lpn] = {lpn, std::move(page)};
+  }
+  (void)device.write_batch(fill);
+  (void)device.flush();
+
+  auto& hist =
+      telemetry::MetricsRegistry::global().histogram("dev.read_latency_ns");
+  hist.reset();  // isolate this phase's tail from anything recorded before
+
+  const std::uint64_t read_ops = opt.quick ? 768 : 2048;
+  const std::uint64_t hot_pages = pages / 10 ? pages / 10 : 1;
+  util::Xoshiro256 rng(opt.seed ^ 0xbadcabULL);
+  std::vector<std::uint64_t> chunk;
+  for (std::uint64_t op = 0; op < read_ops;) {
+    chunk.clear();
+    while (chunk.size() < 32 && op + chunk.size() < read_ops) {
+      const bool hot = rng() % 100 < 90;
+      chunk.push_back(hot ? rng() % hot_pages
+                          : hot_pages + rng() % (pages - hot_pages));
+    }
+    (void)device.read_batch(chunk);
+    op += chunk.size();
+  }
+  result.device_read_p99_us =
+      static_cast<double>(hist.quantile(0.99)) / 1e3;
+}
+
+/// Append one dated markdown row to the perf-trajectory table.  The date
+/// comes from $STASH_DATE when set (deterministic tests), else localtime.
+bool append_trajectory_row(const std::string& path, const PerfResult& r) {
+  std::string date;
+  if (const char* env = std::getenv("STASH_DATE"); env && *env) {
+    date = env;
+  } else {
+    char buf[16] = {0};
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_buf{};
+    if (localtime_r(&now, &tm_buf) != nullptr) {
+      std::strftime(buf, sizeof buf, "%Y-%m-%d", &tm_buf);
+    }
+    date = buf;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (!f) return false;
+  std::fprintf(f,
+               "| %s | %.2f | %.2f | %.2f | %.2f | %u |\n",
+               date.c_str(), r.ns_per_cell_program, r.ns_per_cell_read,
+               r.bch_decode_mbps, r.device_read_p99_us, r.threads);
+  std::fclose(f);
+  return true;
+}
+
 std::string to_json(const PerfResult& r) {
   std::ostringstream out;
   out << "{\n"
@@ -210,6 +292,7 @@ std::string to_json(const PerfResult& r) {
       << "  \"ns_per_cell_read\": " << r.ns_per_cell_read << ",\n"
       << "  \"bch_decode_mbps\": " << r.bch_decode_mbps << ",\n"
       << "  \"fig06_wall_s\": " << r.fig06_wall_s << ",\n"
+      << "  \"device_read_p99_us\": " << r.device_read_p99_us << ",\n"
       << "  \"state_checksum\": \"" << std::hex << r.state_checksum << std::dec
       << "\"\n"
       << "}\n";
@@ -245,6 +328,7 @@ int check_against(const std::string& baseline_path, const PerfResult& r) {
       {"ns_per_cell_program", r.ns_per_cell_program, false},
       {"ns_per_cell_read", r.ns_per_cell_read, false},
       {"bch_decode_mbps", r.bch_decode_mbps, true},
+      {"device_read_p99_us", r.device_read_p99_us, false},
   };
   constexpr double kTolerance = 0.25;
   int failures = 0;
@@ -270,12 +354,15 @@ int main(int argc, char** argv) {
   Options opt = Options::parse(argc, argv);
   std::string check_path;
   std::string out_path = "BENCH_perf.json";
+  std::string trajectory_path;
   bool checksum_only = false;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--check") && i + 1 < argc) {
       check_path = argv[i + 1];
     } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
       out_path = argv[i + 1];
+    } else if (!std::strcmp(argv[i], "--trajectory") && i + 1 < argc) {
+      trajectory_path = argv[i + 1];
     } else if (!std::strcmp(argv[i], "--state-checksum")) {
       checksum_only = true;
     }
@@ -289,6 +376,7 @@ int main(int argc, char** argv) {
   run_nand_phase(opt, blocks, read_passes, result);
   run_bch_phase(opt, result);
   run_fig06_phase(opt, result);
+  run_device_phase(opt, result);
 
   if (checksum_only) {
     std::printf("state_checksum %016" PRIx64 "\n", result.state_checksum);
@@ -302,6 +390,8 @@ int main(int argc, char** argv) {
   std::printf("%-24s %12.2f\n", "ns/cell read", result.ns_per_cell_read);
   std::printf("%-24s %12.2f\n", "BCH decode MB/s", result.bch_decode_mbps);
   std::printf("%-24s %12.3f\n", "fig06 wall s", result.fig06_wall_s);
+  std::printf("%-24s %12.2f\n", "device read p99 us",
+              result.device_read_p99_us);
   std::printf("%-24s %016" PRIx64 "\n", "state checksum",
               result.state_checksum);
 
@@ -309,6 +399,15 @@ int main(int argc, char** argv) {
   std::ofstream out(out_path);
   out << json;
   std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (!trajectory_path.empty()) {
+    if (append_trajectory_row(trajectory_path, result)) {
+      std::printf("appended trajectory row to %s\n", trajectory_path.c_str());
+    } else {
+      std::fprintf(stderr, "could not append trajectory row to %s\n",
+                   trajectory_path.c_str());
+    }
+  }
 
   if (!check_path.empty()) return check_against(check_path, result);
   return 0;

@@ -59,6 +59,7 @@
 #include "stash/par/pool.hpp"
 #include "stash/stego/volume.hpp"
 #include "stash/telemetry/metrics.hpp"
+#include "stash/trace/trace.hpp"
 #include "stash/util/batch.hpp"
 #include "stash/util/status.hpp"
 
@@ -205,6 +206,12 @@ class StashDevice {
     std::promise<Result<std::vector<std::uint8_t>>> value_promise;
     std::promise<Status> status_promise;
     std::chrono::steady_clock::time_point start;
+    /// Root span of this request's trace (inactive when tracing is off or
+    /// the request was not sampled).
+    trace::TraceContext trace{};
+    /// Device clock (trace_now) at enqueue; queue-wait = service start
+    /// minus this.
+    std::uint64_t enqueue_now = 0;
   };
 
   [[nodiscard]] std::uint32_t chip_of(std::uint64_t lpn) const noexcept {
@@ -227,6 +234,23 @@ class StashDevice {
   /// Flush body; requires the lock.
   Status flush_locked();
 
+  // ---- Tracing helpers (all called under mu_) -----------------------------
+  /// Simulated device clock: the summed per-chip cost-ledger time.  Exact
+  /// and thread-count independent, so deterministic traces read it instead
+  /// of the wall clock.
+  [[nodiscard]] std::uint64_t sim_now() const noexcept;
+  /// Wall or simulated nanoseconds depending on the tracer's clock mode.
+  [[nodiscard]] std::uint64_t trace_now() const noexcept;
+  /// Allocate a (possibly inactive) root context for a new request.
+  [[nodiscard]] trace::TraceContext new_request_trace(trace::Op op,
+                                                      std::uint64_t key);
+  /// Emit the request skeleton: dev.request root with dev.queue_wait and
+  /// ftl.service children, from three clock reads (enqueue, service start,
+  /// service end) — so root duration == queue_wait + service exactly.
+  void emit_request_trace(const trace::TraceContext& root, std::uint64_t enq,
+                          trace::Op op, std::uint64_t key, std::uint64_t t0,
+                          std::uint64_t t1, std::uint8_t status);
+
   DeviceConfig config_;
   par::ThreadPool pool_;
   par::ChipArray array_;
@@ -236,6 +260,8 @@ class StashDevice {
   std::list<Request> queue_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t tick_ = 0;
+  std::uint64_t trace_seq_ = 0;     // requests considered for sampling
+  std::uint64_t dispatch_seq_ = 0;  // dispatch-round trace ids
   WriteBackBuffer buffer_;
   ReadCache cache_;
   std::vector<std::uint64_t> lost_writes_;

@@ -36,6 +36,9 @@ struct DevTelemetry {
   telemetry::Gauge& queue_depth = reg.gauge("dev.queue_depth");
   telemetry::Gauge& cache_hit_ratio = reg.gauge("dev.cache_hit_ratio");
   telemetry::Gauge& buffered_pages = reg.gauge("dev.buffered_pages");
+  // Acked-but-not-durable writes staged in the write-back buffer (excludes
+  // trim tombstones): what a power cut right now would report lost.
+  telemetry::Gauge& acked_unflushed = reg.gauge("dev.acked_unflushed");
   telemetry::LatencyHistogram& read_latency =
       reg.histogram("dev.read_latency_ns");
   telemetry::LatencyHistogram& hidden_latency =
@@ -124,6 +127,28 @@ const DeviceConfig& validated(const DeviceConfig& config) {
   return config;
 }
 
+/// Trace op class of a queued request kind.
+trace::Op op_of(StashDevice::OpKind kind) noexcept {
+  switch (kind) {
+    case StashDevice::OpKind::kRead: return trace::Op::kRead;
+    case StashDevice::OpKind::kStoreHidden: return trace::Op::kStoreHidden;
+    case StashDevice::OpKind::kLoadHidden: return trace::Op::kLoadHidden;
+    case StashDevice::OpKind::kGc: return trace::Op::kGc;
+  }
+  return trace::Op::kNone;
+}
+
+/// Context for the ftl.service child of a request root.  Derived (not
+/// recorded yet): deep spans parent to it while it is installed, and
+/// emit_request_trace later emits the matching record with the same id.
+trace::TraceContext service_ctx(const trace::TraceContext& root, trace::Op op,
+                                std::uint64_t key) noexcept {
+  if (!root.active()) return {};
+  return {root.trace_id,
+          trace::detail::derive_span_id(root.trace_id, root.span_id,
+                                        trace::Stage::kFtlService, op, key, 0)};
+}
+
 }  // namespace
 
 StashDevice::StashDevice(const DeviceConfig& config,
@@ -153,12 +178,99 @@ std::uint32_t StashDevice::page_bits() const noexcept {
   return volumes_.front()->page_bits();
 }
 
+// ---- Tracing ---------------------------------------------------------------
+
+std::uint64_t StashDevice::sim_now() const noexcept {
+  // Summed per-chip ledger time.  Chips only advance inside dispatch
+  // rounds, so reads at serial points (under mu_) are exact and
+  // thread-count independent — the virtual trace clock.
+  std::uint64_t ns = 0;
+  for (std::uint32_t c = 0; c < array_.chips(); ++c) {
+    ns += array_.chip(c).time_ns();
+  }
+  return ns;
+}
+
+std::uint64_t StashDevice::trace_now() const noexcept {
+#ifndef STASH_TELEMETRY_DISABLED
+  if (trace::Tracer::global().clock_mode() == trace::ClockMode::kVirtual) {
+    return sim_now();
+  }
+  return trace::detail::wall_now_ns();
+#else
+  return 0;
+#endif
+}
+
+trace::TraceContext StashDevice::new_request_trace(trace::Op op,
+                                                   std::uint64_t key) {
+  // The sampling sequence advances for every request whether or not the
+  // tracer is on, so a mid-run enable picks the same requests a
+  // from-the-start run would.
+  const std::uint64_t s = trace_seq_++;
+  if (!trace::enabled()) return {};
+  if (!trace::Tracer::global().should_sample(s)) return {};
+  return trace::make_root((std::uint64_t{1} << 56) | s,
+                          trace::Stage::kDevRequest, op, key);
+}
+
+void StashDevice::emit_request_trace(const trace::TraceContext& root,
+                                     std::uint64_t enq, trace::Op op,
+                                     std::uint64_t key, std::uint64_t t0,
+                                     std::uint64_t t1, std::uint8_t status) {
+  if (!root.active() || !trace::enabled()) return;
+  auto& tracer = trace::Tracer::global();
+  const bool wall = tracer.clock_mode() == trace::ClockMode::kWall;
+  // Three clock reads, two child durations, and a root that is exactly
+  // their sum — the attribution invariant the bench asserts.
+  const std::uint64_t d_wait = t0 > enq ? t0 - enq : 0;
+  const std::uint64_t d_service = t1 > t0 ? t1 - t0 : 0;
+
+  trace::SpanRecord wait;
+  wait.trace_id = root.trace_id;
+  wait.parent_id = root.span_id;
+  wait.stage = trace::Stage::kDevQueueWait;
+  wait.op = op;
+  wait.key = key;
+  wait.span_id = trace::detail::derive_span_id(
+      wait.trace_id, wait.parent_id, wait.stage, op, key, 0);
+  wait.dur_ns = d_wait;
+
+  trace::SpanRecord service = wait;
+  service.stage = trace::Stage::kFtlService;
+  service.span_id = trace::detail::derive_span_id(
+      service.trace_id, service.parent_id, service.stage, op, key, 0);
+  service.dur_ns = d_service;
+  service.status = status;
+
+  trace::SpanRecord top;
+  top.trace_id = root.trace_id;
+  top.span_id = root.span_id;
+  top.parent_id = 0;
+  top.stage = trace::Stage::kDevRequest;
+  top.op = op;
+  top.key = key;
+  top.dur_ns = d_wait + d_service;
+  top.status = status;
+
+  if (wall) {
+    wait.begin_ns = enq;
+    service.begin_ns = t0;
+    top.begin_ns = enq;
+  }
+  tracer.emit(wait);
+  tracer.emit(service);
+  tracer.emit(top);
+}
+
 // ---- Submission ------------------------------------------------------------
 
 void StashDevice::enqueue(Request req, std::unique_lock<std::mutex>& lock) {
   req.seq = next_seq_++;
   req.enqueue_tick = ++tick_;
   req.start = std::chrono::steady_clock::now();
+  req.trace = new_request_trace(op_of(req.kind), req.lpn);
+  if (req.trace.active()) req.enqueue_now = trace_now();
   queue_.push_back(std::move(req));
   dev_telemetry().queue_depth.set(static_cast<double>(queue_.size()));
   if (queue_.size() >= config_.queue_depth) {
@@ -191,30 +303,51 @@ std::future<Status> StashDevice::submit_write(std::uint64_t lpn,
   std::unique_lock<std::mutex> lock(mu_);
   ++tick_;
   counters_.writes.inc();
-  dev_telemetry().writes.inc();
+  auto& wtel = dev_telemetry();
+  wtel.writes.inc();
+  wtel.queue_depth.set(static_cast<double>(queue_.size()));
+  // Writes execute inline (no queue wait): the trace root, service start
+  // and enqueue stamp coincide.
+  const trace::TraceContext root = new_request_trace(trace::Op::kWrite, lpn);
+  const std::uint64_t t0 = root.active() ? trace_now() : 0;
   Status st = Status::ok();
-  if (lpn >= logical_pages()) {
-    st = Status{ErrorCode::kOutOfBounds, "lpn beyond device capacity"};
-  } else if (bits.size() != page_bits()) {
-    st = Status{ErrorCode::kInvalidArgument, "write size != page size"};
-  } else {
-    cache_.invalidate(lpn);
-    if (config_.write_back_pages == 0) {
-      // Write-through: durable before the future resolves.
-      st = volumes_[chip_of(lpn)]->write_public(local_lpn(lpn),
-                                                std::move(bits));
+  {
+    const trace::ContextGuard service_guard(
+        service_ctx(root, trace::Op::kWrite, lpn));
+    if (lpn >= logical_pages()) {
+      st = Status{ErrorCode::kOutOfBounds, "lpn beyond device capacity"};
+    } else if (bits.size() != page_bits()) {
+      st = Status{ErrorCode::kInvalidArgument, "write size != page size"};
     } else {
-      if (buffer_.put(lpn, std::move(bits))) {
-        counters_.coalesced_writes.inc();
-        dev_telemetry().coalesced_writes.inc();
-      }
-      dev_telemetry().buffered_pages.set(static_cast<double>(buffer_.size()));
-      if (buffer_.size() >= config_.write_back_pages) {
-        // Backpressure flush.  The staged data survives a failure (it stays
-        // buffered); the triggering writer carries the health report.
-        st = flush_locked();
+      cache_.invalidate(lpn);
+      if (config_.write_back_pages == 0) {
+        // Write-through: durable before the future resolves.
+        st = volumes_[chip_of(lpn)]->write_public(local_lpn(lpn),
+                                                  std::move(bits));
+      } else {
+        {
+          trace::ScopedSpan buffer_span(trace::Stage::kDevBuffer,
+                                        trace::Op::kWrite, lpn,
+                                        bits.size() / 8);
+          if (buffer_.put(lpn, std::move(bits))) {
+            counters_.coalesced_writes.inc();
+            wtel.coalesced_writes.inc();
+          }
+        }
+        wtel.buffered_pages.set(static_cast<double>(buffer_.size()));
+        wtel.acked_unflushed.set(
+            static_cast<double>(buffer_.pending_writes()));
+        if (buffer_.size() >= config_.write_back_pages) {
+          // Backpressure flush.  The staged data survives a failure (it stays
+          // buffered); the triggering writer carries the health report.
+          st = flush_locked();
+        }
       }
     }
+  }
+  if (root.active()) {
+    emit_request_trace(root, t0, trace::Op::kWrite, lpn, t0, trace_now(),
+                       static_cast<std::uint8_t>(st.code()));
   }
   // A queued read may be past its deadline now that the tick advanced.
   if (!queue_.empty() &&
@@ -233,19 +366,37 @@ std::future<Status> StashDevice::submit_trim(std::uint64_t lpn) {
   std::unique_lock<std::mutex> lock(mu_);
   ++tick_;
   counters_.trims.inc();
-  dev_telemetry().trims.inc();
+  auto& ttel = dev_telemetry();
+  ttel.trims.inc();
+  ttel.queue_depth.set(static_cast<double>(queue_.size()));
+  const trace::TraceContext root = new_request_trace(trace::Op::kTrim, lpn);
+  const std::uint64_t t0 = root.active() ? trace_now() : 0;
   Status st = Status::ok();
-  if (lpn >= logical_pages()) {
-    st = Status{ErrorCode::kOutOfBounds, "lpn beyond device capacity"};
-  } else {
-    cache_.invalidate(lpn);
-    if (config_.write_back_pages == 0) {
-      st = volumes_[chip_of(lpn)]->ftl().trim(local_lpn(lpn));
+  {
+    const trace::ContextGuard service_guard(
+        service_ctx(root, trace::Op::kTrim, lpn));
+    if (lpn >= logical_pages()) {
+      st = Status{ErrorCode::kOutOfBounds, "lpn beyond device capacity"};
     } else {
-      buffer_.put_trim(lpn);
-      dev_telemetry().buffered_pages.set(static_cast<double>(buffer_.size()));
-      if (buffer_.size() >= config_.write_back_pages) st = flush_locked();
+      cache_.invalidate(lpn);
+      if (config_.write_back_pages == 0) {
+        st = volumes_[chip_of(lpn)]->ftl().trim(local_lpn(lpn));
+      } else {
+        {
+          const trace::ScopedSpan buffer_span(trace::Stage::kDevBuffer,
+                                              trace::Op::kTrim, lpn);
+          buffer_.put_trim(lpn);
+        }
+        ttel.buffered_pages.set(static_cast<double>(buffer_.size()));
+        ttel.acked_unflushed.set(
+            static_cast<double>(buffer_.pending_writes()));
+        if (buffer_.size() >= config_.write_back_pages) st = flush_locked();
+      }
     }
+  }
+  if (root.active()) {
+    emit_request_trace(root, t0, trace::Op::kTrim, lpn, t0, trace_now(),
+                       static_cast<std::uint8_t>(st.code()));
   }
   promise.set_value(st);
   return fut;
@@ -294,6 +445,20 @@ void StashDevice::dispatch(std::unique_lock<std::mutex>& lock) {
   tel.dispatches.inc();
   tel.dispatch_batch.record(queue_.size());
 
+  // Dispatch-round trace: the shared execution machinery (batched reads,
+  // their FTL/NAND fan-out) hangs here; sampled per-request work re-enters
+  // its own request context on top of this one.
+  const std::uint64_t round_seq = dispatch_seq_++;
+  trace::TraceContext round{};
+  std::uint64_t round_t0 = 0;
+  if (trace::enabled() &&
+      trace::Tracer::global().should_sample(round_seq)) {
+    round = trace::make_root((std::uint64_t{2} << 56) | round_seq,
+                             trace::Stage::kDevDispatch, trace::Op::kNone, 0);
+    round_t0 = trace_now();
+  }
+  const trace::ContextGuard round_guard(round);
+
   std::vector<Request> batch;
   batch.reserve(queue_.size());
   for (auto& req : queue_) batch.push_back(std::move(req));
@@ -329,30 +494,92 @@ void StashDevice::dispatch(std::unique_lock<std::mutex>& lock) {
       continue;
     }
     Request& req = batch[i++];
-    switch (req.kind) {
-      case OpKind::kStoreHidden:
-        req.status_promise.set_value(execute_store_hidden(req.data));
-        tel.hidden_latency.record(elapsed_ns(req.start));
-        break;
-      case OpKind::kLoadHidden:
-        req.value_promise.set_value(execute_load_hidden());
-        tel.hidden_latency.record(elapsed_ns(req.start));
-        break;
-      case OpKind::kGc:
-        req.status_promise.set_value(execute_gc());
-        break;
-      case OpKind::kRead:
-        break;  // unreachable
+    const trace::Op op = op_of(req.kind);
+    const std::uint64_t t0 = req.trace.active() ? trace_now() : 0;
+    std::uint8_t code = 0;
+    {
+      const trace::ContextGuard service_guard(
+          service_ctx(req.trace, op, req.lpn));
+      switch (req.kind) {
+        case OpKind::kStoreHidden: {
+          trace::ScopedSpan span(trace::Stage::kDevHidden, op, 0,
+                                 req.data.size() / 8);
+          Status st = execute_store_hidden(req.data);
+          code = static_cast<std::uint8_t>(st.code());
+          span.set_status(code);
+          req.status_promise.set_value(std::move(st));
+          tel.hidden_latency.record(elapsed_ns(req.start));
+          break;
+        }
+        case OpKind::kLoadHidden: {
+          trace::ScopedSpan span(trace::Stage::kDevHidden, op);
+          auto loaded = execute_load_hidden();
+          code = static_cast<std::uint8_t>(loaded.status().code());
+          span.set_status(code);
+          if (loaded.is_ok()) span.set_bytes(loaded.value().size());
+          req.value_promise.set_value(std::move(loaded));
+          tel.hidden_latency.record(elapsed_ns(req.start));
+          break;
+        }
+        case OpKind::kGc: {
+          Status st = execute_gc();
+          code = static_cast<std::uint8_t>(st.code());
+          req.status_promise.set_value(std::move(st));
+          break;
+        }
+        case OpKind::kRead:
+          break;  // unreachable
+      }
+    }
+    if (req.trace.active()) {
+      emit_request_trace(req.trace, req.enqueue_now, op, req.lpn, t0,
+                         trace_now(), code);
     }
   }
   tel.cache_hit_ratio.set(
       static_cast<double>(cache_.hits()) /
       std::max<double>(1.0, static_cast<double>(cache_.hits() +
                                                 cache_.misses())));
+
+  if (round.active()) {
+    // The round root: virtual duration is the sum of its children
+    // (resolved at export); wall duration is measured here.
+    trace::SpanRecord rec;
+    rec.trace_id = round.trace_id;
+    rec.span_id = round.span_id;
+    rec.parent_id = 0;
+    rec.stage = trace::Stage::kDevDispatch;
+    rec.op = trace::Op::kNone;
+    rec.key = 0;
+    rec.bytes = static_cast<std::uint32_t>(last_dispatch_.size());
+    if (trace::Tracer::global().clock_mode() == trace::ClockMode::kWall) {
+      rec.begin_ns = round_t0;
+      const std::uint64_t end = trace_now();
+      rec.dur_ns = end > round_t0 ? end - round_t0 : 0;
+    }
+    trace::Tracer::global().emit(rec);
+  }
 }
 
 void StashDevice::execute_reads(std::vector<Request>& reads) {
   auto& tel = dev_telemetry();
+  const std::uint64_t t0 = trace::enabled() ? trace_now() : 0;
+  // Emit a sampled read's trace: a dev.cache marker under its service span
+  // when the request resolved without flash, then the request skeleton.
+  const auto finish_trace = [&](const Request& req, bool from_cache,
+                                std::uint8_t code) {
+    if (!req.trace.active()) return;
+    const trace::TraceContext svc =
+        service_ctx(req.trace, trace::Op::kRead, req.lpn);
+    if (from_cache) {
+      const trace::ContextGuard guard(svc);
+      trace::ScopedSpan span(trace::Stage::kDevCache, trace::Op::kRead,
+                             req.lpn, page_bits() / 8);
+      span.set_status(code);
+    }
+    emit_request_trace(req.trace, req.enqueue_now, trace::Op::kRead, req.lpn,
+                       t0, trace_now(), code);
+  };
   // Resolve what never needs flash: bounds errors, write-back buffer hits,
   // cache hits.  Collect the rest as unique (chip, local-lpn) misses.
   struct Miss {
@@ -366,12 +593,16 @@ void StashDevice::execute_reads(std::vector<Request>& reads) {
     if (lpn >= logical_pages()) {
       reads[r].value_promise.set_value(
           Status{ErrorCode::kOutOfBounds, "lpn beyond device capacity"});
+      finish_trace(reads[r], false,
+                   static_cast<std::uint8_t>(ErrorCode::kOutOfBounds));
       continue;
     }
     if (const WriteBackBuffer::Entry* staged = buffer_.find(lpn)) {
       counters_.buffer_hits.inc();
       tel.buffer_hits.inc();
+      std::uint8_t code = 0;
       if (staged->trim) {
+        code = static_cast<std::uint8_t>(ErrorCode::kNotFound);
         reads[r].value_promise.set_value(
             Status{ErrorCode::kNotFound, "logical page trimmed"});
       } else {
@@ -380,6 +611,7 @@ void StashDevice::execute_reads(std::vector<Request>& reads) {
       counters_.reads.inc();
       tel.reads.inc();
       tel.read_latency.record(elapsed_ns(reads[r].start));
+      finish_trace(reads[r], true, code);
       continue;
     }
     if (auto cached = cache_.lookup(lpn)) {
@@ -388,6 +620,7 @@ void StashDevice::execute_reads(std::vector<Request>& reads) {
       tel.cache_hits.inc();
       reads[r].value_promise.set_value(std::move(*cached));
       tel.read_latency.record(elapsed_ns(reads[r].start));
+      finish_trace(reads[r], true, 0);
       continue;
     }
     tel.cache_misses.inc();
@@ -428,6 +661,11 @@ void StashDevice::execute_reads(std::vector<Request>& reads) {
           reads[r].value_promise.set_value(results[k].status());
         }
         tel.read_latency.record(elapsed_ns(reads[r].start));
+        // Serial point after this chip's batch: the miss's service span
+        // covers the whole chip round it rode on.  The FTL/NAND fan-out
+        // spans themselves live under the dispatch-round trace.
+        finish_trace(reads[r], false,
+                     static_cast<std::uint8_t>(results[k].status().code()));
       }
     }
   }
@@ -517,6 +755,11 @@ Status StashDevice::flush_locked() {
   counters_.flushes.inc();
   tel.flushes.inc();
   const telemetry::ScopedTimer timer(tel.flush_latency);
+  // Child of whichever context triggered the drain (a backpressured write's
+  // service span, or nothing for a bare flush()).  Virtual duration = sum
+  // of the per-page FTL/NAND work underneath.
+  trace::ScopedSpan flush_span(trace::Stage::kDevFlush, trace::Op::kFlush, 0,
+                               buffer_.size());
 
   // Snapshot per chip in staging order; chips drain concurrently (each
   // chip's volume is independent), entries within a chip in order.
@@ -552,6 +795,9 @@ Status StashDevice::flush_locked() {
   }
   for (const std::uint64_t lpn : flushed) buffer_.erase(lpn);
   tel.buffered_pages.set(static_cast<double>(buffer_.size()));
+  tel.acked_unflushed.set(static_cast<double>(buffer_.pending_writes()));
+  flush_span.set_status(static_cast<std::uint8_t>(first.code()));
+  flush_span.set_bytes(flushed.size());
   return first;
 }
 
@@ -585,6 +831,13 @@ Status StashDevice::power_cycle() {
     } else {
       req.status_promise.set_value(lost);
     }
+    if (req.trace.active()) {
+      // Never serviced: all queue wait, zero service.
+      const std::uint64_t now = trace_now();
+      emit_request_trace(req.trace, req.enqueue_now, op_of(req.kind),
+                         req.lpn, now, now,
+                         static_cast<std::uint8_t>(ErrorCode::kPowerLoss));
+    }
   }
   queue_.clear();
   cache_.clear();
@@ -596,6 +849,7 @@ Status StashDevice::power_cycle() {
   }
   dev_telemetry().queue_depth.set(0.0);
   dev_telemetry().buffered_pages.set(0.0);
+  dev_telemetry().acked_unflushed.set(0.0);
   return Status::ok();
 }
 

@@ -4,6 +4,8 @@
 #include <limits>
 #include <unordered_map>
 
+#include "stash/trace/trace.hpp"
+
 namespace stash::ftl {
 
 using nand::PageAddr;
@@ -184,9 +186,14 @@ Status PageMappedFtl::write(std::uint64_t lpn,
   if (bits.size() != page_bits()) {
     return {ErrorCode::kInvalidArgument, "write size != page size"};
   }
+  trace::ScopedSpan span(trace::Stage::kFtlWrite, trace::Op::kWrite, lpn,
+                         bits.size() / 8);
 
   auto placed = program_with_recovery(bits);
-  if (!placed.is_ok()) return placed.status();
+  if (!placed.is_ok()) {
+    span.set_status(static_cast<std::uint8_t>(placed.status().code()));
+    return placed.status();
+  }
   const PageAddr dst = placed.value();
 
   // Invalidate the old copy after the new one is durable.
@@ -234,6 +241,7 @@ std::vector<Result<std::vector<std::uint8_t>>> PageMappedFtl::read_batch(
   std::unordered_map<std::uint32_t, std::size_t> group_of;
   std::vector<std::optional<Result<std::vector<std::uint8_t>>>> slots(
       lpns.size());
+  std::vector<std::uint32_t> group_block;
   for (std::size_t i = 0; i < lpns.size(); ++i) {
     if (lpns[i] >= logical_pages_ || l2p_[lpns[i]] == kUnmapped) {
       slots[i].emplace(read(lpns[i]));  // resolves to the error status
@@ -242,10 +250,16 @@ std::vector<Result<std::vector<std::uint8_t>>> PageMappedFtl::read_batch(
     const auto block =
         static_cast<std::uint32_t>(l2p_[lpns[i]] / geom.pages_per_block);
     auto [it, fresh] = group_of.try_emplace(block, groups.size());
-    if (fresh) groups.emplace_back();
+    if (fresh) {
+      groups.emplace_back();
+      group_block.push_back(block);
+    }
     groups[it->second].push_back(i);
   }
   pool.parallel_for(groups.size(), [&](std::size_t g) {
+    trace::ScopedSpan span(trace::Stage::kFtlReadBatch, trace::Op::kRead,
+                           group_block[g],
+                           groups[g].size() * (page_bits() / 8));
     for (const std::size_t i : groups[g]) slots[i].emplace(read(lpns[i]));
   });
   std::vector<Result<std::vector<std::uint8_t>>> out;
@@ -339,7 +353,9 @@ Status PageMappedFtl::run_gc() {
   counters_.gc_runs.inc();
   ftl_telemetry().gc_runs.inc();
   gc_active_ = true;
+  trace::ScopedSpan span(trace::Stage::kFtlGc, trace::Op::kGc, victim);
   const Status status = relocate_block(victim);
+  span.set_status(static_cast<std::uint8_t>(status.code()));
   gc_active_ = false;
   return status;
 }

@@ -183,6 +183,10 @@ class FlashChip {
   /// nanosecond/nanojoule accumulation) and independent of thread count.
   [[nodiscard]] CostLedger ledger() const noexcept;
   void reset_ledger() noexcept;
+  /// Raw fixed-point simulated-time total (integer nanoseconds).  Exact,
+  /// monotone, and thread-count independent — StashDevice sums these
+  /// across chips as its virtual clock for deterministic tracing.
+  [[nodiscard]] std::uint64_t time_ns() const noexcept;
   [[nodiscard]] const OpCosts& costs() const noexcept { return costs_; }
 
   /// Convenience: program every page of a block with pseudorandom data

@@ -8,9 +8,16 @@
 #include "stash/kernels/draws.hpp"
 #include "stash/kernels/kernels.hpp"
 #include "stash/telemetry/metrics.hpp"
+#include "stash/trace/trace.hpp"
 
 namespace stash::nand {
 namespace {
+
+/// Trace span address for a page-level op: (block << 32) | page.
+constexpr std::uint64_t span_key(std::uint32_t block,
+                                 std::uint32_t page) noexcept {
+  return (static_cast<std::uint64_t>(block) << 32) | page;
+}
 
 using util::ErrorCode;
 using util::hash_words;
@@ -85,6 +92,10 @@ void FlashChip::charge(double us, double uj) noexcept {
   ledger_->energy_nj.fetch_add(
       static_cast<std::uint64_t>(std::llround(uj * 1e3)),
       std::memory_order_relaxed);
+}
+
+std::uint64_t FlashChip::time_ns() const noexcept {
+  return ledger_->time_ns.load(std::memory_order_relaxed);
 }
 
 CostLedger FlashChip::ledger() const noexcept {
@@ -234,6 +245,8 @@ void FlashChip::redraw_page_erased(Block& blk, std::uint32_t block,
 
 Status FlashChip::erase_block(std::uint32_t block) {
   STASH_RETURN_IF_ERROR(check_addr(block, 0));
+  trace::ScopedSpan span(trace::Stage::kNandErase, trace::Op::kErase,
+                         span_key(block, 0));
   const std::lock_guard<std::mutex> lock(block_lock(block));
   Block& blk = touch(block);
   if (blk.pec >= geom_.pec_limit * 2) {
@@ -258,6 +271,11 @@ Status FlashChip::erase_block(std::uint32_t block) {
     redraw_page_erased(blk, block, p);
   }
   charge(costs_.erase_us, costs_.erase_uj);
+  span.set_cost_us(costs_.erase_us);
+  span.set_status(static_cast<std::uint8_t>(
+      fd.power_cut ? ErrorCode::kPowerLoss
+      : fd.fail    ? ErrorCode::kEraseFail
+                   : ErrorCode::kOk));
   ledger_->erases.fetch_add(1, std::memory_order_relaxed);
   chip_telemetry().erases.inc();
   chip_telemetry().pec_at_erase.record(blk.pec);
@@ -272,6 +290,8 @@ Status FlashChip::program_page(std::uint32_t block, std::uint32_t page,
   if (bits.size() != geom_.cells_per_page) {
     return {ErrorCode::kInvalidArgument, "bit buffer != cells per page"};
   }
+  trace::ScopedSpan span(trace::Stage::kNandProgram, trace::Op::kWrite,
+                         span_key(block, page), bits.size() / 8);
   const std::lock_guard<std::mutex> lock(block_lock(block));
   Block& blk = touch(block);
   if (blk.state[page] != PageState::kErased) {
@@ -349,6 +369,11 @@ Status FlashChip::program_page(std::uint32_t block, std::uint32_t page,
 #endif
 
   charge(costs_.program_us, costs_.program_uj);
+  span.set_cost_us(costs_.program_us);
+  span.set_status(static_cast<std::uint8_t>(
+      fd.power_cut ? ErrorCode::kPowerLoss
+      : fd.fail    ? ErrorCode::kProgramFail
+                   : ErrorCode::kOk));
   ledger_->programs.fetch_add(1, std::memory_order_relaxed);
   chip_telemetry().programs.inc();
   if (fd.power_cut) return {ErrorCode::kPowerLoss, "power lost during program"};
@@ -368,6 +393,9 @@ std::vector<std::uint8_t> FlashChip::read_page_at(std::uint32_t block,
   if (fault_ && consult_fault(FaultOp::kRead, block, page).interrupts()) {
     return {};
   }
+  trace::ScopedSpan span(trace::Stage::kNandRead, trace::Op::kRead,
+                         span_key(block, page), geom_.cells_per_page / 8);
+  span.set_cost_us(costs_.read_us);
   const std::lock_guard<std::mutex> lock(block_lock(block));
   Block& blk = touch(block);
 #ifndef STASH_TELEMETRY_DISABLED
@@ -440,6 +468,9 @@ Status FlashChip::probe_voltages_into(std::uint32_t block, std::uint32_t page,
   if (fault_ && consult_fault(FaultOp::kRead, block, page).interrupts()) {
     return {ErrorCode::kCorrupted, "probe dropped by fault injection"};
   }
+  trace::ScopedSpan span(trace::Stage::kNandProbe, trace::Op::kProbe,
+                         span_key(block, page));
+  span.set_cost_us(costs_.read_us);
   const std::lock_guard<std::mutex> lock(block_lock(block));
   Block& blk = touch(block);
   const float* row =
@@ -465,6 +496,8 @@ Status FlashChip::partial_program(std::uint32_t block, std::uint32_t page,
   if (step_scale <= 0.0) {
     return {ErrorCode::kInvalidArgument, "step_scale must be positive"};
   }
+  trace::ScopedSpan span(trace::Stage::kNandPartialProgram, trace::Op::kWrite,
+                         span_key(block, page));
   FaultDecision fd;
   if (fault_) fd = consult_fault(FaultOp::kPartialProgram, block, page);
   const double frac =
@@ -496,6 +529,11 @@ Status FlashChip::partial_program(std::uint32_t block, std::uint32_t page,
   disturb_neighbors(blk, block, page, 0.02 * frac);
 
   charge(costs_.partial_program_us, costs_.partial_program_uj);
+  span.set_cost_us(costs_.partial_program_us);
+  span.set_status(static_cast<std::uint8_t>(
+      fd.power_cut ? ErrorCode::kPowerLoss
+      : fd.fail    ? ErrorCode::kProgramFail
+                   : ErrorCode::kOk));
   ledger_->partial_programs.fetch_add(1, std::memory_order_relaxed);
   chip_telemetry().partial_programs.inc();
   if (fd.power_cut) {
@@ -512,6 +550,8 @@ Status FlashChip::fine_program(std::uint32_t block, std::uint32_t page,
                                double target_mu, double target_sigma,
                                double target_tail) {
   STASH_RETURN_IF_ERROR(check_addr(block, page));
+  trace::ScopedSpan span(trace::Stage::kNandFineProgram, trace::Op::kWrite,
+                         span_key(block, page));
   FaultDecision fd;
   if (fault_) fd = consult_fault(FaultOp::kFineProgram, block, page);
   const double frac =
@@ -542,6 +582,11 @@ Status FlashChip::fine_program(std::uint32_t block, std::uint32_t page,
   disturb_neighbors(blk, block, page, 0.01 * frac);
 
   charge(costs_.partial_program_us, costs_.partial_program_uj);
+  span.set_cost_us(costs_.partial_program_us);
+  span.set_status(static_cast<std::uint8_t>(
+      fd.power_cut ? ErrorCode::kPowerLoss
+      : fd.fail    ? ErrorCode::kProgramFail
+                   : ErrorCode::kOk));
   ledger_->partial_programs.fetch_add(1, std::memory_order_relaxed);
   chip_telemetry().partial_programs.inc();
   chip_telemetry().fine_programs.inc();

@@ -33,6 +33,8 @@
 #include <utility>
 #include <vector>
 
+#include "stash/trace/trace.hpp"
+
 namespace stash::par {
 
 class ThreadPool {
@@ -72,10 +74,20 @@ class ThreadPool {
 
   /// Run fn(i) for every i in [0, n), blocking until all complete.  The
   /// calling thread participates.  Iterations must be independent.
+  ///
+  /// Trace propagation: the caller's TraceContext is captured once and every
+  /// iteration runs under its own ContextGuard — including on the inline
+  /// path — so span identity inside fn(i) never depends on which thread (or
+  /// how many) ran the iteration.
   template <typename Fn>
   void parallel_for(std::size_t n, Fn&& fn) {
+    const trace::TraceContext ctx = trace::current();
+    auto run = [&fn, ctx](std::size_t i) {
+      const trace::ContextGuard guard(ctx);
+      fn(i);
+    };
     if (threads() == 0 || n <= 1) {
-      for (std::size_t i = 0; i < n; ++i) fn(i);
+      for (std::size_t i = 0; i < n; ++i) run(i);
       return;
     }
     struct Join {
@@ -90,12 +102,12 @@ class ThreadPool {
     const std::size_t helpers = std::min<std::size_t>(threads(), n) - 1;
     auto next = std::make_shared<std::atomic<std::size_t>>(0);
     auto join = std::make_shared<Join>(helpers);
-    auto drive = [next, join, n, &fn] {
+    auto drive = [next, join, n, &run] {
       for (;;) {
         const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
         if (i >= n) break;
         try {
-          fn(i);
+          run(i);
         } catch (...) {
           const std::lock_guard<std::mutex> lock(join->mu);
           if (!join->err) join->err = std::current_exception();

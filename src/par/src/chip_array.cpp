@@ -30,6 +30,18 @@ std::uint64_t ChipArray::chip_seed(std::uint64_t root_seed,
 
 void ChipArray::enqueue(std::uint32_t chip, std::uint32_t block,
                         std::function<void()> fn) {
+  // Capture the submitter's trace context per operation: the strand pump
+  // that eventually runs this op may have been launched under a different
+  // request's context (or none), so the causal parent rides with the op.
+  if (trace::enabled()) {
+    const trace::TraceContext ctx = trace::current();
+    if (ctx.active()) {
+      fn = [ctx, inner = std::move(fn)] {
+        const trace::ContextGuard guard(ctx);
+        inner();
+      };
+    }
+  }
   Shard& shard = *shards_.at(shard_of(chip, block));
   {
     const std::lock_guard<std::mutex> lock(drain_mu_);

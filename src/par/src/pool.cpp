@@ -33,6 +33,17 @@ void ThreadPool::submit(std::function<void()> fn) {
     fn();
     return;
   }
+  // Carry the submitter's trace context to whichever worker runs the task,
+  // so causality survives the thread handoff.
+  if (trace::enabled()) {
+    const trace::TraceContext ctx = trace::current();
+    if (ctx.active()) {
+      fn = [ctx, inner = std::move(fn)] {
+        const trace::ContextGuard guard(ctx);
+        inner();
+      };
+    }
+  }
   const std::size_t idx =
       rr_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
   {

@@ -154,9 +154,11 @@ class LatencyHistogram {
 #endif
   }
 
-  /// Approximate q-th quantile (0 <= q <= 1): walks the buckets and returns
-  /// the geometric midpoint of the bucket holding the q-th sample.  Bucket
-  /// resolution is a factor of two, which is plenty for "did the p99 move".
+  /// Approximate q-th quantile (0 <= q <= 1): walks the buckets to the one
+  /// holding the q-th sample and interpolates linearly within it by the
+  /// sample's rank, so a heavily-populated bucket reads as a gradient
+  /// instead of a single fixed point.  Resolution is still bounded by the
+  /// power-of-two bucket width.
   [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
 
   void reset() noexcept {
@@ -224,6 +226,7 @@ struct Snapshot {
     double mean = 0.0;
     std::uint64_t p50 = 0;
     std::uint64_t p99 = 0;
+    std::uint64_t p999 = 0;
   };
 
   std::vector<CounterValue> counters;
@@ -233,7 +236,7 @@ struct Snapshot {
   [[nodiscard]] std::uint64_t counter(std::string_view name) const noexcept;
 
   /// Compact JSON object: {"counters":{...},"gauges":{...},"histograms":
-  /// {name:{count,sum,mean,p50,p99},...}}.
+  /// {name:{count,sum,mean,p50,p99,p999},...}}.
   [[nodiscard]] std::string to_json() const;
 };
 

@@ -14,18 +14,25 @@ std::uint64_t LatencyHistogram::quantile(double q) const noexcept {
   if (n == 0) return 0;
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
-  const auto target = static_cast<std::uint64_t>(
+  auto target = static_cast<std::uint64_t>(
       std::ceil(q * static_cast<double>(n)));
+  if (target == 0) target = 1;
   std::uint64_t seen = 0;
   for (std::size_t b = 0; b < kBuckets; ++b) {
-    seen += buckets_[b].load(std::memory_order_relaxed);
-    if (seen >= target && seen > 0) {
-      // Bucket b holds values in [2^(b-1), 2^b); report the geometric
-      // midpoint (bucket 0 is the literal value 0).
+    const std::uint64_t in_bucket =
+        buckets_[b].load(std::memory_order_relaxed);
+    if (seen + in_bucket >= target && in_bucket > 0) {
+      // Bucket b holds values in [2^(b-1), 2^b); bucket 0 is the literal
+      // value 0.  Interpolate linearly by the target's rank within the
+      // bucket — assuming samples spread uniformly across the bucket is a
+      // far smaller distortion than quoting a fixed point of a 2x-wide bin.
       if (b == 0) return 0;
       const double lo = std::exp2(static_cast<double>(b) - 1.0);
-      return static_cast<std::uint64_t>(lo * std::sqrt(2.0));
+      const double frac = static_cast<double>(target - seen) /
+                          static_cast<double>(in_bucket);
+      return static_cast<std::uint64_t>(lo + lo * frac);
     }
+    seen += in_bucket;
   }
   return 0;
 #else
@@ -103,7 +110,8 @@ Snapshot MetricsRegistry::snapshot() const {
   snap.histograms.reserve(impl_->histograms.size());
   for (const auto& [name, h] : impl_->histograms) {
     snap.histograms.push_back({name, h->count(), h->sum(), h->mean(),
-                               h->quantile(0.5), h->quantile(0.99)});
+                               h->quantile(0.5), h->quantile(0.99),
+                               h->quantile(0.999)});
   }
   return snap;
 }
@@ -165,7 +173,8 @@ std::string Snapshot::to_json() const {
            ",\"sum\":" + std::to_string(h.sum) + ",\"mean\":";
     append_double(out, h.mean);
     out += ",\"p50\":" + std::to_string(h.p50) +
-           ",\"p99\":" + std::to_string(h.p99) + "}";
+           ",\"p99\":" + std::to_string(h.p99) +
+           ",\"p999\":" + std::to_string(h.p999) + "}";
   }
   out += "}}";
   return out;

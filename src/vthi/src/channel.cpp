@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "stash/telemetry/metrics.hpp"
+#include "stash/trace/trace.hpp"
 
 namespace stash::vthi {
 
@@ -141,12 +142,21 @@ Result<EmbedSession> VthiChannel::embed(std::uint32_t block,
                                         std::uint32_t page,
                                         std::span<const std::uint8_t> bits) {
   telemetry::ScopedTimer timer(channel_telemetry().embed_ns);
+  trace::ScopedSpan span(trace::Stage::kVthiEmbed, trace::Op::kEmbed,
+                         (static_cast<std::uint64_t>(block) << 32) | page,
+                         bits.size() / 8);
   auto begun = begin(block, page, bits);
-  if (!begun.is_ok()) return begun.status();
+  if (!begun.is_ok()) {
+    span.set_status(static_cast<std::uint8_t>(begun.status().code()));
+    return begun.status();
+  }
   EmbedSession session = std::move(begun).take();
   for (int s = 0; s < config_.max_pp_steps && !session.converged; ++s) {
     auto stepped = step(session);
-    if (!stepped.is_ok()) return stepped.status();
+    if (!stepped.is_ok()) {
+      span.set_status(static_cast<std::uint8_t>(stepped.status().code()));
+      return stepped.status();
+    }
   }
   return session;
 }
@@ -162,13 +172,19 @@ Result<std::vector<std::uint8_t>> VthiChannel::extract_at(std::uint32_t block,
                                                           std::uint32_t count,
                                                           double vth) {
   channel_telemetry().extracts.inc();
+  trace::ScopedSpan span(trace::Stage::kVthiExtract, trace::Op::kExtract,
+                         (static_cast<std::uint64_t>(block) << 32) | page,
+                         count / 8);
   // Single probe: yields the eligible-cell list and every hidden bit.
   const auto volts = chip_->probe_voltages(block, page);
   if (volts.empty()) {
+    span.set_status(
+        static_cast<std::uint8_t>(util::ErrorCode::kOutOfBounds));
     return Status{ErrorCode::kOutOfBounds, "bad page address"};
   }
   const auto chosen = select_from_voltages(block, page, count, volts);
   if (chosen.size() < count) {
+    span.set_status(static_cast<std::uint8_t>(util::ErrorCode::kNoSpace));
     return Status{ErrorCode::kNoSpace, "not enough eligible cells in page"};
   }
   std::vector<std::uint8_t> bits(count);

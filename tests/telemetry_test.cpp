@@ -63,9 +63,10 @@ TEST(LatencyHistogram, LogBucketing) {
   // p50 lands in bucket 2 -> geometric midpoint of [2, 4).
   EXPECT_GE(h.quantile(0.5), 2u);
   EXPECT_LT(h.quantile(0.5), 4u);
-  // p99 is the largest sample's bucket.
+  // p99 is the largest sample's bucket [1024, 2048); the last rank in a
+  // bucket interpolates to the bucket's (inclusive) upper edge.
   EXPECT_GE(h.quantile(0.99), 1024u);
-  EXPECT_LT(h.quantile(0.99), 2048u);
+  EXPECT_LE(h.quantile(0.99), 2048u);
 }
 
 TEST(LatencyHistogram, HugeSamplesClampToLastBucket) {
@@ -74,6 +75,47 @@ TEST(LatencyHistogram, HugeSamplesClampToLastBucket) {
   h.record(~0ull);
   EXPECT_EQ(h.count(), 1u);
   EXPECT_EQ(h.bucket_count(LatencyHistogram::kBuckets - 1), 1u);
+}
+
+TEST(LatencyHistogram, QuantileInterpolatesWithinBucket) {
+  if (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  LatencyHistogram h;
+  // Four samples, all in bucket 11 ([1024, 2048)).  The quantile should
+  // read as a gradient across the bucket by rank, not one fixed point.
+  for (int i = 0; i < 4; ++i) h.record(1500);
+  EXPECT_EQ(h.quantile(0.25), 1280u);  // rank 1 of 4: lo + lo * 1/4
+  EXPECT_EQ(h.quantile(0.50), 1536u);
+  EXPECT_EQ(h.quantile(0.75), 1792u);
+  EXPECT_EQ(h.quantile(1.00), 2048u);  // rank 4 of 4: bucket upper edge
+  // q == 0 clamps to the first sample's rank, never a zero target.
+  EXPECT_EQ(h.quantile(0.0), 1280u);
+}
+
+TEST(LatencyHistogram, P999ResolvesBeyondP99) {
+  if (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  LatencyHistogram h;
+  for (int i = 0; i < 98; ++i) h.record(4);  // bucket 3: [4, 8)
+  h.record(1000);    // bucket 10: [512, 1024)
+  h.record(100000);  // bucket 17: [65536, 131072)
+  const std::uint64_t p99 = h.quantile(0.99);    // rank 99 -> bucket 10
+  const std::uint64_t p999 = h.quantile(0.999);  // rank 100 -> bucket 17
+  EXPECT_EQ(p99, 1024u);
+  EXPECT_EQ(p999, 131072u);
+  EXPECT_GT(p999, p99);
+}
+
+TEST(LatencyHistogram, SnapshotCarriesP999) {
+  if (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  MetricsRegistry reg;
+  LatencyHistogram& h = reg.histogram("lat");
+  for (int i = 0; i < 98; ++i) h.record(4);
+  h.record(1000);
+  h.record(100000);
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].p999, h.quantile(0.999));
+  EXPECT_GT(snap.histograms[0].p999, snap.histograms[0].p99);
+  EXPECT_NE(snap.to_json().find("\"p999\":"), std::string::npos);
 }
 
 TEST(ScopedTimer, RecordsElapsedTime) {
