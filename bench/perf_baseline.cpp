@@ -26,6 +26,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -53,6 +54,9 @@ struct PerfResult {
   double bch_decode_mbps = 0.0;
   double fig06_wall_s = 0.0;
   double device_read_p99_us = 0.0;
+  double snapshot_save_mbps = 0.0;
+  double snapshot_load_mbps = 0.0;
+  std::uint64_t snapshot_bytes = 0;
   std::uint64_t state_checksum = 0;
   std::uint64_t cells_per_page = 0;
   std::uint32_t threads = 1;
@@ -256,6 +260,64 @@ void run_device_phase(const Options& opt, PerfResult& result) {
       static_cast<double>(hist.quantile(0.99)) / 1e3;
 }
 
+/// Snapshot persistence phase: save a worked device to disk, load it into
+/// a fresh instance, and report MB/s both ways plus the on-disk generation
+/// size.  Informational (not a CI regression gate): the numbers track the
+/// chunked-serialization cost of stash::store end to end.
+void run_snapshot_phase(const Options& opt, PerfResult& result) {
+  dev::DeviceConfig config;
+  config.geometry = opt.geometry(8);
+  config.seed = opt.seed;
+  config.threads = opt.threads;
+  dev::StashDevice device(config, bench_key());
+
+  util::Xoshiro256 fill_rng(opt.seed ^ 0x5a75ULL);
+  std::vector<ftl::PageMappedFtl::WriteRequest> fill(device.logical_pages());
+  for (std::uint64_t lpn = 0; lpn < fill.size(); ++lpn) {
+    std::vector<std::uint8_t> page(device.page_bits());
+    for (auto& b : page) b = static_cast<std::uint8_t>(fill_rng() & 1);
+    fill[lpn] = {lpn, std::move(page)};
+  }
+  (void)device.write_batch(fill);
+  (void)device.flush();
+
+  const std::string dir = "./perf_baseline_snapshot.tmp";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir, ec);
+
+  auto t0 = Clock::now();
+  auto saved = device.save_snapshot(dir);
+  const double save_s = seconds_since(t0);
+  if (!saved.is_ok()) {
+    std::fprintf(stderr, "snapshot save failed: %s\n",
+                 saved.status().to_string().c_str());
+    std::filesystem::remove_all(dir, ec);
+    return;
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".stash") {
+      result.snapshot_bytes =
+          std::max<std::uint64_t>(result.snapshot_bytes,
+                                  std::filesystem::file_size(entry, ec));
+    }
+  }
+
+  dev::StashDevice restored(config, bench_key());
+  t0 = Clock::now();
+  const auto loaded = restored.load_snapshot(dir);
+  const double load_s = seconds_since(t0);
+  std::filesystem::remove_all(dir, ec);
+  if (!loaded.is_ok()) {
+    std::fprintf(stderr, "snapshot load failed: %s\n",
+                 loaded.to_string().c_str());
+    return;
+  }
+  const double mb = static_cast<double>(result.snapshot_bytes) / 1e6;
+  if (save_s > 0.0) result.snapshot_save_mbps = mb / save_s;
+  if (load_s > 0.0) result.snapshot_load_mbps = mb / load_s;
+}
+
 /// Append one dated markdown row to the perf-trajectory table.  The date
 /// comes from $STASH_DATE when set (deterministic tests), else localtime.
 bool append_trajectory_row(const std::string& path, const PerfResult& r) {
@@ -293,6 +355,9 @@ std::string to_json(const PerfResult& r) {
       << "  \"bch_decode_mbps\": " << r.bch_decode_mbps << ",\n"
       << "  \"fig06_wall_s\": " << r.fig06_wall_s << ",\n"
       << "  \"device_read_p99_us\": " << r.device_read_p99_us << ",\n"
+      << "  \"snapshot_save_mbps\": " << r.snapshot_save_mbps << ",\n"
+      << "  \"snapshot_load_mbps\": " << r.snapshot_load_mbps << ",\n"
+      << "  \"snapshot_bytes\": " << r.snapshot_bytes << ",\n"
       << "  \"state_checksum\": \"" << std::hex << r.state_checksum << std::dec
       << "\"\n"
       << "}\n";
@@ -377,6 +442,7 @@ int main(int argc, char** argv) {
   run_bch_phase(opt, result);
   run_fig06_phase(opt, result);
   run_device_phase(opt, result);
+  run_snapshot_phase(opt, result);
 
   if (checksum_only) {
     std::printf("state_checksum %016" PRIx64 "\n", result.state_checksum);
@@ -392,6 +458,12 @@ int main(int argc, char** argv) {
   std::printf("%-24s %12.3f\n", "fig06 wall s", result.fig06_wall_s);
   std::printf("%-24s %12.2f\n", "device read p99 us",
               result.device_read_p99_us);
+  std::printf("%-24s %12.2f\n", "snapshot save MB/s",
+              result.snapshot_save_mbps);
+  std::printf("%-24s %12.2f\n", "snapshot load MB/s",
+              result.snapshot_load_mbps);
+  std::printf("%-24s %12" PRIu64 "\n", "snapshot bytes",
+              result.snapshot_bytes);
   std::printf("%-24s %016" PRIx64 "\n", "state checksum",
               result.state_checksum);
 

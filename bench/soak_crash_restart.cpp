@@ -1,0 +1,483 @@
+// Kill-restart soak harness for the snapshot store (ISSUE 7 tentpole).
+//
+// Three phases, all against a full StashDevice:
+//
+//   1. Soak loop: workload -> save_snapshot -> simulated kill (the device
+//      object is destroyed, volatile state and all) -> reload into a fresh
+//      device -> verify state_checksum bit-exactness plus data/hidden
+//      readback.  Repeats with an evolving workload so every round
+//      snapshots different state into the alternating generation slots.
+//
+//   2. Crash-mid-save sweep: a save is crashed at *every* file-op index
+//      (fault::FileFaultPlan; torn writes at several prefix lengths plus
+//      clean op failures) and a fresh device restores — the result must be
+//      one of the two committed states, checksum-exact, every time.
+//
+//   3. Bit-rot sweep: post-hoc bit flips across the active generation file;
+//      every flip must either fall back to the prior generation or fail
+//      with a clean kCorrupted.  A load that "succeeds" into a state
+//      matching neither committed checksum is the one unforgivable outcome.
+//
+// --quick bounds the whole run to well under a minute (CI's soak-smoke
+// leg); the default run sweeps more rounds and more torn lengths.  Emits
+// BENCH_soak.json with survival counts and snapshot save/load throughput.
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "stash/dev/device.hpp"
+#include "stash/fault/file_plan.hpp"
+#include "stash/store/file_io.hpp"
+#include "stash/store/snapshot.hpp"
+
+using namespace stash;
+using namespace stash::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct SoakResult {
+  std::uint64_t rounds = 0;
+  std::uint64_t kill_restarts_survived = 0;
+  std::uint64_t mid_save_crashes = 0;
+  std::uint64_t mid_save_survived = 0;
+  std::uint64_t bit_flips = 0;
+  std::uint64_t bit_flips_survived = 0;
+  std::uint64_t corrupt_loads_accepted = 0;  // must stay 0
+  std::uint64_t snapshot_bytes = 0;
+  double save_mbps = 0.0;
+  double load_mbps = 0.0;
+  double mean_recovery_ms = 0.0;
+  std::uint32_t threads = 1;
+};
+
+dev::DeviceConfig soak_config(const Options& opt) {
+  dev::DeviceConfig config;  // tiny geometry keeps a round sub-second
+  config.seed = opt.seed;
+  config.chips = 2;
+  config.threads = opt.threads;
+  return config;
+}
+
+std::vector<std::uint8_t> page_pattern(std::uint32_t bits, std::uint64_t tag) {
+  util::Xoshiro256 rng(tag);
+  std::vector<std::uint8_t> page(bits);
+  for (auto& b : page) b = static_cast<std::uint8_t>(rng() & 1);
+  return page;
+}
+
+std::vector<std::uint8_t> payload_pattern(std::size_t n, std::uint64_t tag) {
+  util::Xoshiro256 rng(tag);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng());
+  return out;
+}
+
+std::size_t hamming(const std::vector<std::uint8_t>& a,
+                    const std::vector<std::uint8_t>& b) {
+  std::size_t d = a.size() > b.size() ? a.size() - b.size()
+                                      : b.size() - a.size();
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    d += (a[i] ^ b[i]) & 1;
+  }
+  return d;
+}
+
+bool matches(const std::vector<std::uint8_t>& read,
+             const std::vector<std::uint8_t>& wrote) {
+  return !wrote.empty() && hamming(read, wrote) < wrote.size() / 4;
+}
+
+/// One soak round's workload: overwrite every logical page with
+/// round-tagged data, trim a rotating page, flush.  The hidden payload is
+/// stashed once, in round 0 (the volume is write-once; GC rescues and
+/// re-embeds its chunks as rounds churn the carriers underneath it), and
+/// must survive every subsequent round and restart.
+bool run_round(dev::StashDevice& dev, std::uint64_t round,
+               std::uint64_t seed) {
+  const std::uint64_t base = seed * 1000003ULL + round * 131ULL;
+  auto check = [round](const char* what, const util::Status& st) {
+    if (st.is_ok()) return true;
+    std::fprintf(stderr, "round %" PRIu64 ": %s: %s\n", round, what,
+                 st.to_string().c_str());
+    return false;
+  };
+  for (std::uint64_t lpn = 0; lpn < dev.logical_pages(); ++lpn) {
+    if (!check("write",
+               dev.write(lpn, page_pattern(dev.page_bits(), base + lpn)))) {
+      return false;
+    }
+  }
+  if (!check("flush", dev.flush())) return false;
+  if (!check("trim", dev.trim(round % dev.logical_pages()))) return false;
+  if (round == 0 &&
+      !check("store_hidden", dev.store_hidden(payload_pattern(96, seed)))) {
+    return false;
+  }
+  return check("final flush", dev.flush());
+}
+
+/// Spot-check a restored device against the round that produced it.
+bool verify_round(dev::StashDevice& dev, std::uint64_t round,
+                  std::uint64_t seed) {
+  const std::uint64_t base = seed * 1000003ULL + round * 131ULL;
+  const std::uint64_t trimmed = round % dev.logical_pages();
+  for (std::uint64_t lpn = 0; lpn < dev.logical_pages(); lpn += 3) {
+    auto r = dev.read(lpn);
+    if (lpn == trimmed) {
+      if (r.is_ok()) {
+        std::fprintf(stderr, "round %" PRIu64 ": trimmed lpn %" PRIu64
+                     " still readable\n", round, lpn);
+        return false;  // the trim must survive the restart
+      }
+      continue;
+    }
+    if (!r.is_ok()) {
+      std::fprintf(stderr, "round %" PRIu64 ": read lpn %" PRIu64 ": %s\n",
+                   round, lpn, r.status().to_string().c_str());
+      return false;
+    }
+    if (!matches(r.value(), page_pattern(dev.page_bits(), base + lpn))) {
+      std::fprintf(stderr, "round %" PRIu64 ": lpn %" PRIu64
+                   " readback does not match\n", round, lpn);
+      return false;
+    }
+  }
+  auto hidden = dev.load_hidden();
+  if (!hidden.is_ok()) {
+    std::fprintf(stderr, "round %" PRIu64 ": load_hidden: %s\n", round,
+                 hidden.status().to_string().c_str());
+    return false;
+  }
+  if (hidden.value() != payload_pattern(96, seed)) {
+    std::fprintf(stderr, "round %" PRIu64 ": hidden payload mismatch\n",
+                 round);
+    return false;
+  }
+  return true;
+}
+
+/// Phase 1: workload -> snapshot -> kill -> reload -> verify, `rounds`
+/// times into one alternating-generation directory.
+bool run_soak_phase(const Options& opt, const std::string& dir,
+                    std::uint64_t rounds, SoakResult& result) {
+  double save_s = 0.0;
+  double load_s = 0.0;
+  double recovery_s = 0.0;
+  std::uint64_t moved_bytes = 0;
+
+  auto dev = std::make_unique<dev::StashDevice>(soak_config(opt), bench_key());
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    if (!run_round(*dev, round, opt.seed)) {
+      std::fprintf(stderr, "round %" PRIu64 ": workload failed\n", round);
+      return false;
+    }
+    const std::uint64_t expected = dev->state_checksum();
+
+    auto t0 = Clock::now();
+    auto saved = dev->save_snapshot(dir);
+    save_s += seconds_since(t0);
+    if (!saved.is_ok()) {
+      std::fprintf(stderr, "round %" PRIu64 ": save failed: %s\n", round,
+                   saved.status().to_string().c_str());
+      return false;
+    }
+    moved_bytes += saved.value().bytes;
+    result.snapshot_bytes = saved.value().bytes;
+
+    // Kill: the process dies here.  Everything volatile — queue, cache,
+    // write-back buffer, the device object itself — is gone.
+    dev.reset();
+
+    t0 = Clock::now();
+    dev = std::make_unique<dev::StashDevice>(soak_config(opt), bench_key());
+    const auto loaded = dev->load_snapshot(dir);
+    const double this_load = seconds_since(t0);
+    load_s += this_load;
+    recovery_s += this_load;
+    if (!loaded.is_ok()) {
+      std::fprintf(stderr, "round %" PRIu64 ": reload failed: %s\n", round,
+                   loaded.to_string().c_str());
+      return false;
+    }
+    if (dev->state_checksum() != expected) {
+      std::fprintf(stderr,
+                   "round %" PRIu64 ": checksum mismatch after restart\n",
+                   round);
+      return false;
+    }
+    if (!verify_round(*dev, round, opt.seed)) {
+      std::fprintf(stderr, "round %" PRIu64 ": data verification failed\n",
+                   round);
+      return false;
+    }
+    ++result.rounds;
+    ++result.kill_restarts_survived;
+  }
+
+  const double mb = static_cast<double>(moved_bytes) / 1e6;
+  result.save_mbps = save_s > 0.0 ? mb / save_s : 0.0;
+  result.load_mbps = load_s > 0.0 ? mb / load_s : 0.0;
+  result.mean_recovery_ms = rounds ? recovery_s * 1e3 /
+                                         static_cast<double>(rounds)
+                                   : 0.0;
+  return true;
+}
+
+/// Rebuild the two-state fixture the crash sweeps run against: state A
+/// committed, then state B's workload applied (so a crashed save of B must
+/// recover to exactly A or B).  Returns the two checksums.
+struct TwoStates {
+  std::uint64_t sum_a = 0;
+  std::uint64_t sum_b = 0;
+};
+
+bool stage_two_states(const Options& opt, const std::string& dir,
+                      dev::StashDevice& dev, TwoStates& sums) {
+  if (!run_round(dev, 0, opt.seed)) return false;
+  sums.sum_a = dev.state_checksum();
+  if (!dev.save_snapshot(dir).is_ok()) return false;
+  if (!run_round(dev, 1, opt.seed)) return false;
+  sums.sum_b = dev.state_checksum();
+  return true;
+}
+
+/// Phase 2: crash a save at every file-op index; on each crash, restart
+/// and require a checksum-exact restore of one of the committed states.
+bool run_mid_save_sweep(const Options& opt, const std::string& base_dir,
+                        SoakResult& result) {
+  // Probe the op count of one save of state B over a committed state A.
+  std::uint64_t total_ops = 0;
+  {
+    const std::string dir = base_dir + "/probe";
+    std::filesystem::remove_all(dir);
+    dev::StashDevice dev(soak_config(opt), bench_key());
+    TwoStates sums;
+    if (!stage_two_states(opt, dir, dev, sums)) return false;
+    fault::FileFaultPlan probe;
+    if (!dev.save_snapshot(dir, &probe).is_ok()) return false;
+    total_ops = probe.ops_seen();
+    std::filesystem::remove_all(dir);
+  }
+  std::printf("mid-save sweep: %" PRIu64 " file ops per save\n", total_ops);
+
+  // Every op index gets a clean failure; every op index additionally gets
+  // torn-prefix variants (writes only; the plan degrades a torn schedule on
+  // fsync/rename to a clean failure, which is still a distinct crash).
+  const std::vector<std::size_t> torn_keeps =
+      opt.quick ? std::vector<std::size_t>{0, 4097}
+                : std::vector<std::size_t>{0, 1, 117, 4096, 65535};
+
+  for (std::uint64_t cut = 0; cut < total_ops; ++cut) {
+    for (std::size_t variant = 0; variant <= torn_keeps.size(); ++variant) {
+      const std::string dir = base_dir + "/cut";
+      std::filesystem::remove_all(dir);
+
+      auto dev = std::make_unique<dev::StashDevice>(soak_config(opt),
+                                                    bench_key());
+      TwoStates sums;
+      if (!stage_two_states(opt, dir, *dev, sums)) return false;
+
+      fault::FileFaultPlan plan;
+      if (variant == 0) {
+        plan.fail_at(cut);
+      } else {
+        plan.torn_write_at(cut, torn_keeps[variant - 1]);
+      }
+      if (dev->save_snapshot(dir, &plan).is_ok()) {
+        std::fprintf(stderr, "cut %" PRIu64 ": crashed save claimed OK\n",
+                     cut);
+        return false;
+      }
+      ++result.mid_save_crashes;
+
+      dev.reset();  // kill
+      dev = std::make_unique<dev::StashDevice>(soak_config(opt), bench_key());
+      const auto loaded = dev->load_snapshot(dir);
+      if (!loaded.is_ok()) {
+        std::fprintf(stderr, "cut %" PRIu64 " variant %zu: no state "
+                     "recoverable: %s\n",
+                     cut, variant, loaded.to_string().c_str());
+        return false;
+      }
+      const std::uint64_t restored = dev->state_checksum();
+      if (restored != sums.sum_a && restored != sums.sum_b) {
+        std::fprintf(stderr,
+                     "cut %" PRIu64 " variant %zu: restored a state matching "
+                     "neither commit\n",
+                     cut, variant);
+        ++result.corrupt_loads_accepted;
+        return false;
+      }
+      ++result.mid_save_survived;
+      std::filesystem::remove_all(dir);
+    }
+  }
+  return true;
+}
+
+/// Phase 3: post-hoc bit rot across the active generation; every flip must
+/// recover on the prior generation or report clean corruption.
+bool run_bit_rot_sweep(const Options& opt, const std::string& base_dir,
+                       std::uint64_t flips, SoakResult& result) {
+  const std::string dir = base_dir + "/rot";
+  std::filesystem::remove_all(dir);
+
+  dev::StashDevice dev(soak_config(opt), bench_key());
+  TwoStates sums;
+  if (!stage_two_states(opt, dir, dev, sums)) return false;
+  auto saved = dev.save_snapshot(dir);  // commit state B as the active gen
+  if (!saved.is_ok()) return false;
+
+  auto size = store::file_size(saved.value().path);
+  if (!size.is_ok()) return false;
+  const std::uint64_t bits = size.value() * 8;
+
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    // Spread flips across the whole file (header, payload, digests, footer)
+    // deterministically.
+    const std::uint64_t bit = (i * 2654435761ULL + 13) % bits;
+    if (!store::flip_bit(saved.value().path, bit).is_ok()) return false;
+
+    dev::StashDevice fresh(soak_config(opt), bench_key());
+    const auto loaded = fresh.load_snapshot(dir);
+    ++result.bit_flips;
+    if (loaded.is_ok()) {
+      const std::uint64_t restored = fresh.state_checksum();
+      if (restored != sums.sum_a && restored != sums.sum_b) {
+        std::fprintf(stderr,
+                     "flip %" PRIu64 ": load accepted corrupt state\n", i);
+        ++result.corrupt_loads_accepted;
+        return false;
+      }
+    } else if (loaded.code() != util::ErrorCode::kCorrupted) {
+      std::fprintf(stderr, "flip %" PRIu64 ": unexpected error %s\n", i,
+                   loaded.to_string().c_str());
+      return false;
+    }
+    ++result.bit_flips_survived;
+    // Heal the flip so each iteration tests exactly one rotten bit.
+    if (!store::flip_bit(saved.value().path, bit).is_ok()) return false;
+  }
+  std::filesystem::remove_all(dir);
+  return true;
+}
+
+std::string to_json(const SoakResult& r, double wall_s) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"bench\": \"soak_crash_restart\",\n"
+      << "  \"schema\": 1,\n"
+      << "  \"threads\": " << r.threads << ",\n"
+      << "  \"rounds\": " << r.rounds << ",\n"
+      << "  \"kill_restarts_survived\": " << r.kill_restarts_survived << ",\n"
+      << "  \"mid_save_crashes\": " << r.mid_save_crashes << ",\n"
+      << "  \"mid_save_survived\": " << r.mid_save_survived << ",\n"
+      << "  \"bit_flips\": " << r.bit_flips << ",\n"
+      << "  \"bit_flips_survived\": " << r.bit_flips_survived << ",\n"
+      << "  \"corrupt_loads_accepted\": " << r.corrupt_loads_accepted << ",\n"
+      << "  \"snapshot_bytes\": " << r.snapshot_bytes << ",\n"
+      << "  \"snapshot_save_mbps\": " << r.save_mbps << ",\n"
+      << "  \"snapshot_load_mbps\": " << r.load_mbps << ",\n"
+      << "  \"mean_recovery_ms\": " << r.mean_recovery_ms << ",\n"
+      << "  \"wall_s\": " << wall_s << "\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt = Options::parse(argc, argv);
+  std::string out_path = "BENCH_soak.json";
+  std::string base_dir = "./soak_crash_restart.tmp";
+  std::uint64_t rounds = opt.quick ? 6 : 24;
+  std::uint64_t flips = opt.quick ? 48 : 256;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      out_path = argv[i + 1];
+    } else if (!std::strcmp(argv[i], "--dir") && i + 1 < argc) {
+      base_dir = argv[i + 1];
+    } else if (!std::strcmp(argv[i], "--rounds") && i + 1 < argc) {
+      rounds = static_cast<std::uint64_t>(std::atoll(argv[i + 1]));
+    } else if (!std::strcmp(argv[i], "--flips") && i + 1 < argc) {
+      flips = static_cast<std::uint64_t>(std::atoll(argv[i + 1]));
+    }
+  }
+
+  print_header("Soak: kill-restart crash consistency",
+               "workload -> snapshot -> kill -> reload -> verify; "
+               "crash-mid-save and bit-rot sweeps.");
+  std::printf("rounds %" PRIu64 ", bit flips %" PRIu64 ", threads %u\n\n",
+              rounds, flips, opt.threads);
+
+  std::filesystem::remove_all(base_dir);
+  if (!store::ensure_dir(base_dir).is_ok()) {
+    std::fprintf(stderr, "cannot create %s\n", base_dir.c_str());
+    return 2;
+  }
+
+  SoakResult result;
+  result.threads = opt.threads;
+  const auto t0 = Clock::now();
+
+  bool ok = run_soak_phase(opt, base_dir + "/soak", rounds, result);
+  std::printf("phase 1  kill-restart rounds      %" PRIu64 "/%" PRIu64
+              "  %s\n",
+              result.kill_restarts_survived, rounds, ok ? "ok" : "FAILED");
+
+  if (ok) {
+    ok = run_mid_save_sweep(opt, base_dir, result);
+    std::printf("phase 2  crash-mid-save crashes   %" PRIu64
+                " survived %" PRIu64 "  %s\n",
+                result.mid_save_crashes, result.mid_save_survived,
+                ok ? "ok" : "FAILED");
+  }
+  if (ok) {
+    ok = run_bit_rot_sweep(opt, base_dir, flips, result);
+    std::printf("phase 3  bit flips                %" PRIu64
+                " survived %" PRIu64 "  %s\n",
+                result.bit_flips, result.bit_flips_survived,
+                ok ? "ok" : "FAILED");
+  }
+  const double wall_s = seconds_since(t0);
+
+  std::printf("\nsnapshot %-18s %" PRIu64 " bytes\n", "size",
+              result.snapshot_bytes);
+  std::printf("snapshot %-18s %10.2f MB/s\n", "save throughput",
+              result.save_mbps);
+  std::printf("snapshot %-18s %10.2f MB/s\n", "load throughput",
+              result.load_mbps);
+  std::printf("mean recovery latency       %10.3f ms\n",
+              result.mean_recovery_ms);
+  std::printf("corrupt loads accepted      %10" PRIu64 "  (must be 0)\n",
+              result.corrupt_loads_accepted);
+  std::printf("wall time                   %10.2f s\n", wall_s);
+
+  std::ofstream out(out_path);
+  out << to_json(result, wall_s);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  std::filesystem::remove_all(base_dir);
+  if (!ok || result.corrupt_loads_accepted != 0) {
+    std::printf("\nSOAK FAILED\n");
+    return 1;
+  }
+  std::printf("\nSOAK PASSED\n");
+  return 0;
+}

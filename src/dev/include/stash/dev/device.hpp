@@ -58,6 +58,7 @@
 #include "stash/par/chip_array.hpp"
 #include "stash/par/pool.hpp"
 #include "stash/stego/volume.hpp"
+#include "stash/store/snapshot.hpp"
 #include "stash/telemetry/metrics.hpp"
 #include "stash/trace/trace.hpp"
 #include "stash/util/batch.hpp"
@@ -179,6 +180,33 @@ class StashDevice {
     return lost_writes_;
   }
 
+  // ---- Persistence (stash::store) -----------------------------------------
+  /// Quiesce the queue, flush the write-back buffer, and atomically commit
+  /// the device's full persistent state — every chip's cells/epochs/ledger,
+  /// each FTL's maps, and each hidden volume's framing — as a new snapshot
+  /// generation under `dir`.  A crash at any syscall of the save (torn
+  /// write, failed fsync/rename; injectable via `injector`) leaves the
+  /// previous generation loadable.  Returns what was committed (path,
+  /// generation, commit_seq, byte size).
+  Result<store::SaveInfo> save_snapshot(
+      const std::string& dir, store::FileFaultInjector* injector = nullptr);
+  /// Restore the device from the newest loadable generation under `dir`.
+  /// Resolves anything still queued against the pre-restore state first,
+  /// then replaces chips/FTLs/hidden framing wholesale.  Volatile state is
+  /// rolled back with everything else: the read cache is invalidated and
+  /// the write-back buffer discarded (post-snapshot writes are undone by
+  /// the restore, so they are not counted as lost).  kNotFound when `dir`
+  /// holds no snapshot; kCorrupted when no generation validates; on a
+  /// config-mismatched snapshot, kInvalidArgument.  The device is
+  /// unchanged on any pre-apply failure.
+  Status load_snapshot(const std::string& dir);
+  /// FNV-1a digest of the canonical serialization of the device's full
+  /// persistent state (exactly what save_snapshot writes: chips + FTL maps
+  /// + hidden framing + lost-write ledger; the volatile queue/cache/buffer
+  /// are not state).  Bit-exact restore <=> equal checksums — the gate the
+  /// snapshot tests, the soak harness, and CI's determinism diff assert.
+  [[nodiscard]] std::uint64_t state_checksum() const;
+
   // ---- Introspection ------------------------------------------------------
   [[nodiscard]] DeviceStats stats_snapshot() const noexcept;
   /// Aggregate cost ledger across all chips (exact fixed-point totals).
@@ -233,6 +261,17 @@ class StashDevice {
   Status execute_gc();
   /// Flush body; requires the lock.
   Status flush_locked();
+
+  // ---- Persistence helpers (all called under mu_) -------------------------
+  /// Identity of the substrate a snapshot is only valid against: geometry,
+  /// chip count, seed, and the noise model (the per-cell RNG is keyed on
+  /// all of them, so restoring into a different one would silently break
+  /// the determinism contract).
+  [[nodiscard]] std::uint64_t snapshot_config_hash() const noexcept;
+  /// The device's persistent state as named snapshot chunks, in canonical
+  /// order (dev/meta, then per chip: meta, blocks ascending, ftl, stego).
+  [[nodiscard]] std::vector<store::Chunk> snapshot_chunks() const;
+  Status apply_snapshot(const store::SnapshotData& snap);
 
   // ---- Tracing helpers (all called under mu_) -----------------------------
   /// Simulated device clock: the summed per-chip cost-ledger time.  Exact

@@ -5,8 +5,11 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <utility>
+
+#include "stash/util/wire.hpp"
 
 namespace stash::dev {
 
@@ -850,6 +853,191 @@ Status StashDevice::power_cycle() {
   dev_telemetry().queue_depth.set(0.0);
   dev_telemetry().buffered_pages.set(0.0);
   dev_telemetry().acked_unflushed.set(0.0);
+  return Status::ok();
+}
+
+// ---- Persistence -----------------------------------------------------------
+
+namespace {
+
+/// Chunk names of the snapshot layout.  Versioned implicitly through the
+/// store header; renames are format changes.
+std::string chip_meta_name(std::uint32_t c) {
+  return "chip" + std::to_string(c) + "/meta";
+}
+std::string chip_block_prefix(std::uint32_t c) {
+  return "chip" + std::to_string(c) + "/block/";
+}
+std::string ftl_name(std::uint32_t c) { return "ftl" + std::to_string(c); }
+std::string stego_name(std::uint32_t c) { return "stego" + std::to_string(c); }
+
+}  // namespace
+
+std::uint64_t StashDevice::snapshot_config_hash() const noexcept {
+  std::vector<std::uint8_t> bytes;
+  util::ByteWriter w(bytes);
+  const nand::Geometry& geom = config_.geometry;
+  w.u32(geom.blocks);
+  w.u32(geom.pages_per_block);
+  w.u32(geom.cells_per_page);
+  w.u32(geom.pec_limit);
+  w.u8(geom.enforce_sequential_program ? 1 : 0);
+  w.u64(config_.seed);
+  w.u32(config_.chips);
+  w.u32(static_cast<std::uint32_t>(nand::NoiseModel::kVersion));
+  // NoiseModel is all doubles (no padding): its object representation is a
+  // well-defined function of the parameter values.
+  static_assert(std::is_trivially_copyable_v<nand::NoiseModel>);
+  static_assert(sizeof(nand::NoiseModel) % sizeof(double) == 0);
+  const auto* noise_bytes =
+      reinterpret_cast<const std::uint8_t*>(&config_.noise);
+  w.raw({noise_bytes, sizeof(nand::NoiseModel)});
+  return util::fnv1a(bytes);
+}
+
+std::vector<store::Chunk> StashDevice::snapshot_chunks() const {
+  std::vector<store::Chunk> chunks;
+  {
+    store::Chunk meta;
+    meta.name = "dev/meta";
+    util::ByteWriter w(meta.bytes);
+    w.u32(static_cast<std::uint32_t>(volumes_.size()));
+    w.u64(logical_pages());
+    w.u64(lost_writes_.size());
+    for (const std::uint64_t lpn : lost_writes_) w.u64(lpn);
+    chunks.push_back(std::move(meta));
+  }
+  for (std::uint32_t c = 0; c < volumes_.size(); ++c) {
+    const nand::FlashChip& chip = array_.chip(c);
+    store::Chunk meta;
+    meta.name = chip_meta_name(c);
+    chip.serialize_meta(meta.bytes);
+    chunks.push_back(std::move(meta));
+    for (std::uint32_t b = 0; b < chip.geometry().blocks; ++b) {
+      if (!chip.block_allocated(b)) continue;
+      store::Chunk blk;
+      blk.name = chip_block_prefix(c) + std::to_string(b);
+      // Serialization only fails for bad/unallocated addresses, both
+      // excluded above.
+      (void)chip.serialize_block(b, blk.bytes);
+      chunks.push_back(std::move(blk));
+    }
+    store::Chunk ftl;
+    ftl.name = ftl_name(c);
+    volumes_[c]->ftl().serialize_state(ftl.bytes);
+    chunks.push_back(std::move(ftl));
+    store::Chunk stego;
+    stego.name = stego_name(c);
+    volumes_[c]->serialize_state(stego.bytes);
+    chunks.push_back(std::move(stego));
+  }
+  return chunks;
+}
+
+std::uint64_t StashDevice::state_checksum() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const store::Chunk& chunk : snapshot_chunks()) {
+    h = util::fnv1a({reinterpret_cast<const std::uint8_t*>(chunk.name.data()),
+                     chunk.name.size()},
+                    h);
+    h = util::fnv1a(chunk.bytes, h);
+  }
+  return h;
+}
+
+Result<store::SaveInfo> StashDevice::save_snapshot(
+    const std::string& dir, store::FileFaultInjector* injector) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Quiesce: everything queued executes (against the state being saved),
+  // and every acknowledged write becomes durable in flash before the chips
+  // are serialized — a restored snapshot owes nothing to volatile state.
+  dispatch(lock);
+  STASH_RETURN_IF_ERROR(flush_locked());
+  store::SnapshotStore snapshots(dir);
+  return snapshots.save(snapshot_config_hash(), snapshot_chunks(), injector);
+}
+
+Status StashDevice::load_snapshot(const std::string& dir) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Resolve anything still queued against the pre-restore state; futures
+  // must never dangle across a wholesale state replacement.
+  dispatch(lock);
+  const store::SnapshotStore snapshots(dir);
+  auto loaded = snapshots.load_latest();
+  if (!loaded.is_ok()) return loaded.status();
+  return apply_snapshot(loaded.value());
+}
+
+Status StashDevice::apply_snapshot(const store::SnapshotData& snap) {
+  if (snap.config_hash != snapshot_config_hash()) {
+    return {ErrorCode::kInvalidArgument,
+            "snapshot was written by a different device configuration"};
+  }
+  const std::vector<std::uint8_t>* meta = snap.find("dev/meta");
+  if (!meta) return {ErrorCode::kCorrupted, "snapshot lacks dev/meta"};
+  util::ByteReader r({meta->data(), meta->size()});
+  std::uint32_t chip_count = 0;
+  std::uint64_t logical = 0;
+  std::uint64_t lost_count = 0;
+  STASH_RETURN_IF_ERROR(r.u32(chip_count));
+  STASH_RETURN_IF_ERROR(r.u64(logical));
+  STASH_RETURN_IF_ERROR(r.u64(lost_count));
+  if (chip_count != volumes_.size() || logical != logical_pages()) {
+    return {ErrorCode::kCorrupted, "snapshot shape mismatch"};
+  }
+  if (lost_count > logical) {
+    return {ErrorCode::kCorrupted, "lost-write ledger implausibly long"};
+  }
+  std::vector<std::uint64_t> lost(lost_count);
+  for (auto& lpn : lost) STASH_RETURN_IF_ERROR(r.u64(lpn));
+  STASH_RETURN_IF_ERROR(r.expect_exhausted());
+  // Every per-chip record must be present before any state is replaced.
+  for (std::uint32_t c = 0; c < volumes_.size(); ++c) {
+    if (!snap.find(chip_meta_name(c)) || !snap.find(ftl_name(c)) ||
+        !snap.find(stego_name(c))) {
+      return {ErrorCode::kCorrupted, "snapshot lacks per-chip records"};
+    }
+  }
+
+  for (std::uint32_t c = 0; c < volumes_.size(); ++c) {
+    nand::FlashChip& chip = array_.chip(c);
+    chip.drop_all_blocks();
+    const std::vector<std::uint8_t>* chip_meta = snap.find(chip_meta_name(c));
+    STASH_RETURN_IF_ERROR(
+        chip.deserialize_meta({chip_meta->data(), chip_meta->size()}));
+    const std::string prefix = chip_block_prefix(c);
+    for (const store::Chunk& chunk : snap.chunks) {
+      if (chunk.name.compare(0, prefix.size(), prefix) != 0) continue;
+      std::uint32_t block = 0;
+      try {
+        block = static_cast<std::uint32_t>(
+            std::stoul(chunk.name.substr(prefix.size())));
+      } catch (const std::exception&) {
+        return {ErrorCode::kCorrupted, "bad block chunk name: " + chunk.name};
+      }
+      STASH_RETURN_IF_ERROR(chip.deserialize_block(
+          block, {chunk.bytes.data(), chunk.bytes.size()}));
+    }
+    const std::vector<std::uint8_t>* ftl = snap.find(ftl_name(c));
+    STASH_RETURN_IF_ERROR(
+        volumes_[c]->ftl().deserialize_state({ftl->data(), ftl->size()}));
+    const std::vector<std::uint8_t>* stego = snap.find(stego_name(c));
+    STASH_RETURN_IF_ERROR(
+        volumes_[c]->deserialize_state({stego->data(), stego->size()}));
+  }
+  lost_writes_ = std::move(lost);
+
+  // Roll volatile state back with everything else: a stale cached page or
+  // a buffered post-snapshot write must not survive the restore.  The
+  // dropped buffer entries are *undone*, not lost — the restore rewinds
+  // the acknowledged history itself — so they are not added to
+  // lost_writes().
+  cache_.clear();
+  (void)buffer_.drop_all();
+  auto& tel = dev_telemetry();
+  tel.buffered_pages.set(0.0);
+  tel.acked_unflushed.set(0.0);
   return Status::ok();
 }
 

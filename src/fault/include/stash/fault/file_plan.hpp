@@ -1,0 +1,90 @@
+#pragma once
+// FileFaultPlan — the file-I/O fault domain of stash::fault.
+//
+// Mirrors FaultPlan's by-op-index discipline for the syscalls the snapshot
+// store issues (store::FileOp: write / fsync / rename).  Indices are global
+// across all file ops in issue order, so a schedule replays exactly against
+// the same save: "tear the 3rd write after 117 bytes", "fail the fsync at
+// index 7", "fail the commit rename".  Once any scheduled fault fires the
+// plan goes dark — every subsequent file op fails with the same crash the
+// way a dead process stops issuing syscalls — until restore() simulates the
+// next incarnation.  That makes one plan usable for exactly one simulated
+// crash, which is how the soak harness sweeps crash-mid-save over every
+// write index of a save.
+//
+// Pure scheduling, no randomness: the interesting space (every syscall
+// index x a few torn lengths) is small enough to sweep exhaustively, which
+// is stronger than sampling it.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "stash/store/file_io.hpp"
+
+namespace stash::fault {
+
+/// One file fault that actually fired, in firing order.
+struct FiredFileFault {
+  std::uint64_t op_index = 0;
+  store::FileOp op = store::FileOp::kWrite;
+  std::string path;
+  bool torn = false;
+  std::size_t keep_bytes = 0;
+
+  bool operator==(const FiredFileFault&) const = default;
+};
+
+struct FileFaultStats {
+  std::uint64_t ops_seen = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t renames = 0;
+  std::uint64_t faults_fired = 0;
+  /// Ops rejected because the plan was already dark (crashed process).
+  std::uint64_t dark_ops = 0;
+};
+
+class FileFaultPlan final : public store::FileFaultInjector {
+ public:
+  FileFaultPlan() = default;
+
+  // ---- Schedule (by global file-op index) --------------------------------
+  /// The op at `op_index` (if it is a write) persists only its first
+  /// `keep_bytes` bytes, then the plan goes dark.
+  FileFaultPlan& torn_write_at(std::uint64_t op_index, std::size_t keep_bytes);
+  /// The op at `op_index` fails outright (nothing persisted), then dark.
+  FileFaultPlan& fail_at(std::uint64_t op_index);
+
+  /// Reboot: the next incarnation's syscalls execute normally again.
+  /// The audit log and op counter survive (they describe history).
+  void restore() noexcept { dark_ = false; }
+  [[nodiscard]] bool dark() const noexcept { return dark_; }
+
+  // ---- Introspection ------------------------------------------------------
+  [[nodiscard]] std::uint64_t ops_seen() const noexcept {
+    return stats_.ops_seen;
+  }
+  [[nodiscard]] const FileFaultStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::vector<FiredFileFault>& fired() const noexcept {
+    return fired_;
+  }
+
+  // ---- store::FileFaultInjector ------------------------------------------
+  store::FileFaultDecision on_file_op(store::FileOp op,
+                                      const std::string& path) override;
+
+ private:
+  struct Scheduled {
+    bool torn = false;
+    std::size_t keep_bytes = 0;
+  };
+
+  std::unordered_map<std::uint64_t, Scheduled> schedule_;
+  std::vector<FiredFileFault> fired_;
+  FileFaultStats stats_;
+  bool dark_ = false;
+};
+
+}  // namespace stash::fault

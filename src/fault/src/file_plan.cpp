@@ -1,0 +1,50 @@
+#include "stash/fault/file_plan.hpp"
+
+namespace stash::fault {
+
+FileFaultPlan& FileFaultPlan::torn_write_at(std::uint64_t op_index,
+                                            std::size_t keep_bytes) {
+  schedule_[op_index] = Scheduled{true, keep_bytes};
+  return *this;
+}
+
+FileFaultPlan& FileFaultPlan::fail_at(std::uint64_t op_index) {
+  schedule_[op_index] = Scheduled{false, 0};
+  return *this;
+}
+
+store::FileFaultDecision FileFaultPlan::on_file_op(store::FileOp op,
+                                                   const std::string& path) {
+  const std::uint64_t index = stats_.ops_seen++;
+  switch (op) {
+    case store::FileOp::kWrite: ++stats_.writes; break;
+    case store::FileOp::kFsync: ++stats_.fsyncs; break;
+    case store::FileOp::kRename: ++stats_.renames; break;
+  }
+  if (dark_) {
+    ++stats_.dark_ops;
+    store::FileFaultDecision d;
+    d.fail = true;
+    return d;
+  }
+  const auto it = schedule_.find(index);
+  if (it == schedule_.end()) return store::FileFaultDecision::none();
+  dark_ = true;  // the process died at this syscall
+  ++stats_.faults_fired;
+  FiredFileFault f;
+  f.op_index = index;
+  f.op = op;
+  f.path = path;
+  // A torn schedule on a non-write op degrades to a plain failure: fsync
+  // and rename have no byte-prefix semantics.
+  f.torn = it->second.torn && op == store::FileOp::kWrite;
+  f.keep_bytes = f.torn ? it->second.keep_bytes : 0;
+  fired_.push_back(f);
+  store::FileFaultDecision d;
+  d.fail = !f.torn;
+  d.torn = f.torn;
+  d.keep_bytes = f.keep_bytes;
+  return d;
+}
+
+}  // namespace stash::fault

@@ -147,6 +147,19 @@ class PageMappedFtl {
   /// Force a garbage-collection pass (also runs automatically on demand).
   Status run_gc();
 
+  // ---- Persistence (stash::store) ----------------------------------------
+  /// Canonical serialization of the full mapping state: l2p/p2l tables,
+  /// per-block valid counts, the free list *in order* (future allocations
+  /// pop from its back, so order is part of the determinism contract),
+  /// grown-bad set, per-block program-failure charges, and the active
+  /// write point.  Telemetry counters are observability, not state, and
+  /// are not captured.
+  void serialize_state(std::vector<std::uint8_t>& out) const;
+  /// Replace the mapping state from a serialize_state record.  kCorrupted
+  /// on malformed or geometry-mismatched input; the FTL is unchanged on
+  /// failure.
+  Status deserialize_state(std::span<const std::uint8_t> bytes);
+
  private:
   static constexpr std::uint64_t kUnmapped = ~0ULL;
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "stash/trace/trace.hpp"
+#include "stash/util/wire.hpp"
 
 namespace stash::ftl {
 
@@ -320,6 +321,11 @@ std::uint32_t PageMappedFtl::pick_gc_victim() const {
       // Fully invalid (or never-used but not in free list): ideal victim.
       return b;
     }
+    // A fully-valid block reclaims nothing: erasing it costs one PEC and
+    // pages_per_block relocation writes for zero net free pages.  Churning
+    // such victims when the free pool runs low burns endurance and can
+    // wedge the drain mid-relocation; they are never worth collecting.
+    if (valid_count_[b] >= geom.pages_per_block) continue;
     if (valid_count_[b] < best_valid) {
       best_valid = valid_count_[b];
       best = b;
@@ -346,9 +352,21 @@ Status PageMappedFtl::relocate_block(std::uint32_t victim) {
 
 Status PageMappedFtl::run_gc() {
   if (gc_active_) return Status::ok();
+  const auto& geom = chip_->geometry();
   const std::uint32_t victim = pick_gc_victim();
-  if (victim >= chip_->geometry().blocks) {
+  if (victim >= geom.blocks) {
     return {ErrorCode::kNoSpace, "no GC victim available"};
+  }
+  // Liveness guard: draining the victim allocates one page per valid page
+  // it still holds.  If that does not provably fit in the current slack
+  // (free blocks plus the active block's remaining pages), the drain would
+  // fail mid-relocation and wedge the allocator — refuse instead and let
+  // the caller surface an honest kNoSpace.
+  const std::uint64_t slack =
+      static_cast<std::uint64_t>(free_.size()) * geom.pages_per_block +
+      (active_block_ ? geom.pages_per_block - active_next_page_ : 0);
+  if (slack < valid_count_[victim]) {
+    return {ErrorCode::kNoSpace, "insufficient slack to relocate GC victim"};
   }
   counters_.gc_runs.inc();
   ftl_telemetry().gc_runs.inc();
@@ -389,6 +407,102 @@ Status PageMappedFtl::maybe_wear_level() {
   const Status status = relocate_block(coldest);
   gc_active_ = false;
   return status;
+}
+
+// ---- Persistence -----------------------------------------------------------
+
+void PageMappedFtl::serialize_state(std::vector<std::uint8_t>& out) const {
+  util::ByteWriter w(out);
+  w.u64(logical_pages_);
+  for (const std::uint64_t p : l2p_) w.u64(p);
+  for (const std::uint64_t l : p2l_) w.u64(l);
+  for (const std::uint32_t c : valid_count_) w.u32(c);
+  w.u64(free_.size());
+  for (const std::uint32_t b : free_) w.u32(b);
+  for (const bool b : bad_) w.u8(b ? 1 : 0);
+  for (const std::uint32_t f : block_program_fails_) w.u32(f);
+  w.u8(active_block_ ? 1 : 0);
+  w.u32(active_block_.value_or(0));
+  w.u32(active_next_page_);
+}
+
+Status PageMappedFtl::deserialize_state(std::span<const std::uint8_t> bytes) {
+  using util::ErrorCode;
+  const auto& geom = chip_->geometry();
+  const std::uint64_t phys_pages =
+      static_cast<std::uint64_t>(geom.blocks) * geom.pages_per_block;
+
+  util::ByteReader r(bytes);
+  std::uint64_t logical = 0;
+  STASH_RETURN_IF_ERROR(r.u64(logical));
+  if (logical != logical_pages_) {
+    return {ErrorCode::kCorrupted, "ftl logical-page count mismatch"};
+  }
+  std::vector<std::uint64_t> l2p(logical_pages_);
+  for (auto& p : l2p) {
+    STASH_RETURN_IF_ERROR(r.u64(p));
+    if (p != kUnmapped && p >= phys_pages) {
+      return {ErrorCode::kCorrupted, "l2p entry beyond physical space"};
+    }
+  }
+  std::vector<std::uint64_t> p2l(phys_pages);
+  for (auto& l : p2l) {
+    STASH_RETURN_IF_ERROR(r.u64(l));
+    if (l != kUnmapped && l >= logical_pages_) {
+      return {ErrorCode::kCorrupted, "p2l entry beyond logical space"};
+    }
+  }
+  std::vector<std::uint32_t> valid(geom.blocks);
+  for (auto& c : valid) {
+    STASH_RETURN_IF_ERROR(r.u32(c));
+    if (c > geom.pages_per_block) {
+      return {ErrorCode::kCorrupted, "valid count beyond block size"};
+    }
+  }
+  std::uint64_t free_count = 0;
+  STASH_RETURN_IF_ERROR(r.u64(free_count));
+  if (free_count > geom.blocks) {
+    return {ErrorCode::kCorrupted, "free list longer than device"};
+  }
+  std::vector<std::uint32_t> free(free_count);
+  for (auto& b : free) {
+    STASH_RETURN_IF_ERROR(r.u32(b));
+    if (b >= geom.blocks) {
+      return {ErrorCode::kCorrupted, "free list entry beyond device"};
+    }
+  }
+  std::vector<bool> bad(geom.blocks);
+  for (std::uint32_t b = 0; b < geom.blocks; ++b) {
+    std::uint8_t v = 0;
+    STASH_RETURN_IF_ERROR(r.u8(v));
+    if (v > 1) return {ErrorCode::kCorrupted, "invalid grown-bad flag"};
+    bad[b] = v != 0;
+  }
+  std::vector<std::uint32_t> fails(geom.blocks);
+  for (auto& f : fails) STASH_RETURN_IF_ERROR(r.u32(f));
+  std::uint8_t has_active = 0;
+  std::uint32_t active_block = 0;
+  std::uint32_t active_next = 0;
+  STASH_RETURN_IF_ERROR(r.u8(has_active));
+  STASH_RETURN_IF_ERROR(r.u32(active_block));
+  STASH_RETURN_IF_ERROR(r.u32(active_next));
+  if (has_active > 1 || (has_active && active_block >= geom.blocks) ||
+      active_next > geom.pages_per_block) {
+    return {ErrorCode::kCorrupted, "invalid active write point"};
+  }
+  STASH_RETURN_IF_ERROR(r.expect_exhausted());
+
+  l2p_ = std::move(l2p);
+  p2l_ = std::move(p2l);
+  valid_count_ = std::move(valid);
+  free_ = std::move(free);
+  bad_ = std::move(bad);
+  block_program_fails_ = std::move(fails);
+  active_block_ = has_active ? std::optional<std::uint32_t>(active_block)
+                             : std::nullopt;
+  active_next_page_ = active_next;
+  gc_active_ = false;
+  return Status::ok();
 }
 
 }  // namespace stash::ftl

@@ -198,6 +198,38 @@ class FlashChip {
   /// afterwards).  Lets experiments stream over many blocks without
   /// holding them all in memory.
   void drop_block(std::uint32_t block);
+  /// Release every allocated block (snapshot restore starts from a clean
+  /// slate before deserializing the saved blocks).
+  void drop_all_blocks();
+
+  // ---- Persistence (stash::store) ----------------------------------------
+  //
+  // Full-state round trip: serialize_meta + serialize_block over every
+  // allocated block captures everything a restore needs to reproduce the
+  // chip bit-exactly — per-cell voltages, page states, age, sparse stress,
+  // per-block RNG epochs, PEC, program cursor, and the cost ledger.  The
+  // encoding is canonical (util::wire little-endian; the sparse stress map
+  // emitted in key order), so identical logical state always serializes to
+  // identical bytes and state_digest() is a meaningful equality gate.
+
+  /// True when `block` has been lazily materialized (has state to save).
+  [[nodiscard]] bool block_allocated(std::uint32_t block) const;
+  /// Append the canonical serialization of one allocated block.
+  /// kOutOfBounds for a bad address, kNotFound for an unallocated block.
+  Status serialize_block(std::uint32_t block,
+                         std::vector<std::uint8_t>& out) const;
+  /// Replace `block`'s state from a serialize_block record (allocating it
+  /// if needed).  kCorrupted on any malformed or geometry-mismatched input;
+  /// the block is untouched on failure.
+  Status deserialize_block(std::uint32_t block,
+                           std::span<const std::uint8_t> bytes);
+  /// Chip state outside the blocks: the fixed-point cost ledger.
+  void serialize_meta(std::vector<std::uint8_t>& out) const;
+  Status deserialize_meta(std::span<const std::uint8_t> bytes);
+  /// FNV-1a digest over the canonical serialization of the meta record and
+  /// every allocated block (in block order).  Bit-exact restore <=> equal
+  /// digests; the snapshot tests and the soak harness gate on this.
+  [[nodiscard]] std::uint64_t state_digest() const;
 
  private:
   struct Block {

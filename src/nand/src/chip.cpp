@@ -9,6 +9,7 @@
 #include "stash/kernels/kernels.hpp"
 #include "stash/telemetry/metrics.hpp"
 #include "stash/trace/trace.hpp"
+#include "stash/util/wire.hpp"
 
 namespace stash::nand {
 namespace {
@@ -787,6 +788,139 @@ void FlashChip::drop_block(std::uint32_t block) {
     const std::lock_guard<std::mutex> lock(block_lock(block));
     blocks_[block].reset();
   }
+}
+
+void FlashChip::drop_all_blocks() {
+  for (std::uint32_t b = 0; b < blocks_.size(); ++b) drop_block(b);
+}
+
+// ---- Persistence -----------------------------------------------------------
+
+bool FlashChip::block_allocated(std::uint32_t block) const {
+  return peek(block) != nullptr;
+}
+
+Status FlashChip::serialize_block(std::uint32_t block,
+                                  std::vector<std::uint8_t>& out) const {
+  STASH_RETURN_IF_ERROR(check_addr(block, 0));
+  const std::lock_guard<std::mutex> lock(block_lock(block));
+  const Block* blk = peek(block);
+  if (!blk) return {ErrorCode::kNotFound, "block not allocated"};
+
+  util::ByteWriter w(out);
+  w.u32(blk->pec);
+  w.u32(blk->next_program_page);
+  w.u64(blk->epoch);
+  for (const PageState s : blk->state) w.u8(static_cast<std::uint8_t>(s));
+  for (const float a : blk->age_hours) w.f32(a);
+  for (const float v : blk->v) w.f32(v);
+  // The stress map is unordered in memory; emit it sorted by cell key so
+  // the byte image is canonical (the threads-8 == threads-1 snapshot gate
+  // depends on this).
+  std::vector<std::pair<std::uint64_t, float>> stress(blk->stress.begin(),
+                                                      blk->stress.end());
+  std::sort(stress.begin(), stress.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.u64(stress.size());
+  for (const auto& [key, value] : stress) {
+    w.u64(key);
+    w.f32(value);
+  }
+  return Status::ok();
+}
+
+Status FlashChip::deserialize_block(std::uint32_t block,
+                                    std::span<const std::uint8_t> bytes) {
+  STASH_RETURN_IF_ERROR(check_addr(block, 0));
+  const std::size_t pages = geom_.pages_per_block;
+  const std::size_t cells =
+      static_cast<std::size_t>(pages) * geom_.cells_per_page;
+
+  util::ByteReader r(bytes);
+  auto fresh = std::make_unique<Block>();
+  STASH_RETURN_IF_ERROR(r.u32(fresh->pec));
+  STASH_RETURN_IF_ERROR(r.u32(fresh->next_program_page));
+  STASH_RETURN_IF_ERROR(r.u64(fresh->epoch));
+  if (fresh->next_program_page > pages) {
+    return {ErrorCode::kCorrupted, "program cursor beyond block"};
+  }
+  fresh->state.resize(pages);
+  for (std::size_t p = 0; p < pages; ++p) {
+    std::uint8_t s = 0;
+    STASH_RETURN_IF_ERROR(r.u8(s));
+    if (s > static_cast<std::uint8_t>(PageState::kProgrammed)) {
+      return {ErrorCode::kCorrupted, "invalid page state"};
+    }
+    fresh->state[p] = static_cast<PageState>(s);
+  }
+  fresh->age_hours.resize(pages);
+  for (std::size_t p = 0; p < pages; ++p) {
+    STASH_RETURN_IF_ERROR(r.f32(fresh->age_hours[p]));
+  }
+  fresh->v.resize(cells);
+  for (std::size_t c = 0; c < cells; ++c) {
+    STASH_RETURN_IF_ERROR(r.f32(fresh->v[c]));
+  }
+  std::uint64_t stress_count = 0;
+  STASH_RETURN_IF_ERROR(r.u64(stress_count));
+  if (stress_count > cells) {
+    return {ErrorCode::kCorrupted, "stress entries exceed cell count"};
+  }
+  std::uint64_t prev_key = 0;
+  for (std::uint64_t i = 0; i < stress_count; ++i) {
+    std::uint64_t key = 0;
+    float value = 0.0f;
+    STASH_RETURN_IF_ERROR(r.u64(key));
+    STASH_RETURN_IF_ERROR(r.f32(value));
+    if (key >= cells || (i > 0 && key <= prev_key)) {
+      return {ErrorCode::kCorrupted, "stress keys out of order or range"};
+    }
+    prev_key = key;
+    fresh->stress.emplace(key, value);
+  }
+  STASH_RETURN_IF_ERROR(r.expect_exhausted());
+
+  const std::lock_guard<std::mutex> lock(block_lock(block));
+  blocks_[block] = std::move(fresh);
+  return Status::ok();
+}
+
+void FlashChip::serialize_meta(std::vector<std::uint8_t>& out) const {
+  util::ByteWriter w(out);
+  w.u64(ledger_->time_ns.load(std::memory_order_relaxed));
+  w.u64(ledger_->energy_nj.load(std::memory_order_relaxed));
+  w.u64(ledger_->reads.load(std::memory_order_relaxed));
+  w.u64(ledger_->programs.load(std::memory_order_relaxed));
+  w.u64(ledger_->erases.load(std::memory_order_relaxed));
+  w.u64(ledger_->partial_programs.load(std::memory_order_relaxed));
+}
+
+Status FlashChip::deserialize_meta(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  std::uint64_t v[6] = {};
+  for (auto& field : v) STASH_RETURN_IF_ERROR(r.u64(field));
+  STASH_RETURN_IF_ERROR(r.expect_exhausted());
+  ledger_->time_ns.store(v[0], std::memory_order_relaxed);
+  ledger_->energy_nj.store(v[1], std::memory_order_relaxed);
+  ledger_->reads.store(v[2], std::memory_order_relaxed);
+  ledger_->programs.store(v[3], std::memory_order_relaxed);
+  ledger_->erases.store(v[4], std::memory_order_relaxed);
+  ledger_->partial_programs.store(v[5], std::memory_order_relaxed);
+  return Status::ok();
+}
+
+std::uint64_t FlashChip::state_digest() const {
+  std::vector<std::uint8_t> scratch;
+  serialize_meta(scratch);
+  std::uint64_t h = util::fnv1a(scratch);
+  for (std::uint32_t b = 0; b < blocks_.size(); ++b) {
+    if (!block_allocated(b)) continue;
+    scratch.clear();
+    util::ByteWriter(scratch).u32(b);
+    (void)serialize_block(b, scratch);
+    h = util::fnv1a(scratch, h);
+  }
+  return h;
 }
 
 }  // namespace stash::nand

@@ -35,6 +35,9 @@ struct StegoStats {
   std::uint64_t rescues = 0;      // hidden chunks lifted out of GC victims
   std::uint64_t reembeds = 0;     // chunks re-embedded into new blocks
   std::uint64_t lost_chunks = 0;  // chunks that could not be re-homed
+  /// Embeds whose read-back verification failed (worn carrier rejected);
+  /// the chunk was retried elsewhere or kept pending, never lost.
+  std::uint64_t failed_embeds = 0;
 };
 
 /// Aggregate configuration of one steganographic volume: the public FTL's
@@ -102,6 +105,16 @@ class StegoVolume {
     return hidden_blocks_;
   }
 
+  // ---- Persistence (stash::store) ----------------------------------------
+  /// Canonical serialization of the hidden-volume framing: the
+  /// hidden-block set, rescued chunks awaiting a new home, and the rescue
+  /// statistics.  The hidden *payload* itself lives in the chip voltages
+  /// (saved with the chip); this is the bookkeeping that locates it.
+  void serialize_state(std::vector<std::uint8_t>& out) const;
+  /// Restore the framing from a serialize_state record.  kCorrupted on
+  /// malformed input; the volume is unchanged on failure.
+  Status deserialize_state(std::span<const std::uint8_t> bytes);
+
  private:
   struct Chunk {
     std::uint16_t index = 0;
@@ -121,6 +134,11 @@ class StegoVolume {
   [[nodiscard]] bool block_fully_programmed(std::uint32_t block) const;
 
   void on_relocation(nand::PageAddr from);
+
+  /// Embed `chunk` into `block` and read it back through the full reveal
+  /// path.  Only a verified embedding claims the block; a failed one marks
+  /// the carrier bad for this chunk and the caller tries elsewhere.
+  bool embed_verified(std::uint32_t block, const Chunk& chunk);
 
   nand::FlashChip* chip_;
   ftl::PageMappedFtl ftl_;

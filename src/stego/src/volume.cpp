@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "stash/telemetry/metrics.hpp"
+#include "stash/util/wire.hpp"
 
 namespace stash::stego {
 
@@ -17,6 +18,7 @@ struct StegoTelemetry {
   telemetry::Counter& rescues = reg.counter("stego.rescues");
   telemetry::Counter& reembeds = reg.counter("stego.reembeds");
   telemetry::Counter& lost_chunks = reg.counter("stego.lost_chunks");
+  telemetry::Counter& failed_embeds = reg.counter("stego.failed_embeds");
 };
 
 StegoTelemetry& stego_telemetry() {
@@ -122,6 +124,7 @@ Status StegoVolume::store_hidden(std::span<const std::uint8_t> data) {
             "not enough public-data blocks to carry the hidden payload"};
   }
 
+  std::size_t next_target = 0;
   for (std::size_t i = 0; i < chunks; ++i) {
     Chunk chunk;
     chunk.index = static_cast<std::uint16_t>(i);
@@ -132,9 +135,17 @@ Status StegoVolume::store_hidden(std::span<const std::uint8_t> data) {
       chunk.data.assign(data.begin() + static_cast<long>(begin),
                         data.begin() + static_cast<long>(end));
     }
-    auto hidden = codec_.hide(targets[i], pack_chunk(chunk));
-    if (!hidden.is_ok()) return hidden.status();
-    hidden_blocks_.insert(targets[i]);
+    bool embedded = false;
+    while (next_target < targets.size()) {
+      if (embed_verified(targets[next_target++], chunk)) {
+        embedded = true;
+        break;
+      }
+    }
+    if (!embedded) {
+      return {ErrorCode::kNoSpace,
+              "no carrier block held a verified hidden embedding"};
+    }
   }
   return Status::ok();
 }
@@ -158,6 +169,10 @@ Result<std::vector<std::uint8_t>> StegoVolume::load_hidden() {
     }
   }
   hidden_blocks_.insert(discovered.begin(), discovered.end());
+  // Chunks rescued from a GC victim but not yet re-homed live in pending_;
+  // they are part of the volume and must survive a load (and a snapshot
+  // restore) taken before the next write re-embeds them.
+  for (const Chunk& chunk : pending_) found.push_back(chunk);
   if (found.empty()) {
     return Status{ErrorCode::kNotFound, "no hidden volume under this key"};
   }
@@ -211,21 +226,104 @@ void StegoVolume::on_relocation(nand::PageAddr from) {
   }
 }
 
+bool StegoVolume::embed_verified(std::uint32_t block, const Chunk& chunk) {
+  const auto packed = pack_chunk(chunk);
+  auto hidden = codec_.hide(block, packed);
+  // A worn carrier can absorb every partial-program step and still come
+  // back unreadable — and by the next GC pass the chunk would be gone for
+  // good.  Read the embedding back through the full reveal path before
+  // counting on it; an unverified carrier is simply skipped.
+  if (hidden.is_ok()) {
+    auto readback = codec_.reveal(block);
+    if (readback.is_ok() && readback.value() == packed) {
+      hidden_blocks_.insert(block);
+      return true;
+    }
+  }
+  ++stats_.failed_embeds;
+  stego_telemetry().failed_embeds.inc();
+  return false;
+}
+
 Status StegoVolume::reembed_pending() {
   if (pending_.empty()) return Status::ok();
   auto targets = eligible_blocks();
   std::size_t used = 0;
   while (!pending_.empty() && used < targets.size()) {
-    const Chunk& chunk = pending_.back();
-    auto hidden = codec_.hide(targets[used], pack_chunk(chunk));
-    if (hidden.is_ok()) {
-      hidden_blocks_.insert(targets[used]);
+    if (embed_verified(targets[used], pending_.back())) {
       pending_.pop_back();
       ++stats_.reembeds;
       stego_telemetry().reembeds.inc();
     }
     ++used;
   }
+  return Status::ok();
+}
+
+// ---- Persistence -----------------------------------------------------------
+
+void StegoVolume::serialize_state(std::vector<std::uint8_t>& out) const {
+  util::ByteWriter w(out);
+  // std::set iterates in key order: the emission is canonical for free.
+  w.u64(hidden_blocks_.size());
+  for (const std::uint32_t b : hidden_blocks_) w.u32(b);
+  w.u64(pending_.size());
+  for (const Chunk& chunk : pending_) {
+    w.u16(chunk.index);
+    w.u16(chunk.total);
+    w.blob(chunk.data);
+  }
+  w.u64(stats_.rescues);
+  w.u64(stats_.reembeds);
+  w.u64(stats_.lost_chunks);
+  w.u64(stats_.failed_embeds);
+}
+
+Status StegoVolume::deserialize_state(std::span<const std::uint8_t> bytes) {
+  using util::ErrorCode;
+  const std::uint32_t device_blocks = chip_->geometry().blocks;
+
+  util::ByteReader r(bytes);
+  std::uint64_t block_count = 0;
+  STASH_RETURN_IF_ERROR(r.u64(block_count));
+  if (block_count > device_blocks) {
+    return {ErrorCode::kCorrupted, "hidden-block set larger than device"};
+  }
+  std::set<std::uint32_t> blocks;
+  std::uint32_t prev = 0;
+  for (std::uint64_t i = 0; i < block_count; ++i) {
+    std::uint32_t b = 0;
+    STASH_RETURN_IF_ERROR(r.u32(b));
+    if (b >= device_blocks || (i > 0 && b <= prev)) {
+      return {ErrorCode::kCorrupted, "hidden blocks out of order or range"};
+    }
+    prev = b;
+    blocks.insert(blocks.end(), b);
+  }
+  std::uint64_t pending_count = 0;
+  STASH_RETURN_IF_ERROR(r.u64(pending_count));
+  if (pending_count > 0xFFFF) {
+    return {ErrorCode::kCorrupted, "pending chunk count implausible"};
+  }
+  std::vector<Chunk> pending(pending_count);
+  for (Chunk& chunk : pending) {
+    STASH_RETURN_IF_ERROR(r.u16(chunk.index));
+    STASH_RETURN_IF_ERROR(r.u16(chunk.total));
+    if (chunk.total == 0 || chunk.index >= chunk.total) {
+      return {ErrorCode::kCorrupted, "pending chunk header invalid"};
+    }
+    STASH_RETURN_IF_ERROR(r.blob(chunk.data));
+  }
+  StegoStats stats;
+  STASH_RETURN_IF_ERROR(r.u64(stats.rescues));
+  STASH_RETURN_IF_ERROR(r.u64(stats.reembeds));
+  STASH_RETURN_IF_ERROR(r.u64(stats.lost_chunks));
+  STASH_RETURN_IF_ERROR(r.u64(stats.failed_embeds));
+  STASH_RETURN_IF_ERROR(r.expect_exhausted());
+
+  hidden_blocks_ = std::move(blocks);
+  pending_ = std::move(pending);
+  stats_ = stats;
   return Status::ok();
 }
 

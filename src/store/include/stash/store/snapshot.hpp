@@ -1,0 +1,125 @@
+#pragma once
+// stash::store — a checksummed, chunked snapshot format with a
+// two-generation atomic-commit manifest (ROADMAP open item 2).
+//
+// Layout of a snapshot directory:
+//
+//   gen-0.stash / gen-1.stash   alternating full-state generations
+//   MANIFEST                    names the committed generation + sequence
+//
+// A generation file is [header][chunk]*[footer]:
+//
+//   header : magic "STSHSNP1" | version u32 | flags u32 | commit_seq u64 |
+//            config_hash u64 | sha256(header bytes)
+//   chunk  : "CHNK" | name (u64-len string) | payload (u64-len blob) |
+//            sha256(name || payload)
+//   footer : "FOOT" | chunk_count u64 | sha256(everything before footer)
+//
+// and the MANIFEST is a single self-checksummed record naming the active
+// generation.  Commit discipline (the nano-node LMDB-style single-writer
+// meta rotation): a save writes the *inactive* generation to a temp file,
+// fsyncs, renames into place, fsyncs the directory — and only then rotates
+// the manifest the same way.  A crash at any byte of this sequence leaves
+// the previous generation untouched and the manifest pointing at it, so
+// recovery is: validate the manifest's generation end to end (every chunk
+// checksum, the footer digest, exact EOF); on any mismatch report a clean
+// kCorrupted and fall back to the other generation.  Corrupt state is
+// never returned as data.
+//
+// The store knows nothing about chips or FTLs — it moves named byte chunks.
+// Domain layers (FlashChip, PageMappedFtl, StegoVolume) serialize
+// themselves with util::wire and StashDevice orchestrates which chunks make
+// up a device snapshot.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stash/store/file_io.hpp"
+#include "stash/util/status.hpp"
+
+namespace stash::store {
+
+using util::Result;
+using util::Status;
+
+struct Chunk {
+  std::string name;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// A fully validated generation: every chunk checksum, the footer digest
+/// and the exact file length checked before any byte is handed out.
+struct SnapshotData {
+  std::uint64_t commit_seq = 0;
+  std::uint64_t config_hash = 0;
+  std::uint32_t generation = 0;
+  std::vector<Chunk> chunks;  // file order
+
+  [[nodiscard]] const std::vector<std::uint8_t>* find(
+      const std::string& name) const noexcept {
+    for (const Chunk& c : chunks) {
+      if (c.name == name) return &c.bytes;
+    }
+    return nullptr;
+  }
+};
+
+struct SaveInfo {
+  std::string path;            // committed generation file
+  std::uint32_t generation = 0;
+  std::uint64_t commit_seq = 0;
+  std::uint64_t bytes = 0;     // size of the generation file
+};
+
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(std::string dir) : dir_(std::move(dir)) {}
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] std::string generation_path(std::uint32_t gen) const;
+  [[nodiscard]] std::string manifest_path() const;
+
+  /// Atomically commit a new generation holding `chunks`.  On any failure
+  /// (including injected faults) the previous generation and manifest are
+  /// untouched; the returned Status carries the failing syscall.
+  Result<SaveInfo> save(std::uint64_t config_hash,
+                        const std::vector<Chunk>& chunks,
+                        FileFaultInjector* injector = nullptr);
+
+  /// Load the newest loadable generation: the manifest's first, the other
+  /// as fallback.  kNotFound when the directory holds no snapshot at all;
+  /// kCorrupted when generations exist but none validates.
+  [[nodiscard]] Result<SnapshotData> load_latest() const;
+
+  /// Load (and fully validate) one specific generation.
+  [[nodiscard]] Result<SnapshotData> load_generation(std::uint32_t gen) const;
+
+  /// The generation the manifest currently commits to, if the manifest is
+  /// present and intact.
+  [[nodiscard]] std::optional<std::uint32_t> active_generation() const;
+
+ private:
+  struct Manifest {
+    std::uint32_t active_gen = 0;
+    std::uint64_t commit_seq = 0;
+  };
+
+  [[nodiscard]] Result<Manifest> read_manifest() const;
+  Status write_manifest(const Manifest& manifest, FileFaultInjector* injector);
+
+  std::string dir_;
+};
+
+/// Serialize `chunks` into the generation-file byte image (exposed for
+/// tests that want to corrupt precise offsets).
+[[nodiscard]] std::vector<std::uint8_t> encode_snapshot(
+    std::uint64_t commit_seq, std::uint64_t config_hash,
+    const std::vector<Chunk>& chunks);
+
+/// Parse + fully validate a generation-file byte image.
+[[nodiscard]] Result<SnapshotData> decode_snapshot(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace stash::store

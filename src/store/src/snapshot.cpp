@@ -1,0 +1,303 @@
+#include "stash/store/snapshot.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "stash/crypto/sha256.hpp"
+#include "stash/util/wire.hpp"
+
+namespace stash::store {
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::ErrorCode;
+
+namespace {
+
+constexpr std::array<std::uint8_t, 8> kFileMagic = {'S', 'T', 'S', 'H',
+                                                    'S', 'N', 'P', '1'};
+constexpr std::array<std::uint8_t, 8> kManifestMagic = {'S', 'T', 'S', 'H',
+                                                        'M', 'A', 'N', '1'};
+constexpr std::array<std::uint8_t, 4> kChunkMagic = {'C', 'H', 'N', 'K'};
+constexpr std::array<std::uint8_t, 4> kFooterMagic = {'F', 'O', 'O', 'T'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 8 + 8;  // before its digest
+constexpr std::size_t kDigestBytes = 32;
+/// One fault-injectable write syscall per slab: big chunks get torn-write
+/// truncation points *inside* them, not just at chunk boundaries.
+constexpr std::size_t kWriteSlab = 64 * 1024;
+
+Status corrupted(std::string what) {
+  return {ErrorCode::kCorrupted, std::move(what)};
+}
+
+crypto::Digest256 chunk_digest(const Chunk& chunk) {
+  crypto::Sha256 h;
+  h.update(chunk.name);
+  h.update(chunk.bytes);
+  return h.finish();
+}
+
+Status read_digest(ByteReader& r, crypto::Digest256& out) {
+  return r.raw(out);
+}
+
+/// Header-only probe: enough validation to trust commit_seq (the save path
+/// uses it to pick the next generation when the manifest is unreadable).
+Result<std::uint64_t> peek_commit_seq(const std::string& path) {
+  auto bytes = read_file(path);
+  if (!bytes.is_ok()) return bytes.status();
+  const auto& data = bytes.value();
+  if (data.size() < kHeaderBytes + kDigestBytes) {
+    return corrupted("snapshot shorter than its header");
+  }
+  ByteReader r({data.data(), data.size()});
+  std::array<std::uint8_t, 8> magic{};
+  STASH_RETURN_IF_ERROR(r.raw(magic));
+  if (magic != kFileMagic) return corrupted("bad snapshot magic");
+  std::uint32_t version = 0;
+  std::uint32_t flags = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t config_hash = 0;
+  STASH_RETURN_IF_ERROR(r.u32(version));
+  STASH_RETURN_IF_ERROR(r.u32(flags));
+  STASH_RETURN_IF_ERROR(r.u64(seq));
+  STASH_RETURN_IF_ERROR(r.u64(config_hash));
+  crypto::Digest256 stored{};
+  STASH_RETURN_IF_ERROR(read_digest(r, stored));
+  if (crypto::Sha256::hash({data.data(), kHeaderBytes}) != stored) {
+    return corrupted("snapshot header digest mismatch");
+  }
+  if (version != kVersion) return corrupted("unsupported snapshot version");
+  return seq;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_snapshot(std::uint64_t commit_seq,
+                                          std::uint64_t config_hash,
+                                          const std::vector<Chunk>& chunks) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.raw(kFileMagic);
+  w.u32(kVersion);
+  w.u32(0);  // flags
+  w.u64(commit_seq);
+  w.u64(config_hash);
+  w.raw(crypto::Sha256::hash({out.data(), out.size()}));
+  for (const Chunk& chunk : chunks) {
+    w.raw(kChunkMagic);
+    w.str(chunk.name);
+    w.blob(chunk.bytes);
+    w.raw(chunk_digest(chunk));
+  }
+  const std::size_t body_end = out.size();
+  w.raw(kFooterMagic);
+  w.u64(chunks.size());
+  w.raw(crypto::Sha256::hash({out.data(), body_end}));
+  return out;
+}
+
+Result<SnapshotData> decode_snapshot(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderBytes + kDigestBytes) {
+    return corrupted("snapshot shorter than its header");
+  }
+  ByteReader r(bytes);
+  std::array<std::uint8_t, 8> magic{};
+  STASH_RETURN_IF_ERROR(r.raw(magic));
+  if (magic != kFileMagic) return corrupted("bad snapshot magic");
+  SnapshotData snap;
+  std::uint32_t version = 0;
+  std::uint32_t flags = 0;
+  STASH_RETURN_IF_ERROR(r.u32(version));
+  STASH_RETURN_IF_ERROR(r.u32(flags));
+  STASH_RETURN_IF_ERROR(r.u64(snap.commit_seq));
+  STASH_RETURN_IF_ERROR(r.u64(snap.config_hash));
+  crypto::Digest256 stored{};
+  STASH_RETURN_IF_ERROR(read_digest(r, stored));
+  if (crypto::Sha256::hash({bytes.data(), kHeaderBytes}) != stored) {
+    return corrupted("snapshot header digest mismatch");
+  }
+  if (version != kVersion) return corrupted("unsupported snapshot version");
+  if (flags != 0) return corrupted("unsupported snapshot flags");
+
+  for (;;) {
+    std::array<std::uint8_t, 4> tag{};
+    STASH_RETURN_IF_ERROR(r.raw(tag));
+    if (tag == kFooterMagic) {
+      const std::size_t body_end = bytes.size() - r.remaining() - 4;
+      std::uint64_t count = 0;
+      STASH_RETURN_IF_ERROR(r.u64(count));
+      STASH_RETURN_IF_ERROR(read_digest(r, stored));
+      if (count != snap.chunks.size()) {
+        return corrupted("snapshot chunk count mismatch");
+      }
+      if (crypto::Sha256::hash({bytes.data(), body_end}) != stored) {
+        return corrupted("snapshot footer digest mismatch");
+      }
+      // Exact EOF: bytes appended past the footer are corruption too.
+      STASH_RETURN_IF_ERROR(r.expect_exhausted());
+      return snap;
+    }
+    if (tag != kChunkMagic) return corrupted("bad chunk magic");
+    Chunk chunk;
+    STASH_RETURN_IF_ERROR(r.str(chunk.name));
+    STASH_RETURN_IF_ERROR(r.blob(chunk.bytes));
+    STASH_RETURN_IF_ERROR(read_digest(r, stored));
+    if (chunk_digest(chunk) != stored) {
+      return corrupted("chunk digest mismatch: " + chunk.name);
+    }
+    snap.chunks.push_back(std::move(chunk));
+  }
+}
+
+std::string SnapshotStore::generation_path(std::uint32_t gen) const {
+  return dir_ + "/gen-" + std::to_string(gen) + ".stash";
+}
+
+std::string SnapshotStore::manifest_path() const { return dir_ + "/MANIFEST"; }
+
+Result<SnapshotStore::Manifest> SnapshotStore::read_manifest() const {
+  auto bytes = read_file(manifest_path());
+  if (!bytes.is_ok()) return bytes.status();
+  const auto& data = bytes.value();
+  ByteReader r({data.data(), data.size()});
+  std::array<std::uint8_t, 8> magic{};
+  STASH_RETURN_IF_ERROR(r.raw(magic));
+  if (magic != kManifestMagic) return corrupted("bad manifest magic");
+  std::uint32_t version = 0;
+  Manifest m;
+  STASH_RETURN_IF_ERROR(r.u32(version));
+  STASH_RETURN_IF_ERROR(r.u32(m.active_gen));
+  STASH_RETURN_IF_ERROR(r.u64(m.commit_seq));
+  crypto::Digest256 stored{};
+  STASH_RETURN_IF_ERROR(read_digest(r, stored));
+  const std::size_t payload = data.size() - kDigestBytes;
+  if (crypto::Sha256::hash({data.data(), payload}) != stored) {
+    return corrupted("manifest digest mismatch");
+  }
+  STASH_RETURN_IF_ERROR(r.expect_exhausted());
+  if (version != kVersion) return corrupted("unsupported manifest version");
+  if (m.active_gen > 1) return corrupted("manifest generation out of range");
+  return m;
+}
+
+Status SnapshotStore::write_manifest(const Manifest& manifest,
+                                     FileFaultInjector* injector) {
+  std::vector<std::uint8_t> bytes;
+  ByteWriter w(bytes);
+  w.raw(kManifestMagic);
+  w.u32(kVersion);
+  w.u32(manifest.active_gen);
+  w.u64(manifest.commit_seq);
+  w.raw(crypto::Sha256::hash({bytes.data(), bytes.size()}));
+
+  const std::string path = manifest_path();
+  const std::string tmp = path + ".tmp";
+  OutputFile f;
+  STASH_RETURN_IF_ERROR(f.open(tmp, injector));
+  STASH_RETURN_IF_ERROR(f.write(bytes));
+  STASH_RETURN_IF_ERROR(f.fsync());
+  f.close();
+  STASH_RETURN_IF_ERROR(faulty_rename(tmp, path, injector));
+  return fsync_parent_dir(path, injector);
+}
+
+std::optional<std::uint32_t> SnapshotStore::active_generation() const {
+  auto m = read_manifest();
+  if (!m.is_ok()) return std::nullopt;
+  return m.value().active_gen;
+}
+
+Result<SaveInfo> SnapshotStore::save(std::uint64_t config_hash,
+                                     const std::vector<Chunk>& chunks,
+                                     FileFaultInjector* injector) {
+  STASH_RETURN_IF_ERROR(ensure_dir(dir_));
+
+  // Pick the target generation: always the one the manifest does NOT
+  // commit to, so a crash anywhere below leaves the committed one intact.
+  std::uint32_t target = 0;
+  std::uint64_t seq = 1;
+  if (auto m = read_manifest(); m.is_ok()) {
+    target = 1 - m.value().active_gen;
+    seq = m.value().commit_seq + 1;
+  } else {
+    // No trustworthy manifest: derive the rotation from the generation
+    // headers themselves (a fresh directory, or one whose manifest was
+    // lost).  Overwrite the *older* generation.
+    std::uint64_t best_seq = 0;
+    std::uint32_t best_gen = 1;  // no snapshots -> target gen 0
+    for (std::uint32_t gen = 0; gen < 2; ++gen) {
+      if (auto probed = peek_commit_seq(generation_path(gen));
+          probed.is_ok() && probed.value() >= best_seq) {
+        best_seq = probed.value();
+        best_gen = gen;
+      }
+    }
+    target = 1 - best_gen;
+    seq = best_seq + 1;
+  }
+
+  const std::vector<std::uint8_t> image =
+      encode_snapshot(seq, config_hash, chunks);
+  const std::string path = generation_path(target);
+  const std::string tmp = path + ".tmp";
+  OutputFile f;
+  STASH_RETURN_IF_ERROR(f.open(tmp, injector));
+  for (std::size_t off = 0; off < image.size(); off += kWriteSlab) {
+    const std::size_t n = std::min(kWriteSlab, image.size() - off);
+    STASH_RETURN_IF_ERROR(f.write({image.data() + off, n}));
+  }
+  STASH_RETURN_IF_ERROR(f.fsync());
+  f.close();
+  STASH_RETURN_IF_ERROR(faulty_rename(tmp, path, injector));
+  STASH_RETURN_IF_ERROR(fsync_parent_dir(path, injector));
+
+  // The commit point: only a fully durable generation gets named active.
+  STASH_RETURN_IF_ERROR(write_manifest(Manifest{target, seq}, injector));
+  return SaveInfo{path, target, seq, image.size()};
+}
+
+Result<SnapshotData> SnapshotStore::load_generation(std::uint32_t gen) const {
+  auto bytes = read_file(generation_path(gen));
+  if (!bytes.is_ok()) return bytes.status();
+  auto snap = decode_snapshot(
+      {bytes.value().data(), bytes.value().size()});
+  if (!snap.is_ok()) return snap.status();
+  SnapshotData out = std::move(snap).take();
+  out.generation = gen;
+  return out;
+}
+
+Result<SnapshotData> SnapshotStore::load_latest() const {
+  if (!file_exists(generation_path(0)) && !file_exists(generation_path(1))) {
+    return Status{ErrorCode::kNotFound,
+                  "no snapshot generations in '" + dir_ + "'"};
+  }
+  // Candidate order: the manifest's committed generation, then the other.
+  // With no trustworthy manifest, whichever valid generation carries the
+  // higher commit_seq wins.
+  const Status none{ErrorCode::kCorrupted,
+                    "no loadable snapshot generation in '" + dir_ + "'"};
+  std::array<std::uint32_t, 2> order = {0, 1};
+  if (auto m = read_manifest(); m.is_ok()) {
+    order = {m.value().active_gen, 1 - m.value().active_gen};
+    for (const std::uint32_t gen : order) {
+      if (auto snap = load_generation(gen); snap.is_ok()) return snap;
+    }
+    return none;
+  }
+  Result<SnapshotData> best = none;
+  for (const std::uint32_t gen : order) {
+    if (auto snap = load_generation(gen); snap.is_ok()) {
+      if (!best.is_ok() ||
+          snap.value().commit_seq > best.value().commit_seq) {
+        best = std::move(snap);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace stash::store

@@ -589,5 +589,59 @@ TEST(DevPowerCut, QueuedRequestsResolveWithPowerLoss) {
   EXPECT_EQ(pending.get().status().code(), ErrorCode::kPowerLoss);
 }
 
+TEST(DevPowerCut, CutWithNonEmptyQueueResolvesEveryKindAndKeepsDurableData) {
+  // Power cut with a *mixed* non-empty submission queue: every queued
+  // request kind resolves kPowerLoss (no hung futures, no spurious
+  // success), acked-unflushed buffered writes land in lost_writes(), and
+  // flush-acknowledged data is still readable afterward.
+  DeviceConfig config = tiny_config();
+  config.batch_pages = 16;  // below this nothing dispatches on its own
+  config.queue_depth = 64;
+  StashDevice dev(config, test_key());
+
+  for (std::uint64_t lpn = 0; lpn < kCutLpns; ++lpn) {
+    ASSERT_TRUE(
+        dev.write(lpn, page_pattern(dev.page_bits(), 200 + lpn)).is_ok());
+  }
+  ASSERT_TRUE(dev.flush().is_ok());
+
+  // Stage (ack) two more writes but do not flush: candidates for loss.
+  ASSERT_TRUE(dev.write(0, page_pattern(dev.page_bits(), 300)).is_ok());
+  ASSERT_TRUE(dev.write(1, page_pattern(dev.page_bits(), 301)).is_ok());
+
+  // Fill the queue with every async kind, none dispatched yet.
+  std::vector<std::future<util::Result<std::vector<std::uint8_t>>>> reads;
+  for (std::uint64_t lpn = 0; lpn < kCutLpns; ++lpn) {
+    reads.push_back(dev.submit_read(lpn));
+  }
+  auto hidden = dev.submit_load_hidden();
+  auto gc = dev.submit_gc();
+
+  ASSERT_TRUE(dev.power_cycle().is_ok());
+
+  for (std::uint64_t lpn = 0; lpn < kCutLpns; ++lpn) {
+    ASSERT_EQ(reads[lpn].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "queued read " << lpn << " left hanging by the cut";
+    EXPECT_EQ(reads[lpn].get().status().code(), ErrorCode::kPowerLoss);
+  }
+  EXPECT_EQ(hidden.get().status().code(), ErrorCode::kPowerLoss);
+  EXPECT_EQ(gc.get().code(), ErrorCode::kPowerLoss);
+
+  // The two unflushed writes are reported lost; the flushed versions
+  // survive byte-for-byte.
+  std::set<std::uint64_t> lost(dev.lost_writes().begin(),
+                               dev.lost_writes().end());
+  EXPECT_EQ(lost, (std::set<std::uint64_t>{0, 1}));
+  for (std::uint64_t lpn = 0; lpn < kCutLpns; ++lpn) {
+    auto r = dev.read(lpn);
+    ASSERT_TRUE(r.is_ok()) << "lpn=" << lpn;
+    EXPECT_TRUE(matches(r.value(), page_pattern(dev.page_bits(), 200 + lpn)))
+        << "lpn=" << lpn;
+    EXPECT_FALSE(matches(r.value(), page_pattern(dev.page_bits(), 300 + lpn)))
+        << "lpn=" << lpn << " lost write became durable";
+  }
+}
+
 }  // namespace
 }  // namespace stash::dev
