@@ -3,8 +3,11 @@
 //
 // ReadCache — a sharded LRU over logical pages.  Shard = lpn % shards, each
 // shard its own mutex + LRU list, so concurrent lookups on different shards
-// never contend.  Capacity is split evenly across shards (each at least one
-// page).
+// never contend.  Capacity is distributed exactly: base capacity/shards
+// pages per shard plus one of the remainder to the first capacity%shards
+// shards, so the per-shard budgets always sum to the configured total (a
+// shard can have zero pages when capacity < shards; its lookups simply
+// always miss).
 //
 // WriteBackBuffer — the volatile staging area of acknowledged writes.  One
 // entry per lpn in first-touch order; rewriting a buffered lpn coalesces in
@@ -33,7 +36,13 @@ class ReadCache {
   void invalidate(std::uint64_t lpn);
   void clear();
 
-  [[nodiscard]] bool enabled() const noexcept { return per_shard_ > 0; }
+  [[nodiscard]] bool enabled() const noexcept { return capacity_ > 0; }
+  /// Total configured capacity (the exact sum of the per-shard budgets).
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Capacity assigned to one shard (test introspection).
+  [[nodiscard]] std::size_t shard_capacity(std::size_t shard) const {
+    return shards_.at(shard).capacity;
+  }
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::uint64_t hits() const;
   [[nodiscard]] std::uint64_t misses() const;
@@ -46,13 +55,14 @@ class ReadCache {
     std::unordered_map<std::uint64_t, decltype(lru)::iterator> index;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::size_t capacity = 0;
   };
 
   [[nodiscard]] Shard& shard_of(std::uint64_t lpn) {
     return shards_[lpn % shards_.size()];
   }
 
-  std::size_t per_shard_;
+  std::size_t capacity_;
   std::vector<Shard> shards_;
 };
 

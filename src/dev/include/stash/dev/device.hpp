@@ -164,6 +164,13 @@ class StashDevice {
   Status flush();
   /// Dispatch everything queued (does not flush).
   void drain();
+  /// Advance the deadline clock without submitting: the tick clock
+  /// otherwise only moves with submissions, so when clients go quiet a
+  /// sub-batch queue would wait forever.  Idle callers (the stash::net
+  /// poll loop, a timer thread) call this periodically; a request older
+  /// than deadline_ticks dispatches exactly as a submission-driven
+  /// deadline would.  Returns the queue depth after any dispatch.
+  std::size_t idle_tick();
 
   // ---- Fault integration --------------------------------------------------
   /// Attach `injector` to every chip of the array (nullptr detaches).
@@ -220,6 +227,10 @@ class StashDevice {
   /// do not interleave with queued traffic).
   [[nodiscard]] stego::StegoVolume& volume(std::uint32_t chip) {
     return *volumes_.at(chip);
+  }
+  /// Direct access to one chip (per-chip fault injection in tests).
+  [[nodiscard]] nand::FlashChip& chip(std::uint32_t index) {
+    return array_.chip(index);
   }
   [[nodiscard]] par::ThreadPool& pool() noexcept { return pool_; }
 

@@ -6,9 +6,15 @@
 namespace stash::dev {
 
 ReadCache::ReadCache(std::size_t capacity_pages, std::uint32_t shards)
-    : per_shard_(0), shards_(std::max<std::uint32_t>(1, shards)) {
-  if (capacity_pages > 0) {
-    per_shard_ = std::max<std::size_t>(1, capacity_pages / shards_.size());
+    : capacity_(capacity_pages), shards_(std::max<std::uint32_t>(1, shards)) {
+  // Exact distribution: flooring capacity/shards would silently shrink the
+  // cache (100/16 -> 96) and rounding every shard up to one page would
+  // inflate tiny ones (4/16 -> 16); hand the remainder out one page at a
+  // time instead so the shard budgets sum to capacity_pages exactly.
+  const std::size_t n = shards_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_[i].capacity =
+        capacity_pages / n + (i < capacity_pages % n ? 1 : 0);
   }
 }
 
@@ -30,6 +36,7 @@ void ReadCache::insert(std::uint64_t lpn, std::vector<std::uint8_t> bits) {
   if (!enabled()) return;
   Shard& s = shard_of(lpn);
   const std::lock_guard<std::mutex> lock(s.mu);
+  if (s.capacity == 0) return;  // this shard got no pages
   if (const auto it = s.index.find(lpn); it != s.index.end()) {
     it->second->second = std::move(bits);
     s.lru.splice(s.lru.begin(), s.lru, it->second);
@@ -37,7 +44,7 @@ void ReadCache::insert(std::uint64_t lpn, std::vector<std::uint8_t> bits) {
   }
   s.lru.emplace_front(lpn, std::move(bits));
   s.index.emplace(lpn, s.lru.begin());
-  while (s.lru.size() > per_shard_) {
+  while (s.lru.size() > s.capacity) {
     s.index.erase(s.lru.back().first);
     s.lru.pop_back();
   }

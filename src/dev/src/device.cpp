@@ -73,45 +73,43 @@ std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point start) {
 
 // Device-level framing of one per-chip hidden segment: the hidden payload
 // is split across chips in chip order, and each chip's StegoVolume stores
-// [index:u16][used_chips:u16][payload_len:u32][payload].  The header is
-// what lets load detect a missing middle segment instead of silently
-// splicing the remainder.
-constexpr std::size_t kSegmentHeaderBytes = 8;
+// [index:u16][used_chips:u16][payload_len:u32][digest:u64][payload].  The
+// header is what lets load detect a missing middle segment instead of
+// silently splicing the remainder; the digest (FNV-1a of the *whole*
+// device payload, identical in every segment) additionally pins all
+// segments to one store generation, so even segments with mutually
+// consistent counts cannot splice across generations.
+constexpr std::size_t kSegmentHeaderBytes = 16;
 
 std::vector<std::uint8_t> pack_segment(std::uint16_t index,
                                        std::uint16_t used_chips,
+                                       std::uint64_t digest,
                                        std::span<const std::uint8_t> payload) {
   std::vector<std::uint8_t> out;
-  out.reserve(kSegmentHeaderBytes + payload.size());
-  const auto len = static_cast<std::uint32_t>(payload.size());
-  out.push_back(static_cast<std::uint8_t>(index));
-  out.push_back(static_cast<std::uint8_t>(index >> 8));
-  out.push_back(static_cast<std::uint8_t>(used_chips));
-  out.push_back(static_cast<std::uint8_t>(used_chips >> 8));
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
-  }
-  out.insert(out.end(), payload.begin(), payload.end());
+  util::ByteWriter w(out);
+  w.u16(index);
+  w.u16(used_chips);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u64(digest);
+  w.raw(payload);
   return out;
 }
 
 struct Segment {
   std::uint16_t index = 0;
   std::uint16_t used_chips = 0;
+  std::uint64_t digest = 0;
   std::vector<std::uint8_t> payload;
 };
 
 std::optional<Segment> unpack_segment(std::span<const std::uint8_t> raw) {
   if (raw.size() < kSegmentHeaderBytes) return std::nullopt;
+  util::ByteReader r(raw);
   Segment seg;
-  seg.index = static_cast<std::uint16_t>(raw[0] |
-                                         (static_cast<unsigned>(raw[1]) << 8));
-  seg.used_chips = static_cast<std::uint16_t>(
-      raw[2] | (static_cast<unsigned>(raw[3]) << 8));
   std::uint32_t len = 0;
-  for (int i = 0; i < 4; ++i) {
-    len |= static_cast<std::uint32_t>(raw[4 + static_cast<std::size_t>(i)])
-           << (8 * i);
+  if (!r.u16(seg.index).is_ok() || !r.u16(seg.used_chips).is_ok() ||
+      !r.u32(len).is_ok() || !r.u64(seg.digest).is_ok()) {
+    return std::nullopt;
   }
   if (seg.used_chips == 0 || seg.index >= seg.used_chips ||
       raw.size() - kSegmentHeaderBytes != len) {
@@ -617,6 +615,16 @@ void StashDevice::execute_reads(std::vector<Request>& reads) {
       finish_trace(reads[r], true, code);
       continue;
     }
+    // Coalesce before consulting the cache: a repeat of an lpn already
+    // destined for flash this round is one physical miss, not N — probing
+    // the cache again would double-count it at both the shard and the
+    // global counter.
+    if (const auto it = miss_of.find(lpn); it != miss_of.end()) {
+      counters_.coalesced_reads.inc();
+      tel.coalesced_reads.inc();
+      misses[it->second].requesters.push_back(r);
+      continue;
+    }
     if (auto cached = cache_.lookup(lpn)) {
       counters_.reads.inc();
       tel.reads.inc();
@@ -627,14 +635,8 @@ void StashDevice::execute_reads(std::vector<Request>& reads) {
       continue;
     }
     tel.cache_misses.inc();
-    const auto [it, fresh] = miss_of.try_emplace(lpn, misses.size());
-    if (fresh) {
-      misses.push_back(Miss{lpn, {}});
-    } else {
-      counters_.coalesced_reads.inc();
-      tel.coalesced_reads.inc();
-    }
-    misses[it->second].requesters.push_back(r);
+    miss_of.emplace(lpn, misses.size());
+    misses.push_back(Miss{lpn, {r}});
   }
 
   // One read_batch per chip over that chip's unique misses, in chip order;
@@ -694,16 +696,48 @@ Status StashDevice::execute_store_hidden(std::span<const std::uint8_t> data) {
     return Status{ErrorCode::kNoSpace,
                   "hidden payload exceeds device hidden capacity"};
   }
+  const std::uint64_t digest = util::fnv1a(data);
+
+  // Phase 1: prepare every chip's segment beside its old generation.  A
+  // failure on chip k (worn carriers, injected program faults, ...) aborts
+  // the k segments already prepared, leaving the previous device payload
+  // fully loadable — never the mixed-generation splice a chip-by-chip
+  // store would leave behind.
+  std::vector<std::pair<std::uint32_t, stego::StegoVolume::HiddenTxn>> prepared;
+  prepared.reserve(used);
   std::size_t offset = 0;
   for (std::uint32_t c = 0; c < used; ++c) {
     const auto segment =
         pack_segment(static_cast<std::uint16_t>(c),
-                     static_cast<std::uint16_t>(used),
+                     static_cast<std::uint16_t>(used), digest,
                      data.subspan(offset, take[c]));
-    STASH_RETURN_IF_ERROR(volumes_[c]->store_hidden(segment));
+    auto txn = volumes_[c]->prepare_store_hidden(segment);
+    if (!txn.is_ok()) {
+      for (auto& [pc, ptxn] : prepared) {
+        (void)volumes_[pc]->abort_store_hidden(ptxn);
+      }
+      return txn.status();
+    }
+    prepared.emplace_back(c, std::move(txn.value()));
     offset += take[c];
   }
-  return Status::ok();
+
+  // Phase 2: every chip verified its new segment; release the old
+  // generation everywhere.  Commit scrubs are best-effort — a straggler
+  // that survives is caught by the per-generation digest at load time.
+  Status first = Status::ok();
+  for (auto& [c, txn] : prepared) {
+    if (Status st = volumes_[c]->commit_store_hidden(txn);
+        !st.is_ok() && first.is_ok()) {
+      first = st;
+    }
+  }
+  // A previous, longer payload may have left segments on chips past this
+  // store's span; discard them so load never sees two generations.
+  for (std::uint32_t c = used; c < volumes_.size(); ++c) {
+    (void)volumes_[c]->discard_hidden();
+  }
+  return first;
 }
 
 Result<std::vector<std::uint8_t>> StashDevice::execute_load_hidden() {
@@ -719,11 +753,20 @@ Result<std::vector<std::uint8_t>> StashDevice::execute_load_hidden() {
     return Status{ErrorCode::kNotFound, "no hidden volume under this key"};
   }
   const std::uint16_t total = found.front().used_chips;
+  const std::uint64_t digest = found.front().digest;
   std::vector<const Segment*> ordered(total, nullptr);
   for (const Segment& seg : found) {
-    if (seg.used_chips != total || seg.index >= total) {
+    if (seg.used_chips != total || seg.index >= total ||
+        seg.digest != digest) {
       return Status{ErrorCode::kCorrupted,
                     "inconsistent hidden segment set across chips"};
+    }
+    if (ordered[seg.index] != nullptr) {
+      // Two chips answering for the same slot means two store generations
+      // are interleaved; splicing either copy in silently would hand back
+      // a payload that never existed.
+      return Status{ErrorCode::kCorrupted,
+                    "duplicate hidden segment " + std::to_string(seg.index)};
     }
     ordered[seg.index] = &seg;
   }
@@ -735,6 +778,10 @@ Result<std::vector<std::uint8_t>> StashDevice::execute_load_hidden() {
     }
     out.insert(out.end(), ordered[i]->payload.begin(),
                ordered[i]->payload.end());
+  }
+  if (util::fnv1a(out) != digest) {
+    return Status{ErrorCode::kCorrupted,
+                  "reassembled hidden payload fails its stored digest"};
   }
   return out;
 }
@@ -812,6 +859,22 @@ Status StashDevice::flush() {
 void StashDevice::drain() {
   std::unique_lock<std::mutex> lock(mu_);
   dispatch(lock);
+}
+
+std::size_t StashDevice::idle_tick() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (queue_.empty()) return 0;
+  // The deadline clock only advances with submissions, so a queue whose
+  // clients go quiet would starve its last requests forever.  An idle
+  // caller (the net server's poll loop, a timer) advances it here; the
+  // queue drains through the same deadline path a submission would take.
+  ++tick_;
+  if (tick_ - queue_.front().enqueue_tick >= config_.deadline_ticks) {
+    counters_.deadline_dispatches.inc();
+    dev_telemetry().deadline_dispatches.inc();
+    dispatch(lock);
+  }
+  return queue_.size();
 }
 
 // ---- Fault integration -----------------------------------------------------

@@ -1,0 +1,114 @@
+#pragma once
+// Wire protocol of stash::net — the length-prefixed binary framing that
+// carries StashDevice requests over a TCP stream.
+//
+// Every message is one frame: [len:u32][body], little-endian, `len` the
+// body size in bytes.  Bodies reuse the util::wire primitives so the
+// encoding matches the rest of the stack (canonical little-endian, blobs
+// u64-length-prefixed):
+//
+//   request  body: [op:u8][priority:u8][id:u64][lpn:u64][data:blob]
+//   response body: [op:u8][status:u8][id:u64][message:str][data:blob]
+//
+// `id` is a client-chosen correlation id echoed verbatim in the response.
+// Responses to one connection are always emitted in request order (the
+// server resolves its per-connection pipeline front-only), so `id` is a
+// convenience for client bookkeeping, not a reordering mechanism.
+// `priority` is the dev::Priority QoS class (0 foreground, 1 normal, 2
+// background); out-of-range values are clamped by the server.  `status` is
+// a util::ErrorCode value; `message` is its human-readable detail, empty
+// on success.
+//
+// FrameAssembler turns an arbitrary chunking of the byte stream back into
+// frames, with a hard cap on the announced frame size — one malicious or
+// corrupt 4-byte header must not make the peer allocate gigabytes.
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stash/dev/device.hpp"
+#include "stash/util/status.hpp"
+
+namespace stash::net {
+
+using util::Result;
+using util::Status;
+
+/// Operation selector of a request frame.
+enum class OpCode : std::uint8_t {
+  kRead = 1,
+  kWrite = 2,
+  kTrim = 3,
+  kStoreHidden = 4,
+  kLoadHidden = 5,
+  kGc = 6,
+  kFlush = 7,
+  kStats = 8,
+  kPing = 9,
+};
+
+[[nodiscard]] const char* op_name(OpCode op) noexcept;
+[[nodiscard]] bool valid_op(std::uint8_t raw) noexcept;
+
+constexpr std::size_t kFrameHeaderBytes = 4;
+/// Default cap on one frame body (requests and responses alike).
+constexpr std::size_t kDefaultMaxFrameBytes = 16 * 1024 * 1024;
+
+struct Request {
+  OpCode op = OpCode::kPing;
+  std::uint8_t priority = 0;  // dev::Priority value, clamped server-side
+  std::uint64_t id = 0;       // echoed in the response
+  std::uint64_t lpn = 0;      // read/write/trim target
+  std::vector<std::uint8_t> data;  // write bits / store_hidden payload
+};
+
+struct Response {
+  OpCode op = OpCode::kPing;
+  std::uint8_t status = 0;  // util::ErrorCode value
+  std::uint64_t id = 0;
+  std::string message;             // error detail, empty on success
+  std::vector<std::uint8_t> data;  // read bits / hidden payload / stats
+};
+
+/// Append one complete frame (header + body) to `out`.
+void encode_request(const Request& req, std::vector<std::uint8_t>& out);
+void encode_response(const Response& resp, std::vector<std::uint8_t>& out);
+
+/// Decode one frame *body* (the bytes FrameAssembler::poll hands back).
+/// kCorrupted on truncation, trailing bytes, or an unknown op.
+Status decode_request(std::span<const std::uint8_t> body, Request& out);
+Status decode_response(std::span<const std::uint8_t> body, Response& out);
+
+/// DeviceStats as a stats-response payload (fixed field order, all u64).
+void encode_device_stats(const dev::DeviceStats& stats,
+                         std::vector<std::uint8_t>& out);
+Status decode_device_stats(std::span<const std::uint8_t> bytes,
+                           dev::DeviceStats& out);
+
+/// Incremental frame reassembly over an arbitrarily-chunked byte stream.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Buffer `bytes` as the next chunk of the stream.
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Pop the next complete frame body into `frame`.  `ready` is false when
+  /// the stream holds no complete frame yet (frame untouched).  kCorrupted
+  /// when a header announces a body larger than max_frame_bytes: the
+  /// stream is unrecoverable and the connection should be dropped.
+  Status poll(std::vector<std::uint8_t>& frame, bool& ready);
+
+  /// Bytes buffered but not yet returned as frames.
+  [[nodiscard]] std::size_t buffered() const noexcept { return buf_.size(); }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::deque<std::uint8_t> buf_;
+};
+
+}  // namespace stash::net

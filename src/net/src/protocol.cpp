@@ -1,0 +1,175 @@
+#include "stash/net/protocol.hpp"
+
+#include <algorithm>
+
+#include "stash/util/wire.hpp"
+
+namespace stash::net {
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::ErrorCode;
+
+const char* op_name(OpCode op) noexcept {
+  switch (op) {
+    case OpCode::kRead: return "read";
+    case OpCode::kWrite: return "write";
+    case OpCode::kTrim: return "trim";
+    case OpCode::kStoreHidden: return "store_hidden";
+    case OpCode::kLoadHidden: return "load_hidden";
+    case OpCode::kGc: return "gc";
+    case OpCode::kFlush: return "flush";
+    case OpCode::kStats: return "stats";
+    case OpCode::kPing: return "ping";
+  }
+  return "unknown";
+}
+
+bool valid_op(std::uint8_t raw) noexcept {
+  return raw >= static_cast<std::uint8_t>(OpCode::kRead) &&
+         raw <= static_cast<std::uint8_t>(OpCode::kPing);
+}
+
+namespace {
+
+/// Reserve the 4-byte length slot, append the body, then patch the length.
+class FrameWriter {
+ public:
+  explicit FrameWriter(std::vector<std::uint8_t>& out)
+      : out_(out), body_start_(out.size() + kFrameHeaderBytes), w_(out) {
+    w_.u32(0);
+  }
+  ~FrameWriter() {
+    const auto len = static_cast<std::uint32_t>(out_.size() - body_start_);
+    for (int i = 0; i < 4; ++i) {
+      out_[body_start_ - kFrameHeaderBytes + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(len >> (8 * i));
+    }
+  }
+  ByteWriter& body() noexcept { return w_; }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+  std::size_t body_start_;
+  ByteWriter w_;
+};
+
+}  // namespace
+
+void encode_request(const Request& req, std::vector<std::uint8_t>& out) {
+  FrameWriter frame(out);
+  ByteWriter& w = frame.body();
+  w.u8(static_cast<std::uint8_t>(req.op));
+  w.u8(req.priority);
+  w.u64(req.id);
+  w.u64(req.lpn);
+  w.blob(req.data);
+}
+
+void encode_response(const Response& resp, std::vector<std::uint8_t>& out) {
+  FrameWriter frame(out);
+  ByteWriter& w = frame.body();
+  w.u8(static_cast<std::uint8_t>(resp.op));
+  w.u8(resp.status);
+  w.u64(resp.id);
+  w.str(resp.message);
+  w.blob(resp.data);
+}
+
+Status decode_request(std::span<const std::uint8_t> body, Request& out) {
+  ByteReader r(body);
+  std::uint8_t op = 0;
+  STASH_RETURN_IF_ERROR(r.u8(op));
+  if (!valid_op(op)) {
+    return Status{ErrorCode::kCorrupted, "unknown request op"};
+  }
+  out.op = static_cast<OpCode>(op);
+  STASH_RETURN_IF_ERROR(r.u8(out.priority));
+  STASH_RETURN_IF_ERROR(r.u64(out.id));
+  STASH_RETURN_IF_ERROR(r.u64(out.lpn));
+  STASH_RETURN_IF_ERROR(r.blob(out.data));
+  return r.expect_exhausted();
+}
+
+Status decode_response(std::span<const std::uint8_t> body, Response& out) {
+  ByteReader r(body);
+  std::uint8_t op = 0;
+  STASH_RETURN_IF_ERROR(r.u8(op));
+  if (!valid_op(op)) {
+    return Status{ErrorCode::kCorrupted, "unknown response op"};
+  }
+  out.op = static_cast<OpCode>(op);
+  STASH_RETURN_IF_ERROR(r.u8(out.status));
+  STASH_RETURN_IF_ERROR(r.u64(out.id));
+  STASH_RETURN_IF_ERROR(r.str(out.message));
+  STASH_RETURN_IF_ERROR(r.blob(out.data));
+  return r.expect_exhausted();
+}
+
+void encode_device_stats(const dev::DeviceStats& stats,
+                         std::vector<std::uint8_t>& out) {
+  ByteWriter w(out);
+  w.u64(stats.reads);
+  w.u64(stats.writes);
+  w.u64(stats.trims);
+  w.u64(stats.cache_hits);
+  w.u64(stats.cache_misses);
+  w.u64(stats.buffer_hits);
+  w.u64(stats.coalesced_writes);
+  w.u64(stats.coalesced_reads);
+  w.u64(stats.dispatches);
+  w.u64(stats.deadline_dispatches);
+  w.u64(stats.flushes);
+  w.u64(stats.flushed_pages);
+  w.u64(stats.lost_writes);
+  w.u64(stats.gc_runs);
+}
+
+Status decode_device_stats(std::span<const std::uint8_t> bytes,
+                           dev::DeviceStats& out) {
+  ByteReader r(bytes);
+  STASH_RETURN_IF_ERROR(r.u64(out.reads));
+  STASH_RETURN_IF_ERROR(r.u64(out.writes));
+  STASH_RETURN_IF_ERROR(r.u64(out.trims));
+  STASH_RETURN_IF_ERROR(r.u64(out.cache_hits));
+  STASH_RETURN_IF_ERROR(r.u64(out.cache_misses));
+  STASH_RETURN_IF_ERROR(r.u64(out.buffer_hits));
+  STASH_RETURN_IF_ERROR(r.u64(out.coalesced_writes));
+  STASH_RETURN_IF_ERROR(r.u64(out.coalesced_reads));
+  STASH_RETURN_IF_ERROR(r.u64(out.dispatches));
+  STASH_RETURN_IF_ERROR(r.u64(out.deadline_dispatches));
+  STASH_RETURN_IF_ERROR(r.u64(out.flushes));
+  STASH_RETURN_IF_ERROR(r.u64(out.flushed_pages));
+  STASH_RETURN_IF_ERROR(r.u64(out.lost_writes));
+  STASH_RETURN_IF_ERROR(r.u64(out.gc_runs));
+  return r.expect_exhausted();
+}
+
+void FrameAssembler::feed(std::span<const std::uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+Status FrameAssembler::poll(std::vector<std::uint8_t>& frame, bool& ready) {
+  ready = false;
+  if (buf_.size() < kFrameHeaderBytes) return Status::ok();
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(buf_[static_cast<std::size_t>(i)])
+           << (8 * i);
+  }
+  if (len > max_frame_bytes_) {
+    return Status{ErrorCode::kCorrupted,
+                  "frame of " + std::to_string(len) +
+                      " bytes exceeds the frame cap"};
+  }
+  if (buf_.size() < kFrameHeaderBytes + len) return Status::ok();
+  const auto body_begin =
+      buf_.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderBytes);
+  frame.assign(body_begin, body_begin + static_cast<std::ptrdiff_t>(len));
+  buf_.erase(buf_.begin(),
+             body_begin + static_cast<std::ptrdiff_t>(len));
+  ready = true;
+  return Status::ok();
+}
+
+}  // namespace stash::net

@@ -76,9 +76,39 @@ class StegoVolume {
 
   // ---- Hidden (hiding user) volume ---------------------------------------
 
-  /// Store (or replace) the hidden payload.  Splits it into per-block
-  /// chunks and embeds each into a block full of public data.
+  /// An in-flight two-generation replacement of the hidden payload: the new
+  /// chunk set is fully embedded (and read-back verified) while the old one
+  /// stays loadable, then exactly one of commit/abort releases the loser.
+  /// Obtained from prepare_store_hidden(); at most one may be active per
+  /// volume.
+  struct HiddenTxn {
+    std::vector<std::uint32_t> new_blocks;
+    std::set<std::uint32_t> old_blocks;
+    bool active = false;
+  };
+
+  /// Store (or atomically replace) the hidden payload.  Splits it into
+  /// per-block chunks and embeds each into a block full of public data;
+  /// the previous payload is released only after every new chunk verified,
+  /// so a failed store leaves the old payload loadable.
   Status store_hidden(std::span<const std::uint8_t> data);
+
+  /// Phase 1 of a replace: embed and verify the complete new chunk set
+  /// alongside the old one.  On failure the new partial embedding is
+  /// scrubbed and the volume is unchanged.  Callers coordinating several
+  /// volumes (StashDevice's multi-chip store) prepare everywhere before
+  /// committing anywhere.
+  Result<HiddenTxn> prepare_store_hidden(std::span<const std::uint8_t> data);
+  /// Phase 2a: release the superseded generation (best-effort scrubs; the
+  /// new payload is already durable and verified).
+  Status commit_store_hidden(HiddenTxn& txn);
+  /// Phase 2b: scrub the prepared new generation and keep the old payload.
+  Status abort_store_hidden(HiddenTxn& txn);
+
+  /// Scrub and untrack every hidden chunk (locating them with a key-only
+  /// scan first when this instance tracks none).  Unlike panic_erase the
+  /// public data sharing the carrier blocks is left intact.
+  Status discard_hidden();
 
   /// Recover the hidden payload with nothing but the key: scans candidate
   /// blocks, authenticates each chunk, reassembles in order.
@@ -139,6 +169,13 @@ class StegoVolume {
   /// path.  Only a verified embedding claims the block; a failed one marks
   /// the carrier bad for this chunk and the caller tries elsewhere.
   bool embed_verified(std::uint32_t block, const Chunk& chunk);
+
+  /// Best-effort release of a superseded carrier: overwrite the embedding
+  /// with a tombstone frame whose chunk header is invalid.  Partial
+  /// programming only raises voltages, so the overwrite scrambles the old
+  /// codewords; whether the tombstone itself survives reveal or not, the
+  /// block no longer yields a valid chunk to a key-only scan.
+  void scrub_block(std::uint32_t block);
 
   nand::FlashChip* chip_;
   ftl::PageMappedFtl ftl_;

@@ -1,6 +1,7 @@
 #include "stash/stego/volume.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "stash/telemetry/metrics.hpp"
 #include "stash/util/wire.hpp"
@@ -107,23 +108,35 @@ std::vector<std::uint32_t> StegoVolume::eligible_blocks() const {
 }
 
 Status StegoVolume::store_hidden(std::span<const std::uint8_t> data) {
+  auto txn = prepare_store_hidden(data);
+  STASH_RETURN_IF_ERROR(txn.status());
+  return commit_store_hidden(txn.value());
+}
+
+Result<StegoVolume::HiddenTxn> StegoVolume::prepare_store_hidden(
+    std::span<const std::uint8_t> data) {
   stego_telemetry().hides.inc();
   const std::size_t per_chunk = hidden_chunk_capacity();
   if (per_chunk == 0) {
-    return {ErrorCode::kNoSpace, "hidden chunk capacity is zero"};
+    return Status{ErrorCode::kNoSpace, "hidden chunk capacity is zero"};
   }
   const std::size_t chunks =
       std::max<std::size_t>(1, (data.size() + per_chunk - 1) / per_chunk);
   if (chunks > 0xffff) {
-    return {ErrorCode::kNoSpace, "hidden payload needs too many chunks"};
+    return Status{ErrorCode::kNoSpace, "hidden payload needs too many chunks"};
   }
 
+  // eligible_blocks excludes every tracked carrier, so the new generation
+  // lands beside the old one: until commit the previous payload is still
+  // fully loadable, and a failure here costs nothing but scrubbed spares.
   const auto targets = eligible_blocks();
   if (targets.size() < chunks) {
-    return {ErrorCode::kNoSpace,
-            "not enough public-data blocks to carry the hidden payload"};
+    return Status{ErrorCode::kNoSpace,
+                  "not enough public-data blocks to carry the hidden payload"};
   }
 
+  HiddenTxn txn;
+  txn.old_blocks = hidden_blocks_;
   std::size_t next_target = 0;
   for (std::size_t i = 0; i < chunks; ++i) {
     Chunk chunk;
@@ -137,17 +150,69 @@ Status StegoVolume::store_hidden(std::span<const std::uint8_t> data) {
     }
     bool embedded = false;
     while (next_target < targets.size()) {
-      if (embed_verified(targets[next_target++], chunk)) {
+      const std::uint32_t block = targets[next_target++];
+      if (embed_verified(block, chunk)) {
+        txn.new_blocks.push_back(block);
         embedded = true;
         break;
       }
     }
     if (!embedded) {
-      return {ErrorCode::kNoSpace,
-              "no carrier block held a verified hidden embedding"};
+      for (const std::uint32_t b : txn.new_blocks) {
+        hidden_blocks_.erase(b);
+        scrub_block(b);
+      }
+      return Status{ErrorCode::kNoSpace,
+                    "no carrier block held a verified hidden embedding"};
     }
   }
+  txn.active = true;
+  return txn;
+}
+
+Status StegoVolume::commit_store_hidden(HiddenTxn& txn) {
+  if (!txn.active) {
+    return {ErrorCode::kInvalidArgument, "hidden txn is not active"};
+  }
+  txn.active = false;
+  for (const std::uint32_t b : txn.old_blocks) {
+    hidden_blocks_.erase(b);
+    scrub_block(b);
+  }
+  // The replacement supersedes any chunks rescued out of the old payload.
+  pending_.clear();
   return Status::ok();
+}
+
+Status StegoVolume::abort_store_hidden(HiddenTxn& txn) {
+  if (!txn.active) {
+    return {ErrorCode::kInvalidArgument, "hidden txn is not active"};
+  }
+  txn.active = false;
+  for (const std::uint32_t b : txn.new_blocks) {
+    hidden_blocks_.erase(b);
+    scrub_block(b);
+  }
+  return Status::ok();
+}
+
+Status StegoVolume::discard_hidden() {
+  // Locate the carriers with a key-only scan when nothing is tracked (the
+  // same discovery path load_hidden's scanning mode uses).
+  if (hidden_blocks_.empty()) (void)load_hidden();
+  for (const std::uint32_t b : hidden_blocks_) scrub_block(b);
+  hidden_blocks_.clear();
+  pending_.clear();
+  return Status::ok();
+}
+
+void StegoVolume::scrub_block(std::uint32_t block) {
+  // A MAC-valid frame whose chunk header can never parse: total == 0 is
+  // rejected by unpack_chunk, so a scanning mount skips the block instead
+  // of resurrecting the superseded chunk.
+  const std::array<std::uint8_t, kChunkHeaderBytes> tombstone = {0xff, 0xff,
+                                                                 0x00, 0x00};
+  (void)codec_.hide(block, tombstone);
 }
 
 Result<std::vector<std::uint8_t>> StegoVolume::load_hidden() {
@@ -182,6 +247,12 @@ Result<std::vector<std::uint8_t>> StegoVolume::load_hidden() {
   for (const auto& chunk : found) {
     if (chunk.total != total || chunk.index >= total) {
       return Status{ErrorCode::kCorrupted, "inconsistent hidden chunk set"};
+    }
+    if (ordered[chunk.index] != nullptr) {
+      // Two carriers claiming one index means generations got mixed;
+      // splicing whichever block scanned last would be silent corruption.
+      return Status{ErrorCode::kCorrupted,
+                    "duplicate hidden chunk " + std::to_string(chunk.index)};
     }
     ordered[chunk.index] = &chunk;
   }

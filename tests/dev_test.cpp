@@ -13,9 +13,11 @@
 #include <stdexcept>
 #include <vector>
 
+#include "stash/dev/cache.hpp"
 #include "stash/dev/device.hpp"
 #include "stash/fault/plan.hpp"
 #include "stash/util/rng.hpp"
+#include "stash/util/wire.hpp"
 
 namespace stash::dev {
 namespace {
@@ -252,6 +254,73 @@ TEST(DevCache, ZeroCapacityDisablesTheCache) {
   EXPECT_EQ(dev.stats_snapshot().cache_hits, 0u);
 }
 
+TEST(DevCache, ShardCapacitiesSumToConfiguredTotal) {
+  // The per-shard budgets must always sum to the configured capacity,
+  // divisible or not.
+  for (const auto& [capacity, shards] :
+       {std::pair<std::size_t, std::uint32_t>{64, 4},
+        {100, 16},
+        {4, 16},
+        {7, 3},
+        {1, 8}}) {
+    ReadCache cache(capacity, shards);
+    std::size_t sum = 0;
+    for (std::uint32_t s = 0; s < shards; ++s) sum += cache.shard_capacity(s);
+    EXPECT_EQ(sum, capacity) << capacity << " pages over " << shards;
+    EXPECT_EQ(cache.capacity(), capacity);
+  }
+}
+
+TEST(DevCache, NonDivisibleCapacityIsExactNotRounded) {
+  // 100 pages over 16 shards used to floor to 6 per shard (96 total);
+  // 4 pages over 16 shards used to inflate to 1 per shard (16 total).
+  // The remainder now goes one page at a time to the leading shards.
+  ReadCache floored(100, 16);
+  for (std::uint32_t s = 0; s < 16; ++s) {
+    EXPECT_EQ(floored.shard_capacity(s), s < 4 ? 7u : 6u) << "shard " << s;
+  }
+
+  ReadCache inflated(4, 16);
+  std::size_t populated = 0;
+  for (std::uint32_t s = 0; s < 16; ++s) {
+    EXPECT_LE(inflated.shard_capacity(s), 1u);
+    populated += inflated.shard_capacity(s);
+    // Zero-capacity shards must drop inserts instead of keeping one
+    // uncapped resident entry.
+    if (inflated.shard_capacity(s) == 0) {
+      inflated.insert(s, std::vector<std::uint8_t>(8, 0xee));
+      EXPECT_FALSE(inflated.lookup(s).has_value()) << "shard " << s;
+    }
+  }
+  EXPECT_EQ(populated, 4u);
+}
+
+TEST(DevCache, CoalescedReadsCountOneMissPerUniqueLpn) {
+  // A batch of duplicate lpns performs one physical read; the telemetry
+  // must agree.  Before the fix every duplicate probed its shard and
+  // counted a miss of its own, inflating dev.cache_misses 4x here.
+  StashDevice dev(tiny_config(), test_key());
+  ASSERT_TRUE(dev.write(0, page_pattern(dev.page_bits(), 900)).is_ok());
+  ASSERT_TRUE(dev.flush().is_ok());
+
+  const std::uint64_t lpns[] = {0, 0, 0, 0};
+  auto results = dev.read_batch(lpns);
+  ASSERT_EQ(results.size(), 4u);
+  for (auto& r : results) ASSERT_TRUE(r.is_ok());
+
+  const auto stats = dev.stats_snapshot();
+  EXPECT_EQ(stats.cache_misses, 1u);  // one probe for the one unique lpn
+  EXPECT_EQ(stats.cache_hits, 0u);    // duplicates coalesce, they don't hit
+#ifndef STASH_TELEMETRY_DISABLED
+  EXPECT_EQ(stats.coalesced_reads, 3u);
+#endif
+
+  // The next round really does hit the cache — the accounting above is
+  // coalescing, not a disabled cache.
+  ASSERT_TRUE(dev.read(0).is_ok());
+  EXPECT_EQ(dev.stats_snapshot().cache_hits, 1u);
+}
+
 // ---- Batch convention (satellite: one BatchResult shape) ------------------
 
 TEST(DevBatch, ResultSlotsAlignWithRequestsAndFailuresAreIndependent) {
@@ -356,6 +425,35 @@ TEST(DevScheduler, DeadlineTicksBoundQueueingWithoutDrain) {
   EXPECT_GE(dev.stats_snapshot().deadline_dispatches, 1u);
 }
 
+TEST(DevScheduler, IdleTicksCompleteAStarvedReadWithoutNewSubmissions) {
+  // Deadline ticks only advanced on submissions, so a lone queued request
+  // with no follow-up traffic waited forever — exactly the shape a network
+  // client produces when it sends one read and blocks on the response.
+  // idle_tick() lets an idle poll loop age the queue instead.
+  DeviceConfig config = tiny_config();
+  config.queue_depth = 64;
+  config.batch_pages = 64;    // never dispatches on queue depth
+  config.deadline_ticks = 3;  // ages out after three idle ticks
+  StashDevice dev(config, test_key());
+  ASSERT_TRUE(dev.write(0, page_pattern(dev.page_bits(), 141)).is_ok());
+  ASSERT_TRUE(dev.flush().is_ok());
+
+  auto read = dev.submit_read(0);
+  ASSERT_EQ(read.wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout);  // genuinely starved
+
+  std::size_t depth = 1;
+  for (int tick = 0; tick < 8 && depth > 0; ++tick) depth = dev.idle_tick();
+  EXPECT_EQ(depth, 0u);
+  ASSERT_EQ(read.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_TRUE(read.get().is_ok());
+#ifndef STASH_TELEMETRY_DISABLED
+  EXPECT_GE(dev.stats_snapshot().deadline_dispatches, 1u);
+#endif
+  EXPECT_EQ(dev.idle_tick(), 0u);  // empty queue: a cheap no-op
+}
+
 // ---- Determinism ----------------------------------------------------------
 
 TEST(DevDeterminism, ThreadCountNeverChangesResultsOrCosts) {
@@ -455,6 +553,65 @@ TEST(DevHidden, OversizedPayloadIsRejectedBeforeTouchingFlash) {
   }
   std::vector<std::uint8_t> too_big(capacity + 4096, 0x11);
   EXPECT_EQ(dev.store_hidden(too_big).code(), ErrorCode::kNoSpace);
+}
+
+TEST(DevHidden, FailedSpanningStoreKeepsPreviousPayloadLoadable) {
+  // A multi-chip store that dies partway through must not leave a
+  // Frankenstein hidden volume.  Chip 1's programs are forced to fail, so
+  // the replacement's second segment can never land; the two-phase store
+  // has to abort chip 0's already-prepared segment and leave the previous
+  // generation fully loadable.  Before the fix chip 0 had already been
+  // overwritten by the time chip 1 failed.
+  StashDevice dev(hidden_config(2), test_key());
+  fill_public(dev, 9000);
+
+  const std::size_t cap0 = dev.volume(0).hidden_capacity_bytes();
+  ASSERT_GT(cap0, 0u);
+  std::vector<std::uint8_t> first(cap0 + 64);
+  util::Xoshiro256 rng(41);
+  for (auto& b : first) b = static_cast<std::uint8_t>(rng());
+  ASSERT_TRUE(dev.store_hidden(first).is_ok());
+
+  fault::FaultPlan plan(9);
+  plan.fail_programs(1.0);
+  dev.chip(1).set_fault_injector(&plan);
+  // Sized to span again (capacities may have shrunk since the first
+  // store), so chip 1 must carry a segment — and fail.
+  std::vector<std::uint8_t> second(dev.volume(0).hidden_capacity_bytes() + 64,
+                                   0x2e);
+  EXPECT_FALSE(dev.store_hidden(second).is_ok());
+  dev.chip(1).set_fault_injector(nullptr);
+
+  const auto loaded = dev.load_hidden();
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded.value(), first);
+}
+
+TEST(DevHidden, DuplicateHiddenSegmentIndexIsCorruption) {
+  // Two chips answering with the same segment index is an inconsistent
+  // chip set (a stale generation, a replayed image).  The reassembly used
+  // to let the later chip silently overwrite the earlier one's slot and
+  // report success; it must refuse instead.
+  StashDevice dev(hidden_config(2), test_key());
+  fill_public(dev, 9500);
+
+  // Hand-pack a device-framed segment claiming index 0 of a 1-segment
+  // payload and plant the identical frame on BOTH chips, bypassing the
+  // device-level store path.
+  const std::vector<std::uint8_t> payload(48, 0x77);
+  std::vector<std::uint8_t> segment;
+  util::ByteWriter w(segment);
+  w.u16(0);                                          // index
+  w.u16(1);                                          // used_chips
+  w.u32(static_cast<std::uint32_t>(payload.size()));  // payload_len
+  w.u64(util::fnv1a(payload));                       // digest
+  w.raw(payload);
+  ASSERT_TRUE(dev.volume(0).store_hidden(segment).is_ok());
+  ASSERT_TRUE(dev.volume(1).store_hidden(segment).is_ok());
+
+  const auto loaded = dev.load_hidden();
+  ASSERT_FALSE(loaded.is_ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kCorrupted);
 }
 
 // ---- Power-cut battery (satellite: write-back cache under stash::fault) ---

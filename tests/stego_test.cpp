@@ -157,6 +157,55 @@ TEST(Stego, HiddenDataSurvivesGarbageCollection) {
   EXPECT_EQ(loaded.value(), secret);
 }
 
+TEST(Stego, ReplacingThePayloadSupersedesItForAFreshReader) {
+  // A second store_hidden is a two-generation replace: the new chunk set
+  // embeds (and verifies) while the old stays loadable, then the old
+  // carriers are scrubbed with tombstone frames.  A fresh key-only scan
+  // afterwards must yield exactly the replacement — before the fix the
+  // first generation's chunks survived beside the new one and the scan
+  // reassembled a mix of generations.
+  FlashChip chip(stego_geometry(), NoiseModel::vendor_a(), 114);
+  const std::vector<std::uint8_t> second(16, 0xc3);
+  std::vector<std::uint8_t> first;
+  {
+    StegoVolume writer(chip, test_key());
+    fill_public(writer, 40, 650);
+    first.assign(writer.hidden_chunk_capacity() + 10, 0x5a);  // two chunks
+    ASSERT_TRUE(writer.store_hidden(first).is_ok());
+    ASSERT_TRUE(writer.store_hidden(second).is_ok());
+    const auto tracked = writer.load_hidden();
+    ASSERT_TRUE(tracked.is_ok()) << tracked.status().to_string();
+    EXPECT_EQ(tracked.value(), second);
+  }
+  StegoVolume reader(chip, test_key());
+  const auto loaded = reader.load_hidden();
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded.value(), second);
+}
+
+TEST(Stego, AbortedPrepareKeepsTheOldPayloadLoadable) {
+  // prepare/abort is the no-op arm of the two-phase store the device's
+  // multi-chip coordinator relies on: after an abort the first generation
+  // must still load, tracked and by key-only scan alike.
+  FlashChip chip(stego_geometry(), NoiseModel::vendor_a(), 115);
+  const std::vector<std::uint8_t> kept(40, 0x6b);
+  {
+    StegoVolume writer(chip, test_key());
+    fill_public(writer, 40, 660);
+    ASSERT_TRUE(writer.store_hidden(kept).is_ok());
+    auto txn = writer.prepare_store_hidden(std::vector<std::uint8_t>(24, 0x11));
+    ASSERT_TRUE(txn.is_ok()) << txn.status().to_string();
+    ASSERT_TRUE(writer.abort_store_hidden(txn.value()).is_ok());
+    const auto tracked = writer.load_hidden();
+    ASSERT_TRUE(tracked.is_ok()) << tracked.status().to_string();
+    EXPECT_EQ(tracked.value(), kept);
+  }
+  StegoVolume reader(chip, test_key());
+  const auto loaded = reader.load_hidden();
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded.value(), kept);
+}
+
 TEST(Stego, ChunkCapacityIsConsistent) {
   FlashChip chip(stego_geometry(), NoiseModel::vendor_a(), 118);
   StegoVolume volume(chip, test_key());
