@@ -10,6 +10,7 @@
 #include "stash/ftl/ftl.hpp"
 #include "stash/nand/geometry.hpp"
 #include "stash/nand/noise.hpp"
+#include "stash/pack/pack.hpp"
 #include "stash/util/status.hpp"
 #include "stash/vthi/config.hpp"
 
@@ -63,6 +64,14 @@ struct DeviceConfig {
   ftl::FtlConfig ftl{};
   vthi::VthiConfig vthi = vthi::VthiConfig::production();
 
+  // ---- Hidden-capacity packing --------------------------------------------
+  /// Dedup + compression stage in front of the stego path (stash::pack).
+  /// Enabled, store_hidden embeds a versioned pack container; the raw
+  /// payload is recovered transparently on load.  Loading stays
+  /// format-aware either way: the per-chip segment framing records how
+  /// each generation was stored.
+  pack::PackConfig pack{};
+
   [[nodiscard]] util::Status validate() const {
     using util::ErrorCode;
     using util::Status;
@@ -92,7 +101,8 @@ struct DeviceConfig {
                     "DeviceConfig: read_cache_shards must be >= 1"};
     }
     STASH_RETURN_IF_ERROR(ftl.validate());
-    return vthi.validate();
+    STASH_RETURN_IF_ERROR(vthi.validate());
+    return pack.validate();
   }
 };
 

@@ -71,6 +71,35 @@ using util::BatchStatus;
 using util::Result;
 using util::Status;
 
+/// The hidden object, described: what the versioned hidden-object API
+/// (hidden_info) reports instead of the old anonymous-blob view.  All
+/// byte counts are exact; ratios are derived.
+struct HiddenInfo {
+  /// Payload bytes the hiding user stored (after unpacking).
+  std::uint64_t logical_bytes = 0;
+  /// Container bytes actually embedded in the voltage channel.
+  std::uint64_t packed_bytes = 0;
+  /// CDC chunks in the payload / distinct chunks after dedup (equal to
+  /// each other and meaningless when the generation was stored raw).
+  std::uint64_t chunks = 0;
+  std::uint64_t unique_chunks = 0;
+  /// Segment format of the stored generation: 0 = raw bytes, otherwise
+  /// the pack container format version.
+  std::uint16_t format = 0;
+  /// Logical bytes per deduped byte (1.0 when stored raw).
+  double dedup_ratio = 1.0;
+  /// Hidden bytes the device could still accept right now (headroom on
+  /// blocks not already carrying this generation).
+  std::uint64_t remaining_capacity_bytes = 0;
+
+  /// Effective hidden-capacity multiplier of the stored generation.
+  [[nodiscard]] double multiplier() const noexcept {
+    return packed_bytes ? static_cast<double>(logical_bytes) /
+                              static_cast<double>(packed_bytes)
+                        : 1.0;
+  }
+};
+
 /// Point-in-time device statistics, sourced from the per-instance counters
 /// (same convention as ftl::PageMappedFtl::stats_snapshot).
 struct DeviceStats {
@@ -88,6 +117,13 @@ struct DeviceStats {
   std::uint64_t flushed_pages = 0;    // buffer entries made durable
   std::uint64_t lost_writes = 0;      // acked-unflushed entries lost to a cut
   std::uint64_t gc_runs = 0;          // background GC rounds executed
+  std::uint64_t hidden_stores = 0;    // store_hidden requests that succeeded
+  std::uint64_t hidden_loads = 0;     // load_hidden requests that succeeded
+  // Cumulative pack pipeline totals over all successful hidden stores:
+  // payload bytes in vs container bytes embedded (equal when packing is
+  // disabled — a raw store counts as multiplier 1).
+  std::uint64_t pack_logical_bytes = 0;
+  std::uint64_t pack_packed_bytes = 0;
 
   [[nodiscard]] double cache_hit_ratio() const noexcept {
     const std::uint64_t total = cache_hits + cache_misses;
@@ -146,8 +182,20 @@ class StashDevice {
   Result<std::vector<std::uint8_t>> read(std::uint64_t lpn);
   Status write(std::uint64_t lpn, std::span<const std::uint8_t> bits);
   Status trim(std::uint64_t lpn);
+  /// Store (replace) the hidden object.  With DeviceConfig::pack enabled
+  /// the payload goes through the dedup + compression pipeline first; load
+  /// transparently reverses it.  Both remain thin wrappers over the
+  /// versioned hidden-object surface below.
   Status store_hidden(std::span<const std::uint8_t> data);
   Result<std::vector<std::uint8_t>> load_hidden();
+
+  // ---- Hidden-object introspection ---------------------------------------
+  /// Describe the stored hidden object: logical vs embedded bytes, dedup
+  /// ratio, segment format, and remaining hidden headroom.  Queries the
+  /// voltage channel like load_hidden (dispatching anything queued first),
+  /// so it reflects the committed generation; kNotFound when no hidden
+  /// object exists under this key.
+  Result<HiddenInfo> hidden_info();
 
   // ---- Batch entry points (util::BatchResult convention) ------------------
   /// Read many pages in one dispatch round; result i <-> lpns[i].
@@ -216,6 +264,9 @@ class StashDevice {
 
   // ---- Introspection ------------------------------------------------------
   [[nodiscard]] DeviceStats stats_snapshot() const noexcept;
+  /// Canonical JSON of stats_snapshot(): fixed key order, integers only —
+  /// byte-identical across runs whenever the event counts are.
+  [[nodiscard]] std::string stats_json() const;
   /// Aggregate cost ledger across all chips (exact fixed-point totals).
   [[nodiscard]] nand::CostLedger ledger() const { return array_.total_ledger(); }
   /// Execution order of the most recent dispatch round.
@@ -268,6 +319,13 @@ class StashDevice {
   void dispatch(std::unique_lock<std::mutex>& lock);
   void execute_reads(std::vector<Request>& reads);
   Status execute_store_hidden(std::span<const std::uint8_t> data);
+  /// The reassembled device payload exactly as embedded (pack container or
+  /// raw bytes) plus the segment format that tags it.
+  struct RawHidden {
+    std::uint16_t format = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+  Result<RawHidden> load_hidden_raw();
   Result<std::vector<std::uint8_t>> execute_load_hidden();
   Status execute_gc();
   /// Flush body; requires the lock.
@@ -332,6 +390,10 @@ class StashDevice {
     telemetry::Counter flushed_pages;
     telemetry::Counter lost;
     telemetry::Counter gc_runs;
+    telemetry::Counter hidden_stores;
+    telemetry::Counter hidden_loads;
+    telemetry::Counter pack_logical_bytes;
+    telemetry::Counter pack_packed_bytes;
   };
   Counters counters_;
 };

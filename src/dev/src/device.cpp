@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "stash/pack/pack.hpp"
 #include "stash/util/wire.hpp"
 
 namespace stash::dev {
@@ -36,6 +37,11 @@ struct DevTelemetry {
   telemetry::Counter& flushed_pages = reg.counter("dev.flushed_pages");
   telemetry::Counter& lost_writes = reg.counter("dev.lost_writes");
   telemetry::Counter& gc_runs = reg.counter("dev.gc_runs");
+  telemetry::Counter& hidden_stores = reg.counter("dev.hidden_stores");
+  telemetry::Counter& hidden_loads = reg.counter("dev.hidden_loads");
+  telemetry::Counter& pack_logical_bytes =
+      reg.counter("dev.pack_logical_bytes");
+  telemetry::Counter& pack_packed_bytes = reg.counter("dev.pack_packed_bytes");
   telemetry::Gauge& queue_depth = reg.gauge("dev.queue_depth");
   telemetry::Gauge& cache_hit_ratio = reg.gauge("dev.cache_hit_ratio");
   telemetry::Gauge& buffered_pages = reg.gauge("dev.buffered_pages");
@@ -73,22 +79,32 @@ std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point start) {
 
 // Device-level framing of one per-chip hidden segment: the hidden payload
 // is split across chips in chip order, and each chip's StegoVolume stores
-// [index:u16][used_chips:u16][payload_len:u32][digest:u64][payload].  The
-// header is what lets load detect a missing middle segment instead of
-// silently splicing the remainder; the digest (FNV-1a of the *whole*
-// device payload, identical in every segment) additionally pins all
-// segments to one store generation, so even segments with mutually
-// consistent counts cannot splice across generations.
-constexpr std::size_t kSegmentHeaderBytes = 16;
+// [index:u16][used_chips:u16][format:u16][payload_len:u32][digest:u64]
+// [payload].  The header is what lets load detect a missing middle segment
+// instead of silently splicing the remainder; the digest (FNV-1a of the
+// *whole* device payload, identical in every segment) additionally pins
+// all segments to one store generation, so even segments with mutually
+// consistent counts cannot splice across generations.  `format` records
+// how the device payload was encoded — 0 for raw bytes, otherwise the
+// pack container version — so load stays correct across generations that
+// toggled DeviceConfig::pack, and a future format fails kUnsupported
+// instead of feeding an undecodable container to the caller.
+constexpr std::size_t kSegmentHeaderBytes = 18;
+
+/// Segment format values.  kFormatRaw predates the pack pipeline; packed
+/// generations carry the container version (currently pack::kFormatVersion).
+constexpr std::uint16_t kFormatRaw = 0;
 
 std::vector<std::uint8_t> pack_segment(std::uint16_t index,
                                        std::uint16_t used_chips,
+                                       std::uint16_t format,
                                        std::uint64_t digest,
                                        std::span<const std::uint8_t> payload) {
   std::vector<std::uint8_t> out;
   util::ByteWriter w(out);
   w.u16(index);
   w.u16(used_chips);
+  w.u16(format);
   w.u32(static_cast<std::uint32_t>(payload.size()));
   w.u64(digest);
   w.raw(payload);
@@ -98,6 +114,7 @@ std::vector<std::uint8_t> pack_segment(std::uint16_t index,
 struct Segment {
   std::uint16_t index = 0;
   std::uint16_t used_chips = 0;
+  std::uint16_t format = kFormatRaw;
   std::uint64_t digest = 0;
   std::vector<std::uint8_t> payload;
 };
@@ -108,7 +125,8 @@ std::optional<Segment> unpack_segment(std::span<const std::uint8_t> raw) {
   Segment seg;
   std::uint32_t len = 0;
   if (!r.u16(seg.index).is_ok() || !r.u16(seg.used_chips).is_ok() ||
-      !r.u32(len).is_ok() || !r.u64(seg.digest).is_ok()) {
+      !r.u16(seg.format).is_ok() || !r.u32(len).is_ok() ||
+      !r.u64(seg.digest).is_ok()) {
     return std::nullopt;
   }
   if (seg.used_chips == 0 || seg.index >= seg.used_chips ||
@@ -679,7 +697,23 @@ void StashDevice::execute_reads(std::vector<Request>& reads) {
 // ---- Hidden volume and GC --------------------------------------------------
 
 Status StashDevice::execute_store_hidden(std::span<const std::uint8_t> data) {
-  // Plan the split first so a too-large payload fails before any chip is
+  // Dedup + compress first (stash::pack): the voltage channel then embeds
+  // the container instead of the raw payload, and the segment format tags
+  // the generation so load can reverse it.  A container that fails to beat
+  // raw is still embedded (pack guarantees near-zero overhead by storing
+  // incompressible payloads verbatim inside the container).
+  std::uint16_t format = kFormatRaw;
+  std::vector<std::uint8_t> packed;
+  pack::PackStats pstats;
+  if (config_.pack.enabled) {
+    auto packed_r = pack::pack(data, config_.pack, &pstats);
+    if (!packed_r.is_ok()) return packed_r.status();
+    packed = std::move(packed_r.value());
+    format = pack::kFormatVersion;
+    data = {packed.data(), packed.size()};
+  }
+
+  // Plan the split next so a too-large payload fails before any chip is
   // touched: chip i takes min(remaining, capacity_i - header).
   std::vector<std::size_t> take(volumes_.size(), 0);
   std::size_t remaining = data.size();
@@ -709,7 +743,7 @@ Status StashDevice::execute_store_hidden(std::span<const std::uint8_t> data) {
   for (std::uint32_t c = 0; c < used; ++c) {
     const auto segment =
         pack_segment(static_cast<std::uint16_t>(c),
-                     static_cast<std::uint16_t>(used), digest,
+                     static_cast<std::uint16_t>(used), format, digest,
                      data.subspan(offset, take[c]));
     auto txn = volumes_[c]->prepare_store_hidden(segment);
     if (!txn.is_ok()) {
@@ -737,10 +771,22 @@ Status StashDevice::execute_store_hidden(std::span<const std::uint8_t> data) {
   for (std::uint32_t c = used; c < volumes_.size(); ++c) {
     (void)volumes_[c]->discard_hidden();
   }
+  if (first.is_ok()) {
+    const std::uint64_t logical =
+        config_.pack.enabled ? pstats.logical_bytes
+                             : static_cast<std::uint64_t>(data.size());
+    counters_.hidden_stores.inc();
+    counters_.pack_logical_bytes.inc(logical);
+    counters_.pack_packed_bytes.inc(data.size());
+    auto& tel = dev_telemetry();
+    tel.hidden_stores.inc();
+    tel.pack_logical_bytes.inc(logical);
+    tel.pack_packed_bytes.inc(data.size());
+  }
   return first;
 }
 
-Result<std::vector<std::uint8_t>> StashDevice::execute_load_hidden() {
+Result<StashDevice::RawHidden> StashDevice::load_hidden_raw() {
   std::vector<Segment> found;
   for (std::uint32_t c = 0; c < volumes_.size(); ++c) {
     auto loaded = volumes_[c]->load_hidden();
@@ -753,11 +799,12 @@ Result<std::vector<std::uint8_t>> StashDevice::execute_load_hidden() {
     return Status{ErrorCode::kNotFound, "no hidden volume under this key"};
   }
   const std::uint16_t total = found.front().used_chips;
+  const std::uint16_t format = found.front().format;
   const std::uint64_t digest = found.front().digest;
   std::vector<const Segment*> ordered(total, nullptr);
   for (const Segment& seg : found) {
     if (seg.used_chips != total || seg.index >= total ||
-        seg.digest != digest) {
+        seg.digest != digest || seg.format != format) {
       return Status{ErrorCode::kCorrupted,
                     "inconsistent hidden segment set across chips"};
     }
@@ -770,19 +817,45 @@ Result<std::vector<std::uint8_t>> StashDevice::execute_load_hidden() {
     }
     ordered[seg.index] = &seg;
   }
-  std::vector<std::uint8_t> out;
+  RawHidden raw;
+  raw.format = format;
   for (std::uint16_t i = 0; i < total; ++i) {
     if (!ordered[i]) {
       return Status{ErrorCode::kCorrupted,
                     "hidden segment " + std::to_string(i) + " missing"};
     }
-    out.insert(out.end(), ordered[i]->payload.begin(),
-               ordered[i]->payload.end());
+    raw.bytes.insert(raw.bytes.end(), ordered[i]->payload.begin(),
+                     ordered[i]->payload.end());
   }
-  if (util::fnv1a(out) != digest) {
+  if (util::fnv1a(raw.bytes) != digest) {
     return Status{ErrorCode::kCorrupted,
                   "reassembled hidden payload fails its stored digest"};
   }
+  return raw;
+}
+
+Result<std::vector<std::uint8_t>> StashDevice::execute_load_hidden() {
+  auto raw = load_hidden_raw();
+  if (!raw.is_ok()) return raw.status();
+  std::vector<std::uint8_t> out;
+  if (raw.value().format == kFormatRaw) {
+    out = std::move(raw.value().bytes);
+  } else if (raw.value().format == pack::kFormatVersion) {
+    auto unpacked = pack::unpack(
+        {raw.value().bytes.data(), raw.value().bytes.size()});
+    if (!unpacked.is_ok()) return unpacked.status();
+    out = std::move(unpacked.value());
+  } else {
+    // A segment format this build does not know: the data is intact (it
+    // passed the generation digest) but not decodable here — that is
+    // kUnsupported, not kCorrupted.
+    return Status{ErrorCode::kUnsupported,
+                  "hidden segment format " +
+                      std::to_string(raw.value().format) +
+                      " newer than this build"};
+  }
+  counters_.hidden_loads.inc();
+  dev_telemetry().hidden_loads.inc();
   return out;
 }
 
@@ -1133,6 +1206,43 @@ Result<std::vector<std::uint8_t>> StashDevice::load_hidden() {
   return fut.get();
 }
 
+Result<HiddenInfo> StashDevice::hidden_info() {
+  // Like flush()/stats: a direct query, not a queued op — but it dispatches
+  // anything queued first so it describes the committed generation.
+  std::unique_lock<std::mutex> lock(mu_);
+  dispatch(lock);
+  auto raw = load_hidden_raw();
+  if (!raw.is_ok()) return raw.status();
+
+  HiddenInfo info;
+  info.format = raw.value().format;
+  if (raw.value().format == kFormatRaw) {
+    info.logical_bytes = raw.value().bytes.size();
+    info.packed_bytes = raw.value().bytes.size();
+  } else {
+    // Any pack version: inspect() reads the header and reports version
+    // mismatches itself (kUnsupported), keeping one error surface.
+    auto stats = pack::inspect(
+        {raw.value().bytes.data(), raw.value().bytes.size()});
+    if (!stats.is_ok()) return stats.status();
+    info.logical_bytes = stats.value().logical_bytes;
+    info.packed_bytes = stats.value().packed_bytes;
+    info.chunks = stats.value().chunks;
+    info.unique_chunks = stats.value().unique_chunks;
+    info.dedup_ratio = stats.value().dedup_ratio();
+  }
+  // Headroom of a *replacement* store: store_hidden swaps the whole object,
+  // so the capacity of every hidden-capable chip counts, minus per-chip
+  // segment framing.
+  for (const auto& volume : volumes_) {
+    const std::size_t cap = volume->hidden_capacity_bytes();
+    if (cap > kSegmentHeaderBytes) {
+      info.remaining_capacity_bytes += cap - kSegmentHeaderBytes;
+    }
+  }
+  return info;
+}
+
 BatchResult<std::vector<std::uint8_t>> StashDevice::read_batch(
     std::span<const std::uint64_t> lpns) {
   std::vector<std::future<Result<std::vector<std::uint8_t>>>> futures;
@@ -1171,7 +1281,44 @@ DeviceStats StashDevice::stats_snapshot() const noexcept {
   s.flushed_pages = counters_.flushed_pages.value();
   s.lost_writes = counters_.lost.value();
   s.gc_runs = counters_.gc_runs.value();
+  s.hidden_stores = counters_.hidden_stores.value();
+  s.hidden_loads = counters_.hidden_loads.value();
+  s.pack_logical_bytes = counters_.pack_logical_bytes.value();
+  s.pack_packed_bytes = counters_.pack_packed_bytes.value();
   return s;
+}
+
+std::string StashDevice::stats_json() const {
+  const DeviceStats s = stats_snapshot();
+  std::string out = "{";
+  const auto field = [&out](const char* key, std::uint64_t value,
+                            bool last = false) {
+    out += '"';
+    out += key;
+    out += "\":";
+    out += std::to_string(value);
+    if (!last) out += ',';
+  };
+  field("reads", s.reads);
+  field("writes", s.writes);
+  field("trims", s.trims);
+  field("cache_hits", s.cache_hits);
+  field("cache_misses", s.cache_misses);
+  field("buffer_hits", s.buffer_hits);
+  field("coalesced_writes", s.coalesced_writes);
+  field("coalesced_reads", s.coalesced_reads);
+  field("dispatches", s.dispatches);
+  field("deadline_dispatches", s.deadline_dispatches);
+  field("flushes", s.flushes);
+  field("flushed_pages", s.flushed_pages);
+  field("lost_writes", s.lost_writes);
+  field("gc_runs", s.gc_runs);
+  field("hidden_stores", s.hidden_stores);
+  field("hidden_loads", s.hidden_loads);
+  field("pack_logical_bytes", s.pack_logical_bytes);
+  field("pack_packed_bytes", s.pack_packed_bytes, /*last=*/true);
+  out += '}';
+  return out;
 }
 
 }  // namespace stash::dev

@@ -31,10 +31,18 @@ class Client {
   Client& operator=(const Client&) = delete;
   ~Client();
 
-  /// Connect to a numeric IPv4 host ("localhost" accepted).
+  /// Connect to a numeric IPv4 host ("localhost" accepted) and perform
+  /// the protocol handshake: a kHello exchange pinning protocol version
+  /// and pack container format.  A disagreeing server answers
+  /// kUnsupported (surfaced verbatim here) and closes — the connection is
+  /// never left half-open in a version no-man's-land.
   Status connect(const std::string& host, std::uint16_t port);
   void close();
   [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  /// The server's side of the handshake (valid after connect()).
+  [[nodiscard]] const Hello& server_hello() const noexcept {
+    return server_hello_;
+  }
 
   // ---- Pipelined interface ------------------------------------------------
   /// Transmit one request frame (blocking until fully written).  Assigns
@@ -55,14 +63,18 @@ class Client {
   Status flush();
   Status ping();
   Result<dev::DeviceStats> stats();
+  /// Remote mirror of StashDevice::hidden_info().
+  Result<dev::HiddenInfo> hidden_info();
 
  private:
   Status transact(Request& req, Response& resp);
+  Status handshake();
 
   int fd_ = -1;
   std::uint64_t next_id_ = 1;
   FrameAssembler assembler_;
   std::vector<std::uint8_t> txbuf_;
+  Hello server_hello_{};
 };
 
 }  // namespace stash::net

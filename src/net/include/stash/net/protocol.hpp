@@ -48,10 +48,35 @@ enum class OpCode : std::uint8_t {
   kFlush = 7,
   kStats = 8,
   kPing = 9,
+  kHello = 10,       // version + feature-flag handshake (data: Hello)
+  kHiddenInfo = 11,  // versioned hidden-object query (data: HiddenInfo)
 };
+constexpr std::size_t kOpCount = 11;
 
 [[nodiscard]] const char* op_name(OpCode op) noexcept;
 [[nodiscard]] bool valid_op(std::uint8_t raw) noexcept;
+
+/// Protocol revision this build speaks.  v1 had ops read..ping and the
+/// 14-field stats payload; v2 adds the hello handshake, hidden_info, and
+/// the pack counters in the stats payload.
+constexpr std::uint32_t kProtocolVersion = 2;
+
+/// Feature flags advertised in the hello exchange.
+constexpr std::uint64_t kFeatureHiddenInfo = 1ull << 0;
+constexpr std::uint64_t kFeaturePackV1 = 1ull << 1;
+
+/// Handshake payload of a kHello request *and* its response: each side
+/// states its protocol version, feature set, and the pack container
+/// format it writes.  The server rejects a mismatched version or pack
+/// format with kUnsupported and closes after the response — a clean
+/// refusal at connect time instead of a kCorrupted mid-stream surprise
+/// when the first packed payload crosses the wire.
+struct Hello {
+  std::uint32_t version = kProtocolVersion;
+  std::uint64_t features = kFeatureHiddenInfo | kFeaturePackV1;
+  /// pack::kFormatVersion of the sender (0 = packing disabled/unknown).
+  std::uint8_t pack_format = 0;
+};
 
 constexpr std::size_t kFrameHeaderBytes = 4;
 /// Default cap on one frame body (requests and responses alike).
@@ -82,11 +107,24 @@ void encode_response(const Response& resp, std::vector<std::uint8_t>& out);
 Status decode_request(std::span<const std::uint8_t> body, Request& out);
 Status decode_response(std::span<const std::uint8_t> body, Response& out);
 
-/// DeviceStats as a stats-response payload (fixed field order, all u64).
+/// DeviceStats as a stats-response payload (fixed field order, all u64;
+/// protocol v2 appends the hidden/pack counters).
 void encode_device_stats(const dev::DeviceStats& stats,
                          std::vector<std::uint8_t>& out);
 Status decode_device_stats(std::span<const std::uint8_t> bytes,
                            dev::DeviceStats& out);
+
+/// Hello as a request/response data payload.
+void encode_hello(const Hello& hello, std::vector<std::uint8_t>& out);
+Status decode_hello(std::span<const std::uint8_t> bytes, Hello& out);
+
+/// dev::HiddenInfo as a hidden_info-response payload.  The dedup ratio
+/// crosses the wire in micro-units (u64) so the payload stays integral
+/// and byte-stable.
+void encode_hidden_info(const dev::HiddenInfo& info,
+                        std::vector<std::uint8_t>& out);
+Status decode_hidden_info(std::span<const std::uint8_t> bytes,
+                          dev::HiddenInfo& out);
 
 /// Incremental frame reassembly over an arbitrarily-chunked byte stream.
 class FrameAssembler {

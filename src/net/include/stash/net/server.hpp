@@ -76,8 +76,8 @@ struct NetStats {
   std::uint64_t dropped = 0;
   std::uint64_t pipeline_stalls = 0;
   std::uint64_t protocol_errors = 0;
-  /// Requests by op, indexed by OpCode - 1 (read ... ping).
-  std::uint64_t ops[9] = {};
+  /// Requests by op, indexed by OpCode - 1 (read ... hidden_info).
+  std::uint64_t ops[kOpCount] = {};
 };
 
 class Server {

@@ -10,6 +10,8 @@
 #include <cstring>
 #include <utility>
 
+#include "stash/pack/pack.hpp"
+
 namespace stash::net {
 
 using util::ErrorCode;
@@ -58,7 +60,25 @@ Status Client::connect(const std::string& host, std::uint16_t port) {
   (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   fd_ = fd;
   assembler_ = FrameAssembler();
+  if (const Status st = handshake(); !st.is_ok()) {
+    close();
+    return st;
+  }
   return Status::ok();
+}
+
+Status Client::handshake() {
+  Request req;
+  req.op = OpCode::kHello;
+  Hello mine;
+  mine.pack_format = pack::kFormatVersion;
+  encode_hello(mine, req.data);
+  Response resp;
+  STASH_RETURN_IF_ERROR(transact(req, resp));
+  // A refusal still carries the server's hello; surface the clean
+  // kUnsupported verdict, not a decode error.
+  STASH_RETURN_IF_ERROR(wire_status(resp));
+  return decode_hello(resp.data, server_hello_);
 }
 
 void Client::close() {
@@ -208,6 +228,18 @@ Result<dev::DeviceStats> Client::stats() {
   STASH_RETURN_IF_ERROR(wire_status(resp));
   dev::DeviceStats out;
   STASH_RETURN_IF_ERROR(decode_device_stats(resp.data, out));
+  return out;
+}
+
+Result<dev::HiddenInfo> Client::hidden_info() {
+  Request req;
+  req.op = OpCode::kHiddenInfo;
+  req.priority = static_cast<std::uint8_t>(dev::Priority::kBackground);
+  Response resp;
+  STASH_RETURN_IF_ERROR(transact(req, resp));
+  STASH_RETURN_IF_ERROR(wire_status(resp));
+  dev::HiddenInfo out;
+  STASH_RETURN_IF_ERROR(decode_hidden_info(resp.data, out));
   return out;
 }
 

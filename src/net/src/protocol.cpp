@@ -21,13 +21,15 @@ const char* op_name(OpCode op) noexcept {
     case OpCode::kFlush: return "flush";
     case OpCode::kStats: return "stats";
     case OpCode::kPing: return "ping";
+    case OpCode::kHello: return "hello";
+    case OpCode::kHiddenInfo: return "hidden_info";
   }
   return "unknown";
 }
 
 bool valid_op(std::uint8_t raw) noexcept {
   return raw >= static_cast<std::uint8_t>(OpCode::kRead) &&
-         raw <= static_cast<std::uint8_t>(OpCode::kPing);
+         raw <= static_cast<std::uint8_t>(OpCode::kHiddenInfo);
 }
 
 namespace {
@@ -123,6 +125,10 @@ void encode_device_stats(const dev::DeviceStats& stats,
   w.u64(stats.flushed_pages);
   w.u64(stats.lost_writes);
   w.u64(stats.gc_runs);
+  w.u64(stats.hidden_stores);
+  w.u64(stats.hidden_loads);
+  w.u64(stats.pack_logical_bytes);
+  w.u64(stats.pack_packed_bytes);
 }
 
 Status decode_device_stats(std::span<const std::uint8_t> bytes,
@@ -142,6 +148,52 @@ Status decode_device_stats(std::span<const std::uint8_t> bytes,
   STASH_RETURN_IF_ERROR(r.u64(out.flushed_pages));
   STASH_RETURN_IF_ERROR(r.u64(out.lost_writes));
   STASH_RETURN_IF_ERROR(r.u64(out.gc_runs));
+  STASH_RETURN_IF_ERROR(r.u64(out.hidden_stores));
+  STASH_RETURN_IF_ERROR(r.u64(out.hidden_loads));
+  STASH_RETURN_IF_ERROR(r.u64(out.pack_logical_bytes));
+  STASH_RETURN_IF_ERROR(r.u64(out.pack_packed_bytes));
+  return r.expect_exhausted();
+}
+
+void encode_hello(const Hello& hello, std::vector<std::uint8_t>& out) {
+  ByteWriter w(out);
+  w.u32(hello.version);
+  w.u64(hello.features);
+  w.u8(hello.pack_format);
+}
+
+Status decode_hello(std::span<const std::uint8_t> bytes, Hello& out) {
+  ByteReader r(bytes);
+  STASH_RETURN_IF_ERROR(r.u32(out.version));
+  STASH_RETURN_IF_ERROR(r.u64(out.features));
+  STASH_RETURN_IF_ERROR(r.u8(out.pack_format));
+  return r.expect_exhausted();
+}
+
+void encode_hidden_info(const dev::HiddenInfo& info,
+                        std::vector<std::uint8_t>& out) {
+  ByteWriter w(out);
+  w.u64(info.logical_bytes);
+  w.u64(info.packed_bytes);
+  w.u64(info.chunks);
+  w.u64(info.unique_chunks);
+  w.u16(info.format);
+  w.u64(static_cast<std::uint64_t>(info.dedup_ratio * 1e6 + 0.5));
+  w.u64(info.remaining_capacity_bytes);
+}
+
+Status decode_hidden_info(std::span<const std::uint8_t> bytes,
+                          dev::HiddenInfo& out) {
+  ByteReader r(bytes);
+  STASH_RETURN_IF_ERROR(r.u64(out.logical_bytes));
+  STASH_RETURN_IF_ERROR(r.u64(out.packed_bytes));
+  STASH_RETURN_IF_ERROR(r.u64(out.chunks));
+  STASH_RETURN_IF_ERROR(r.u64(out.unique_chunks));
+  STASH_RETURN_IF_ERROR(r.u16(out.format));
+  std::uint64_t dedup_micro = 0;
+  STASH_RETURN_IF_ERROR(r.u64(dedup_micro));
+  out.dedup_ratio = static_cast<double>(dedup_micro) / 1e6;
+  STASH_RETURN_IF_ERROR(r.u64(out.remaining_capacity_bytes));
   return r.expect_exhausted();
 }
 

@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "stash/pack/pack.hpp"
 #include "stash/telemetry/metrics.hpp"
 
 namespace stash::net {
@@ -286,6 +287,52 @@ struct Server::Impl {
         p.ready.id = req.id;
         p.ready.data = std::move(req.data);  // echo
         break;
+      case OpCode::kHello: {
+        p.ready.op = req.op;
+        p.ready.id = req.id;
+        Hello theirs;
+        Hello ours;
+        ours.pack_format = device.config().pack.enabled
+                               ? pack::kFormatVersion
+                               : std::uint8_t{0};
+        if (const Status st = decode_hello(req.data, theirs); !st.is_ok()) {
+          protocol_error(c, st);  // queues its own answer and hangs up
+          return false;
+        }
+        // Version or pack-format disagreement: answer kUnsupported (with
+        // what we speak, so the peer can log it) and close after the
+        // flush.  The alternative — letting a v1 peer stream on — fails
+        // kCorrupted at the first packed payload or unknown op, long
+        // after the cause is diagnosable.
+        if (theirs.version != kProtocolVersion) {
+          p.ready.status = static_cast<std::uint8_t>(ErrorCode::kUnsupported);
+          p.ready.message =
+              "protocol version " + std::to_string(theirs.version) +
+              " != server version " + std::to_string(kProtocolVersion);
+          c.close_after_flush = true;
+        } else if (theirs.pack_format != 0 && ours.pack_format != 0 &&
+                   theirs.pack_format != ours.pack_format) {
+          p.ready.status = static_cast<std::uint8_t>(ErrorCode::kUnsupported);
+          p.ready.message =
+              "pack format " + std::to_string(theirs.pack_format) +
+              " != server pack format " + std::to_string(ours.pack_format);
+          c.close_after_flush = true;
+        }
+        encode_hello(ours, p.ready.data);
+        break;
+      }
+      case OpCode::kHiddenInfo: {
+        p.ready.op = req.op;
+        p.ready.id = req.id;
+        auto info = device.hidden_info();
+        if (info.is_ok()) {
+          encode_hidden_info(info.value(), p.ready.data);
+        } else {
+          p.ready.status = static_cast<std::uint8_t>(info.status().code());
+          p.ready.message = info.status().message();
+        }
+        break;
+      }
     }
     c.pending.push_back(std::move(p));
     ++in_flight;
@@ -692,8 +739,8 @@ std::string Server::stats_json() const {
   field("pipeline_stalls", s.pipeline_stalls);
   field("protocol_errors", s.protocol_errors);
   json += "\"ops\":{";
-  for (std::size_t i = 0; i < 9; ++i) {
-    field(op_name(static_cast<OpCode>(i + 1)), s.ops[i], i + 1 < 9);
+  for (std::size_t i = 0; i < kOpCount; ++i) {
+    field(op_name(static_cast<OpCode>(i + 1)), s.ops[i], i + 1 < kOpCount);
   }
   json += "}}";
   return json;

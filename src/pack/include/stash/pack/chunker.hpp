@@ -1,0 +1,71 @@
+#pragma once
+// Content-defined chunking for the hidden-capacity pack pipeline.
+//
+// A buzhash (cyclic-polynomial rolling hash) slides a fixed window over the
+// input; a chunk boundary is declared wherever the low `mask` bits of the
+// hash are all ones, subject to [min_bytes, max_bytes] clamps.  Because the
+// cut decision depends only on the window contents, inserting or deleting
+// bytes early in a stream shifts at most the chunks around the edit — the
+// boundaries downstream re-synchronize, which is what lets the SHA-256
+// dedup index (srep-style large-window dedup) find unmodified chunks again
+// no matter how the surrounding data moved.
+//
+// The chunker is pure and deterministic: the same bytes always produce the
+// same spans, on any thread count, which the pack container's byte-
+// stability (and therefore the device's snapshot determinism gate) relies
+// on.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stash/util/status.hpp"
+
+namespace stash::pack {
+
+using util::Status;
+
+/// One chunk of the input: `[offset, offset + size)`.
+struct ChunkSpan {
+  std::size_t offset = 0;
+  std::size_t size = 0;
+};
+
+/// Chunking knobs.  Follows the uniform config contract: validate() is
+/// checked by the owning PackConfig::validate().
+struct ChunkerConfig {
+  /// No cut is taken before this many bytes (the final chunk may be
+  /// shorter — there is nothing left to extend it with).
+  std::uint32_t min_bytes = 512;
+  /// Expected chunk size: must be a power of two; the boundary test fires
+  /// with probability 1 / avg_bytes per byte.
+  std::uint32_t avg_bytes = 2048;
+  /// A cut is forced at this many bytes even if the hash never fires.
+  std::uint32_t max_bytes = 8192;
+
+  [[nodiscard]] Status validate() const {
+    using util::ErrorCode;
+    if (min_bytes < 64) {
+      return {ErrorCode::kInvalidArgument,
+              "ChunkerConfig: min_bytes must be >= 64"};
+    }
+    if (avg_bytes == 0 || (avg_bytes & (avg_bytes - 1)) != 0) {
+      return {ErrorCode::kInvalidArgument,
+              "ChunkerConfig: avg_bytes must be a power of two"};
+    }
+    if (!(min_bytes <= avg_bytes && avg_bytes <= max_bytes)) {
+      return {ErrorCode::kInvalidArgument,
+              "ChunkerConfig: need min_bytes <= avg_bytes <= max_bytes"};
+    }
+    return Status::ok();
+  }
+};
+
+/// Split `data` into content-defined spans.  Spans are contiguous, in
+/// order, and cover `data` exactly; every span except possibly the last is
+/// within [min_bytes, max_bytes].  Empty input yields no spans.
+[[nodiscard]] std::vector<ChunkSpan> chunk_spans(
+    std::span<const std::uint8_t> data, const ChunkerConfig& config);
+
+}  // namespace stash::pack

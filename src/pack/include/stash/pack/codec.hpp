@@ -1,0 +1,54 @@
+#pragma once
+// Entropy stage of the pack pipeline: a greedy LZ (hash-chain match
+// finder, varint token stream) followed by an adaptive order-0 binary
+// range coder (LZMA-style bit-tree byte model).  No external dependencies;
+// both stages are pure functions of their input bytes, so the packed
+// container inherits the stack's byte-stability contract.
+//
+// Robustness contract (the pack container depends on it): the decoders
+// never read out of bounds, never loop unboundedly, and report any
+// malformed input as kCorrupted.  They may, on corrupt input, produce
+// wrong *bytes* of the declared length — the container's SHA-256 of the
+// original payload is what turns "wrong bytes" into kCorrupted instead of
+// garbage.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stash/util/status.hpp"
+
+namespace stash::pack {
+
+using util::Result;
+using util::Status;
+
+// ---- LZ (dictionary) stage -------------------------------------------------
+
+/// Compress `data` into the LZ token stream.  The window is the whole
+/// buffer (matches may reference any earlier offset), so long-range
+/// redundancy the chunk dedup missed is still found.
+[[nodiscard]] std::vector<std::uint8_t> lz_compress(
+    std::span<const std::uint8_t> data);
+
+/// Decode a token stream produced by lz_compress.  `expected_size` bounds
+/// the output: a stream that would exceed it, ends short of it, references
+/// before the start of the output, or has trailing bytes is kCorrupted.
+[[nodiscard]] Result<std::vector<std::uint8_t>> lz_decompress(
+    std::span<const std::uint8_t> stream, std::size_t expected_size);
+
+// ---- Range-coder stage -----------------------------------------------------
+
+/// Adaptive order-0 range encode of `data` (any byte stream; typically the
+/// LZ token stream).
+[[nodiscard]] std::vector<std::uint8_t> rc_compress(
+    std::span<const std::uint8_t> data);
+
+/// Decode exactly `expected_size` bytes.  A truncated stream decodes (the
+/// decoder pads with zero bytes) into wrong output rather than reading out
+/// of bounds — callers verify the result against a digest.
+[[nodiscard]] std::vector<std::uint8_t> rc_decompress(
+    std::span<const std::uint8_t> stream, std::size_t expected_size);
+
+}  // namespace stash::pack

@@ -1,0 +1,83 @@
+#include "stash/pack/chunker.hpp"
+
+#include <array>
+
+namespace stash::pack {
+
+namespace {
+
+/// Buzhash window: long enough that the cut decision sees real content,
+/// short enough that boundaries re-synchronize quickly after an edit.
+constexpr std::size_t kWindowBytes = 48;
+
+/// Per-byte mixing table, generated once from splitmix64 so the hash is a
+/// fixed function of the byte values (no process-to-process variation).
+const std::array<std::uint64_t, 256>& byte_table() {
+  static const std::array<std::uint64_t, 256> table = [] {
+    std::array<std::uint64_t, 256> t{};
+    std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+    for (auto& v : t) {
+      state += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = state;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      v = z ^ (z >> 31);
+    }
+    return t;
+  }();
+  return table;
+}
+
+constexpr std::uint64_t rotl(std::uint64_t v, unsigned s) noexcept {
+  return (v << s) | (v >> (64 - s));
+}
+
+}  // namespace
+
+std::vector<ChunkSpan> chunk_spans(std::span<const std::uint8_t> data,
+                                   const ChunkerConfig& config) {
+  std::vector<ChunkSpan> spans;
+  const auto& table = byte_table();
+  // Normalized chunking (the FastCDC refinement): a stricter mask before
+  // the average point, a looser one past it.  The loose tail mask is what
+  // keeps pathological inputs content-defined — with a single mask, data
+  // whose only qualifying window sits inside the min_bytes dead zone
+  // degenerates into forced max_bytes cuts, which are alignment-defined
+  // (not content-defined) and defeat dedup entirely.
+  const std::uint64_t strict_mask = (std::uint64_t{config.avg_bytes} * 2) - 1;
+  const std::uint64_t loose_mask = (config.avg_bytes / 2) - 1;
+  std::size_t start = 0;
+  while (start < data.size()) {
+    const std::size_t limit =
+        std::min<std::size_t>(data.size() - start, config.max_bytes);
+    std::size_t len = limit;
+    if (limit >= config.min_bytes) {
+      // Roll the hash from the chunk start; only consult it past min_bytes
+      // so no cut can fire early.  The window is cyclic: the byte leaving
+      // the window is rotated all the way around and removed.
+      std::uint64_t h = 0;
+      std::size_t cut = 0;
+      for (std::size_t i = 0; i < limit; ++i) {
+        h = rotl(h, 1) ^ table[data[start + i]];
+        if (i >= kWindowBytes) {
+          h ^= rotl(table[data[start + i - kWindowBytes]],
+                    static_cast<unsigned>(kWindowBytes % 64));
+        }
+        if (i + 1 >= config.min_bytes) {
+          const std::uint64_t mask =
+              (i + 1 < config.avg_bytes) ? strict_mask : loose_mask;
+          if ((h & mask) == mask) {
+            cut = i + 1;
+            break;
+          }
+        }
+      }
+      if (cut != 0) len = cut;
+    }
+    spans.push_back({start, len});
+    start += len;
+  }
+  return spans;
+}
+
+}  // namespace stash::pack

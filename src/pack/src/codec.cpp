@@ -1,0 +1,297 @@
+#include "stash/pack/codec.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace stash::pack {
+
+using util::ErrorCode;
+
+namespace {
+
+// ---- Varints (LEB128) ------------------------------------------------------
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+bool get_varint(std::span<const std::uint8_t> in, std::size_t& pos,
+                std::uint64_t& v) {
+  v = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    if (pos >= in.size()) return false;
+    const std::uint8_t byte = in[pos++];
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return true;
+  }
+  return false;  // over-long encoding
+}
+
+// ---- LZ match finder -------------------------------------------------------
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 1 << 16;
+constexpr std::size_t kHashBits = 16;
+constexpr std::size_t kMaxChainSteps = 48;
+
+std::uint32_t hash4(const std::uint8_t* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+std::size_t match_length(const std::uint8_t* a, const std::uint8_t* b,
+                         std::size_t limit) noexcept {
+  std::size_t n = 0;
+  while (n < limit && a[n] == b[n]) ++n;
+  return n;
+}
+
+// ---- Range coder (adaptive binary, LZMA-style) -----------------------------
+
+constexpr std::uint32_t kProbBits = 11;
+constexpr std::uint32_t kProbInit = 1u << (kProbBits - 1);
+constexpr std::uint32_t kProbMoveBits = 5;
+constexpr std::uint32_t kTopValue = 1u << 24;
+
+class RangeEncoder {
+ public:
+  explicit RangeEncoder(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void encode_bit(std::uint16_t& prob, std::uint32_t bit) {
+    const std::uint32_t bound = (range_ >> kProbBits) * prob;
+    if (bit == 0) {
+      range_ = bound;
+      prob = static_cast<std::uint16_t>(
+          prob + (((1u << kProbBits) - prob) >> kProbMoveBits));
+    } else {
+      low_ += bound;
+      range_ -= bound;
+      prob = static_cast<std::uint16_t>(prob - (prob >> kProbMoveBits));
+    }
+    while (range_ < kTopValue) {
+      range_ <<= 8;
+      shift_low();
+    }
+  }
+
+  void flush() {
+    for (int i = 0; i < 5; ++i) shift_low();
+  }
+
+ private:
+  void shift_low() {
+    if (static_cast<std::uint32_t>(low_) < 0xff000000u ||
+        static_cast<std::uint32_t>(low_ >> 32) != 0) {
+      std::uint8_t carry = static_cast<std::uint8_t>(low_ >> 32);
+      do {
+        out_.push_back(static_cast<std::uint8_t>(cache_ + carry));
+        cache_ = 0xff;
+      } while (--cache_size_ != 0);
+      cache_ = static_cast<std::uint8_t>(low_ >> 24);
+    }
+    ++cache_size_;
+    low_ = (low_ & 0x00ffffffu) << 8;
+  }
+
+  std::vector<std::uint8_t>& out_;
+  std::uint64_t low_ = 0;
+  std::uint32_t range_ = 0xffffffffu;
+  std::uint8_t cache_ = 0;
+  std::uint64_t cache_size_ = 1;
+};
+
+class RangeDecoder {
+ public:
+  explicit RangeDecoder(std::span<const std::uint8_t> in) : in_(in) {
+    // The encoder's first emitted byte is the initial (zero) cache; skip
+    // it, then seed the code register.
+    next_byte();
+    for (int i = 0; i < 4; ++i) code_ = (code_ << 8) | next_byte();
+  }
+
+  std::uint32_t decode_bit(std::uint16_t& prob) {
+    const std::uint32_t bound = (range_ >> kProbBits) * prob;
+    std::uint32_t bit;
+    if (code_ < bound) {
+      range_ = bound;
+      prob = static_cast<std::uint16_t>(
+          prob + (((1u << kProbBits) - prob) >> kProbMoveBits));
+      bit = 0;
+    } else {
+      code_ -= bound;
+      range_ -= bound;
+      prob = static_cast<std::uint16_t>(prob - (prob >> kProbMoveBits));
+      bit = 1;
+    }
+    while (range_ < kTopValue) {
+      range_ <<= 8;
+      code_ = (code_ << 8) | next_byte();
+    }
+    return bit;
+  }
+
+ private:
+  /// Truncated streams pad with zero: bounded, wrong, and caught by the
+  /// caller's digest check.
+  std::uint8_t next_byte() noexcept {
+    return pos_ < in_.size() ? in_[pos_++] : 0;
+  }
+
+  std::span<const std::uint8_t> in_;
+  std::size_t pos_ = 0;
+  std::uint32_t code_ = 0;
+  std::uint32_t range_ = 0xffffffffu;
+};
+
+/// 255-node bit tree: one adaptive context per prefix of the byte.
+struct ByteModel {
+  std::vector<std::uint16_t> probs = std::vector<std::uint16_t>(256, kProbInit);
+};
+
+}  // namespace
+
+// ---- LZ --------------------------------------------------------------------
+
+// Token stream: repeated [lit_len varint][literals][mlenz varint] where
+// mlenz == 0 terminates the stream and mlenz == n > 0 means a match of
+// (n - 1 + kMinMatch) bytes, followed by [distance varint].
+
+std::vector<std::uint8_t> lz_compress(std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t> out;
+  out.reserve(data.size() / 2 + 16);
+  std::vector<std::uint32_t> head(std::size_t{1} << kHashBits, 0xffffffffu);
+  std::vector<std::uint32_t> chain(data.size(), 0xffffffffu);
+
+  std::size_t pos = 0;
+  std::size_t lit_start = 0;
+  const auto emit = [&](std::size_t match_len, std::size_t dist) {
+    put_varint(out, pos - lit_start);
+    out.insert(out.end(), data.begin() + static_cast<std::ptrdiff_t>(lit_start),
+               data.begin() + static_cast<std::ptrdiff_t>(pos));
+    if (match_len == 0) {
+      put_varint(out, 0);
+    } else {
+      put_varint(out, match_len - kMinMatch + 1);
+      put_varint(out, dist);
+    }
+  };
+
+  while (pos + kMinMatch <= data.size()) {
+    const std::uint32_t h = hash4(data.data() + pos);
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+    std::uint32_t cand = head[h];
+    const std::size_t limit =
+        std::min(kMaxMatch, data.size() - pos);
+    for (std::size_t step = 0;
+         cand != 0xffffffffu && step < kMaxChainSteps; ++step) {
+      const std::size_t len =
+          match_length(data.data() + cand, data.data() + pos, limit);
+      if (len > best_len) {
+        best_len = len;
+        best_dist = pos - cand;
+        if (len == limit) break;
+      }
+      cand = chain[cand];
+    }
+    chain[pos] = head[h];
+    head[h] = static_cast<std::uint32_t>(pos);
+    if (best_len >= kMinMatch) {
+      emit(best_len, best_dist);
+      // Insert the skipped positions into the hash chains so later matches
+      // can still land inside this match.
+      const std::size_t end = pos + best_len;
+      for (std::size_t p = pos + 1;
+           p < end && p + kMinMatch <= data.size(); ++p) {
+        const std::uint32_t hp = hash4(data.data() + p);
+        chain[p] = head[hp];
+        head[hp] = static_cast<std::uint32_t>(p);
+      }
+      pos = end;
+      lit_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  pos = data.size();
+  emit(0, 0);
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> lz_decompress(
+    std::span<const std::uint8_t> stream, std::size_t expected_size) {
+  const Status corrupt{ErrorCode::kCorrupted, "LZ token stream malformed"};
+  std::vector<std::uint8_t> out;
+  out.reserve(expected_size);
+  std::size_t pos = 0;
+  for (;;) {
+    std::uint64_t lit_len = 0;
+    if (!get_varint(stream, pos, lit_len)) return corrupt;
+    if (lit_len > stream.size() - pos ||
+        out.size() + lit_len > expected_size) {
+      return corrupt;
+    }
+    out.insert(out.end(), stream.begin() + static_cast<std::ptrdiff_t>(pos),
+               stream.begin() + static_cast<std::ptrdiff_t>(pos + lit_len));
+    pos += lit_len;
+    std::uint64_t mlenz = 0;
+    if (!get_varint(stream, pos, mlenz)) return corrupt;
+    if (mlenz == 0) break;
+    std::uint64_t dist = 0;
+    if (!get_varint(stream, pos, dist)) return corrupt;
+    const std::uint64_t match_len = mlenz - 1 + kMinMatch;
+    if (dist == 0 || dist > out.size() ||
+        out.size() + match_len > expected_size) {
+      return corrupt;
+    }
+    // Byte-by-byte copy: overlapping matches (dist < match_len) replicate.
+    std::size_t from = out.size() - static_cast<std::size_t>(dist);
+    for (std::uint64_t i = 0; i < match_len; ++i) {
+      out.push_back(out[from + static_cast<std::size_t>(i)]);
+    }
+  }
+  if (pos != stream.size() || out.size() != expected_size) return corrupt;
+  return out;
+}
+
+// ---- Range coder -----------------------------------------------------------
+
+std::vector<std::uint8_t> rc_compress(std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t> out;
+  out.reserve(data.size() / 2 + 8);
+  ByteModel model;
+  RangeEncoder enc(out);
+  for (const std::uint8_t byte : data) {
+    std::uint32_t ctx = 1;
+    for (int bit = 7; bit >= 0; --bit) {
+      const std::uint32_t b = (byte >> bit) & 1;
+      enc.encode_bit(model.probs[ctx], b);
+      ctx = (ctx << 1) | b;
+    }
+  }
+  enc.flush();
+  return out;
+}
+
+std::vector<std::uint8_t> rc_decompress(std::span<const std::uint8_t> stream,
+                                        std::size_t expected_size) {
+  std::vector<std::uint8_t> out;
+  out.reserve(expected_size);
+  ByteModel model;
+  RangeDecoder dec(stream);
+  for (std::size_t i = 0; i < expected_size; ++i) {
+    std::uint32_t ctx = 1;
+    for (int bit = 0; bit < 8; ++bit) {
+      ctx = (ctx << 1) | dec.decode_bit(model.probs[ctx]);
+    }
+    out.push_back(static_cast<std::uint8_t>(ctx & 0xff));
+  }
+  return out;
+}
+
+}  // namespace stash::pack

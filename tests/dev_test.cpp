@@ -526,7 +526,11 @@ TEST(DevHidden, PayloadShardsAcrossChipsAndRoundTrips) {
 }
 
 TEST(DevHidden, MissingSegmentIsCorruptionNotSilence) {
-  StashDevice dev(hidden_config(2), test_key());
+  // Raw framing mechanics under test: packing off, so the constant-fill
+  // payload keeps its size and must span both chips.
+  DeviceConfig config = hidden_config(2);
+  config.pack.enabled = false;
+  StashDevice dev(config, test_key());
   fill_public(dev, 6000);
   const std::size_t chip0_capacity = dev.volume(0).hidden_capacity_bytes();
   std::vector<std::uint8_t> secret(chip0_capacity + 64, 0xa5);
@@ -545,7 +549,9 @@ TEST(DevHidden, NoHiddenVolumeIsNotFound) {
 }
 
 TEST(DevHidden, OversizedPayloadIsRejectedBeforeTouchingFlash) {
-  StashDevice dev(hidden_config(1), test_key());
+  DeviceConfig config = hidden_config(1);
+  config.pack.enabled = false;  // constant fill would pack down and fit
+  StashDevice dev(config, test_key());
   fill_public(dev, 8000);
   std::size_t capacity = 0;
   for (std::uint32_t c = 0; c < dev.chips(); ++c) {
@@ -562,7 +568,9 @@ TEST(DevHidden, FailedSpanningStoreKeepsPreviousPayloadLoadable) {
   // has to abort chip 0's already-prepared segment and leave the previous
   // generation fully loadable.  Before the fix chip 0 had already been
   // overwritten by the time chip 1 failed.
-  StashDevice dev(hidden_config(2), test_key());
+  DeviceConfig config = hidden_config(2);
+  config.pack.enabled = false;  // constant-fill payloads must span chips
+  StashDevice dev(config, test_key());
   fill_public(dev, 9000);
 
   const std::size_t cap0 = dev.volume(0).hidden_capacity_bytes();
@@ -603,6 +611,7 @@ TEST(DevHidden, DuplicateHiddenSegmentIndexIsCorruption) {
   util::ByteWriter w(segment);
   w.u16(0);                                          // index
   w.u16(1);                                          // used_chips
+  w.u16(0);                                          // format (raw)
   w.u32(static_cast<std::uint32_t>(payload.size()));  // payload_len
   w.u64(util::fnv1a(payload));                       // digest
   w.raw(payload);

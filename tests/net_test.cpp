@@ -1,11 +1,19 @@
 // stash::net tests: wire-protocol encode/decode and frame reassembly under
 // arbitrary chunking, the epoll server end-to-end over loopback (basic ops,
-// hidden payloads, pipelined in-order responses, QoS passthrough), graceful
-// shutdown accounting (requests == responses + dropped, no abandoned
-// futures), mid-flight disconnects, deterministic-mode byte-identical stats
-// export, and idle-tick starvation rescue of a lone remote read.
+// hidden payloads, pipelined in-order responses, QoS passthrough), the
+// version/feature handshake (negotiation on connect; version or pack-format
+// mismatch refused as clean kUnsupported plus hangup, never mid-stream
+// corruption), hidden_info parity across the wire, graceful shutdown
+// accounting (requests == responses + dropped, no abandoned futures),
+// mid-flight disconnects, deterministic-mode byte-identical stats export,
+// and idle-tick starvation rescue of a lone remote read.
 
 #include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <array>
 #include <chrono>
@@ -16,6 +24,7 @@
 #include "stash/dev/device.hpp"
 #include "stash/net/client.hpp"
 #include "stash/net/server.hpp"
+#include "stash/pack/pack.hpp"
 #include "stash/util/rng.hpp"
 
 namespace stash::net {
@@ -246,6 +255,166 @@ TEST(NetServer, HiddenPayloadRoundTripsOverTheWire) {
   server.stop();
 }
 
+TEST(NetServer, HandshakeNegotiatesVersionFeaturesAndPackFormat) {
+  StashDevice dev(net_config(), test_key());
+  Server server(dev);
+  ASSERT_TRUE(server.start().is_ok());
+  Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()).is_ok());
+
+  const Hello& hello = client.server_hello();
+  EXPECT_EQ(hello.version, kProtocolVersion);
+  EXPECT_TRUE(hello.features & kFeatureHiddenInfo);
+  EXPECT_TRUE(hello.features & kFeaturePackV1);
+  EXPECT_EQ(hello.pack_format, pack::kFormatVersion);
+
+  client.close();
+  server.stop();
+}
+
+/// Dial the server raw (no Client, no auto-handshake), send one kHello
+/// carrying `mine`, and expect a clean kUnsupported refusal followed by the
+/// server hanging up — never a mid-stream kCorrupted.
+void expect_hello_refused(std::uint16_t port, const Hello& mine) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &sa.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)),
+            0);
+
+  Request req;
+  req.op = OpCode::kHello;
+  req.id = 1;
+  encode_hello(mine, req.data);
+  std::vector<std::uint8_t> wire;
+  encode_request(req, wire);
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(wire.size()));
+
+  FrameAssembler assembler;
+  Response resp;
+  bool got = false;
+  std::uint8_t buf[4096];
+  while (!got) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0) << "connection closed before the refusal arrived";
+    assembler.feed({buf, static_cast<std::size_t>(n)});
+    std::vector<std::uint8_t> frame;
+    bool ready = false;
+    ASSERT_TRUE(assembler.poll(frame, ready).is_ok());
+    if (ready) {
+      ASSERT_TRUE(decode_response(frame, resp).is_ok());
+      got = true;
+    }
+  }
+  EXPECT_EQ(resp.op, OpCode::kHello);
+  EXPECT_EQ(resp.status, static_cast<std::uint8_t>(ErrorCode::kUnsupported))
+      << resp.message;
+  EXPECT_FALSE(resp.message.empty());
+  // The refusal is the last thing on the wire: the server closes after the
+  // flush rather than limping into undecodable traffic.
+  EXPECT_EQ(::recv(fd, buf, sizeof(buf), 0), 0);
+  ::close(fd);
+}
+
+TEST(NetServer, ProtocolVersionMismatchIsUnsupportedNotCorrupted) {
+  StashDevice dev(net_config(), test_key());
+  Server server(dev);
+  ASSERT_TRUE(server.start().is_ok());
+
+  Hello old_client;
+  old_client.version = kProtocolVersion - 1;
+  expect_hello_refused(server.port(), old_client);
+
+  Hello alien_pack;
+  alien_pack.pack_format = pack::kFormatVersion + 1;
+  expect_hello_refused(server.port(), alien_pack);
+
+  server.stop();
+}
+
+TEST(NetServer, HiddenInfoOverTheWireMatchesTheDevice) {
+  DeviceConfig config;
+  config.geometry.blocks = 12;
+  config.geometry.pages_per_block = 8;
+  config.geometry.cells_per_page = 8192;
+  config.seed = 99;
+  config.chips = 2;
+  StashDevice dev(config, test_key());
+  for (std::uint64_t lpn = 0; lpn < dev.logical_pages(); ++lpn) {
+    ASSERT_TRUE(
+        dev.write(lpn, page_pattern(dev.page_bits(), 5000 + lpn)).is_ok());
+  }
+  ASSERT_TRUE(dev.flush().is_ok());
+
+  Server server(dev);
+  ASSERT_TRUE(server.start().is_ok());
+  Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()).is_ok());
+
+  // No hidden object yet: the miss crosses the wire as a clean kNotFound.
+  EXPECT_EQ(client.hidden_info().status().code(), ErrorCode::kNotFound);
+
+  // A compressible secret, so packed_bytes < logical_bytes is observable.
+  std::vector<std::uint8_t> secret(20'000);
+  for (std::size_t i = 0; i < secret.size(); ++i) {
+    secret[i] = static_cast<std::uint8_t>("stash pack"[i % 10]);
+  }
+  ASSERT_TRUE(client.store_hidden(secret).is_ok());
+
+  auto remote = client.hidden_info();
+  ASSERT_TRUE(remote.is_ok()) << remote.status().to_string();
+  auto local = dev.hidden_info();
+  ASSERT_TRUE(local.is_ok());
+  EXPECT_EQ(remote.value().logical_bytes, local.value().logical_bytes);
+  EXPECT_EQ(remote.value().packed_bytes, local.value().packed_bytes);
+  EXPECT_EQ(remote.value().chunks, local.value().chunks);
+  EXPECT_EQ(remote.value().unique_chunks, local.value().unique_chunks);
+  EXPECT_EQ(remote.value().format, local.value().format);
+  EXPECT_EQ(remote.value().remaining_capacity_bytes,
+            local.value().remaining_capacity_bytes);
+  // The ratio crosses the wire in micro-units; equality up to quantization.
+  EXPECT_NEAR(remote.value().dedup_ratio, local.value().dedup_ratio, 1e-5);
+  EXPECT_EQ(remote.value().logical_bytes, secret.size());
+  EXPECT_LT(remote.value().packed_bytes, secret.size());
+
+  client.close();
+  server.stop();
+}
+
+TEST(NetServer, EmptyHiddenPayloadRoundTripsOverTheWire) {
+  DeviceConfig config;
+  config.geometry.blocks = 12;
+  config.geometry.pages_per_block = 8;
+  config.geometry.cells_per_page = 8192;  // production VT-HI needs real pages
+  config.seed = 66;
+  StashDevice dev(config, test_key());
+  for (std::uint64_t lpn = 0; lpn < dev.logical_pages(); ++lpn) {
+    ASSERT_TRUE(
+        dev.write(lpn, page_pattern(dev.page_bits(), 6000 + lpn)).is_ok());
+  }
+  ASSERT_TRUE(dev.flush().is_ok());
+
+  Server server(dev);
+  ASSERT_TRUE(server.start().is_ok());
+  Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()).is_ok());
+
+  ASSERT_TRUE(client.store_hidden({}).is_ok());
+  auto loaded = client.load_hidden();
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  EXPECT_TRUE(loaded.value().empty());
+  auto info = client.hidden_info();
+  ASSERT_TRUE(info.is_ok());
+  EXPECT_EQ(info.value().logical_bytes, 0u);
+
+  client.close();
+  server.stop();
+}
+
 TEST(NetServer, PipelinedResponsesArriveInRequestOrder) {
   StashDevice dev(net_config(), test_key());
   for (std::uint64_t lpn = 0; lpn < 4; ++lpn) {
@@ -312,14 +481,16 @@ TEST(NetServer, GracefulShutdownResolvesEveryInFlightRequest) {
     req.lpn = 0;
     ASSERT_TRUE(client.send(req).is_ok());
   }
+  // + 1 everywhere: connect()'s kHello handshake is a request too, and its
+  // response was already consumed inside connect().
   ASSERT_TRUE(eventually(
-      [&] { return server.stats_snapshot().requests >= kParked; }));
+      [&] { return server.stats_snapshot().requests >= kParked + 1; }));
 
   server.stop();
   const NetStats net = server.stats_snapshot();
-  EXPECT_EQ(net.requests, kParked);
+  EXPECT_EQ(net.requests, kParked + 1);
   EXPECT_EQ(net.requests, net.responses + net.dropped);
-  EXPECT_EQ(net.responses, kParked);  // client still connected: delivered
+  EXPECT_EQ(net.responses, kParked + 1);  // client still connected: delivered
 
   // The best-effort flush really reached the wire: all four responses are
   // readable before the server-side close.
@@ -356,7 +527,7 @@ TEST(NetServer, MidFlightDisconnectIsDroppedNotAbandoned) {
     ASSERT_TRUE(client.send(req).is_ok());
   }
   ASSERT_TRUE(eventually(
-      [&] { return server.stats_snapshot().requests >= kParked; }));
+      [&] { return server.stats_snapshot().requests >= kParked + 1; }));
 
   client.close();  // vanish mid-flight
   ASSERT_TRUE(eventually(
@@ -364,7 +535,9 @@ TEST(NetServer, MidFlightDisconnectIsDroppedNotAbandoned) {
 
   server.stop();  // must return promptly (ctest would time the hang out)
   const NetStats net = server.stats_snapshot();
-  EXPECT_EQ(net.requests, kParked);
+  // connect()'s kHello was answered before the disconnect, so requests and
+  // responses each carry one handshake on top of the parked reads.
+  EXPECT_EQ(net.requests, kParked + 1);
   EXPECT_EQ(net.requests, net.responses + net.dropped);
   EXPECT_EQ(net.dropped, kParked);
   EXPECT_EQ(net.disconnected, 1u);
