@@ -30,6 +30,7 @@
 #include <fstream>
 #include <memory>
 #include <set>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -88,8 +89,8 @@ std::vector<std::uint8_t> payload_pattern(std::size_t n, std::uint64_t tag) {
   return out;
 }
 
-std::size_t hamming(const std::vector<std::uint8_t>& a,
-                    const std::vector<std::uint8_t>& b) {
+std::size_t hamming(std::span<const std::uint8_t> a,
+                    std::span<const std::uint8_t> b) {
   std::size_t d = a.size() > b.size() ? a.size() - b.size()
                                       : b.size() - a.size();
   for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
@@ -98,7 +99,7 @@ std::size_t hamming(const std::vector<std::uint8_t>& a,
   return d;
 }
 
-bool matches(const std::vector<std::uint8_t>& read,
+bool matches(std::span<const std::uint8_t> read,
              const std::vector<std::uint8_t>& wrote) {
   return !wrote.empty() && hamming(read, wrote) < wrote.size() / 4;
 }

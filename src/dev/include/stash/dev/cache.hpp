@@ -23,6 +23,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "stash/dev/arena.hpp"
+
 namespace stash::dev {
 
 class ReadCache {
@@ -30,9 +32,10 @@ class ReadCache {
   /// capacity_pages == 0 disables the cache (lookups miss, inserts drop).
   ReadCache(std::size_t capacity_pages, std::uint32_t shards);
 
-  [[nodiscard]] std::optional<std::vector<std::uint8_t>> lookup(
-      std::uint64_t lpn);
-  void insert(std::uint64_t lpn, std::vector<std::uint8_t> bits);
+  /// A hit is a refcount bump on the cached PageRef — the page bits are
+  /// shared with whoever inserted them, never copied out.
+  [[nodiscard]] std::optional<PageRef> lookup(std::uint64_t lpn);
+  void insert(std::uint64_t lpn, PageRef bits);
   void invalidate(std::uint64_t lpn);
   void clear();
 
@@ -51,7 +54,7 @@ class ReadCache {
   struct Shard {
     mutable std::mutex mu;
     /// Front = most recently used.
-    std::list<std::pair<std::uint64_t, std::vector<std::uint8_t>>> lru;
+    std::list<std::pair<std::uint64_t, PageRef>> lru;
     std::unordered_map<std::uint64_t, decltype(lru)::iterator> index;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -70,12 +73,13 @@ class WriteBackBuffer {
  public:
   struct Entry {
     std::uint64_t lpn = 0;
-    std::vector<std::uint8_t> bits;  // empty for a trim tombstone
+    PageRef bits;  // empty for a trim tombstone
     bool trim = false;
   };
 
   /// Stage a write; returns true when it coalesced into an existing entry.
-  bool put(std::uint64_t lpn, std::vector<std::uint8_t> bits);
+  /// The staged PageRef is shared with buffer-hit readers until flushed.
+  bool put(std::uint64_t lpn, PageRef bits);
   /// Stage a trim tombstone for `lpn`.
   bool put_trim(std::uint64_t lpn);
 

@@ -51,6 +51,7 @@
 #include <span>
 #include <vector>
 
+#include "stash/dev/arena.hpp"
 #include "stash/dev/cache.hpp"
 #include "stash/dev/config.hpp"
 #include "stash/crypto/drbg.hpp"
@@ -124,6 +125,11 @@ struct DeviceStats {
   // disabled — a raw store counts as multiplier 1).
   std::uint64_t pack_logical_bytes = 0;
   std::uint64_t pack_packed_bytes = 0;
+  // Page-payload bytes the device memcpy'd while serving requests.  The
+  // zero-copy read path (BufferArena slabs + PageRef sharing) keeps this
+  // at 0 for steady-state reads; the residual copies still charged here
+  // are the hidden-object segment reassembly on load_hidden.
+  std::uint64_t bytes_copied = 0;
 
   [[nodiscard]] double cache_hit_ratio() const noexcept {
     const std::uint64_t total = cache_hits + cache_misses;
@@ -163,8 +169,10 @@ class StashDevice {
   [[nodiscard]] const DeviceConfig& config() const noexcept { return config_; }
 
   // ---- Asynchronous frontend ---------------------------------------------
-  /// Queue a read; the future resolves at dispatch with the page data.
-  std::future<Result<std::vector<std::uint8_t>>> submit_read(
+  /// Queue a read; the future resolves at dispatch with a shared,
+  /// zero-copy reference to the page data (the same buffer the read LRU
+  /// holds).
+  std::future<Result<PageRef>> submit_read(
       std::uint64_t lpn, Priority priority = Priority::kForeground);
   /// Stage a write.  Write-back mode acknowledges as soon as the data is
   /// buffered (durable only after flush()); write-through mode
@@ -174,12 +182,12 @@ class StashDevice {
   std::future<Status> submit_trim(std::uint64_t lpn);
   /// Queue hidden-volume ops and GC at background priority.
   std::future<Status> submit_store_hidden(std::vector<std::uint8_t> data);
-  std::future<Result<std::vector<std::uint8_t>>> submit_load_hidden();
+  std::future<Result<PageRef>> submit_load_hidden();
   /// One GC pass on every chip's FTL.
   std::future<Status> submit_gc();
 
   // ---- Synchronous convenience -------------------------------------------
-  Result<std::vector<std::uint8_t>> read(std::uint64_t lpn);
+  Result<PageRef> read(std::uint64_t lpn);
   Status write(std::uint64_t lpn, std::span<const std::uint8_t> bits);
   Status trim(std::uint64_t lpn);
   /// Store (replace) the hidden object.  With DeviceConfig::pack enabled
@@ -187,7 +195,7 @@ class StashDevice {
   /// transparently reverses it.  Both remain thin wrappers over the
   /// versioned hidden-object surface below.
   Status store_hidden(std::span<const std::uint8_t> data);
-  Result<std::vector<std::uint8_t>> load_hidden();
+  Result<PageRef> load_hidden();
 
   // ---- Hidden-object introspection ---------------------------------------
   /// Describe the stored hidden object: logical vs embedded bytes, dedup
@@ -199,8 +207,7 @@ class StashDevice {
 
   // ---- Batch entry points (util::BatchResult convention) ------------------
   /// Read many pages in one dispatch round; result i <-> lpns[i].
-  BatchResult<std::vector<std::uint8_t>> read_batch(
-      std::span<const std::uint64_t> lpns);
+  BatchResult<PageRef> read_batch(std::span<const std::uint64_t> lpns);
   /// Stage many writes; slot i <-> requests[i] (acknowledge status).
   BatchStatus write_batch(
       std::span<const ftl::PageMappedFtl::WriteRequest> requests);
@@ -293,7 +300,7 @@ class StashDevice {
     std::uint64_t enqueue_tick = 0;
     std::uint64_t lpn = 0;
     std::vector<std::uint8_t> data;  // store_hidden payload
-    std::promise<Result<std::vector<std::uint8_t>>> value_promise;
+    std::promise<Result<PageRef>> value_promise;
     std::promise<Status> status_promise;
     std::chrono::steady_clock::time_point start;
     /// Root span of this request's trace (inactive when tracing is off or
@@ -370,6 +377,10 @@ class StashDevice {
   std::uint64_t tick_ = 0;
   std::uint64_t trace_seq_ = 0;     // requests considered for sampling
   std::uint64_t dispatch_seq_ = 0;  // dispatch-round trace ids
+  /// Slab pool behind every read result: misses threshold straight into
+  /// an arena lease, and the sealed PageRef is shared by the LRU, the
+  /// futures, and net responses.
+  BufferArena arena_;
   WriteBackBuffer buffer_;
   ReadCache cache_;
   std::vector<std::uint64_t> lost_writes_;
@@ -394,6 +405,7 @@ class StashDevice {
     telemetry::Counter hidden_loads;
     telemetry::Counter pack_logical_bytes;
     telemetry::Counter pack_packed_bytes;
+    telemetry::Counter bytes_copied;
   };
   Counters counters_;
 };

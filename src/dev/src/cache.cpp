@@ -18,7 +18,7 @@ ReadCache::ReadCache(std::size_t capacity_pages, std::uint32_t shards)
   }
 }
 
-std::optional<std::vector<std::uint8_t>> ReadCache::lookup(std::uint64_t lpn) {
+std::optional<PageRef> ReadCache::lookup(std::uint64_t lpn) {
   if (!enabled()) return std::nullopt;
   Shard& s = shard_of(lpn);
   const std::lock_guard<std::mutex> lock(s.mu);
@@ -32,7 +32,7 @@ std::optional<std::vector<std::uint8_t>> ReadCache::lookup(std::uint64_t lpn) {
   return it->second->second;
 }
 
-void ReadCache::insert(std::uint64_t lpn, std::vector<std::uint8_t> bits) {
+void ReadCache::insert(std::uint64_t lpn, PageRef bits) {
   if (!enabled()) return;
   Shard& s = shard_of(lpn);
   const std::lock_guard<std::mutex> lock(s.mu);
@@ -95,7 +95,7 @@ std::uint64_t ReadCache::misses() const {
   return n;
 }
 
-bool WriteBackBuffer::put(std::uint64_t lpn, std::vector<std::uint8_t> bits) {
+bool WriteBackBuffer::put(std::uint64_t lpn, PageRef bits) {
   if (const auto it = index_.find(lpn); it != index_.end()) {
     if (it->second->trim) ++pending_writes_;  // tombstone becomes a write
     it->second->bits = std::move(bits);
@@ -111,7 +111,7 @@ bool WriteBackBuffer::put(std::uint64_t lpn, std::vector<std::uint8_t> bits) {
 bool WriteBackBuffer::put_trim(std::uint64_t lpn) {
   if (const auto it = index_.find(lpn); it != index_.end()) {
     if (!it->second->trim) --pending_writes_;  // write becomes a tombstone
-    it->second->bits.clear();
+    it->second->bits = PageRef{};
     it->second->trim = true;
     return true;
   }

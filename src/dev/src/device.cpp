@@ -6,7 +6,6 @@
 #include <stdexcept>
 #include <string>
 #include <type_traits>
-#include <unordered_map>
 #include <utility>
 
 #include "stash/pack/pack.hpp"
@@ -42,6 +41,7 @@ struct DevTelemetry {
   telemetry::Counter& pack_logical_bytes =
       reg.counter("dev.pack_logical_bytes");
   telemetry::Counter& pack_packed_bytes = reg.counter("dev.pack_packed_bytes");
+  telemetry::Counter& bytes_copied = reg.counter("dev.bytes_copied");
   telemetry::Gauge& queue_depth = reg.gauge("dev.queue_depth");
   telemetry::Gauge& cache_hit_ratio = reg.gauge("dev.cache_hit_ratio");
   telemetry::Gauge& buffered_pages = reg.gauge("dev.buffered_pages");
@@ -176,6 +176,11 @@ StashDevice::StashDevice(const DeviceConfig& config,
       pool_(config.threads),
       array_(config.geometry, config.noise, config.seed, config.chips, pool_,
              config.costs),
+      // Slabs to cover a full LRU plus a queue's worth of in-flight reads,
+      // faulted in at construction so cold misses never page-fault inside
+      // a latency-measured dispatch round.
+      arena_(config.geometry.cells_per_page, 4096,
+             config.read_cache_pages + config.queue_depth),
       cache_(config.read_cache_pages, config.read_cache_shards) {
   volumes_.reserve(config_.chips);
   for (std::uint32_t c = 0; c < config_.chips; ++c) {
@@ -303,8 +308,8 @@ void StashDevice::enqueue(Request req, std::unique_lock<std::mutex>& lock) {
   }
 }
 
-std::future<Result<std::vector<std::uint8_t>>> StashDevice::submit_read(
-    std::uint64_t lpn, Priority priority) {
+std::future<Result<PageRef>> StashDevice::submit_read(std::uint64_t lpn,
+                                                      Priority priority) {
   Request req;
   req.kind = OpKind::kRead;
   req.priority = priority;
@@ -348,7 +353,9 @@ std::future<Status> StashDevice::submit_write(std::uint64_t lpn,
           trace::ScopedSpan buffer_span(trace::Stage::kDevBuffer,
                                         trace::Op::kWrite, lpn,
                                         bits.size() / 8);
-          if (buffer_.put(lpn, std::move(bits))) {
+          // Adopt, not copy: the staged PageRef feeds buffer-hit readers
+          // and the flush path from the same storage.
+          if (buffer_.put(lpn, PageRef::adopt(std::move(bits)))) {
             counters_.coalesced_writes.inc();
             wtel.coalesced_writes.inc();
           }
@@ -433,8 +440,7 @@ std::future<Status> StashDevice::submit_store_hidden(
   return fut;
 }
 
-std::future<Result<std::vector<std::uint8_t>>>
-StashDevice::submit_load_hidden() {
+std::future<Result<PageRef>> StashDevice::submit_load_hidden() {
   Request req;
   req.kind = OpKind::kLoadHidden;
   req.priority = Priority::kBackground;
@@ -535,8 +541,13 @@ void StashDevice::dispatch(std::unique_lock<std::mutex>& lock) {
           auto loaded = execute_load_hidden();
           code = static_cast<std::uint8_t>(loaded.status().code());
           span.set_status(code);
-          if (loaded.is_ok()) span.set_bytes(loaded.value().size());
-          req.value_promise.set_value(std::move(loaded));
+          if (loaded.is_ok()) {
+            span.set_bytes(loaded.value().size());
+            req.value_promise.set_value(
+                Result<PageRef>{PageRef::adopt(std::move(loaded).take())});
+          } else {
+            req.value_promise.set_value(loaded.status());
+          }
           tel.hidden_latency.record(elapsed_ns(req.start));
           break;
         }
@@ -601,12 +612,16 @@ void StashDevice::execute_reads(std::vector<Request>& reads) {
   };
   // Resolve what never needs flash: bounds errors, write-back buffer hits,
   // cache hits.  Collect the rest as unique (chip, local-lpn) misses.
+  // Misses are capped at batch_pages per round, so repeat-lpn coalescing is
+  // a linear scan and the common one-requester case allocates nothing: the
+  // first requester rides in the Miss, repeats land in one shared side list.
   struct Miss {
     std::uint64_t lpn = 0;
-    std::vector<std::size_t> requesters;  // indices into `reads`
+    std::size_t first = 0;  // index into `reads`
   };
   std::vector<Miss> misses;  // first-appearance order
-  std::unordered_map<std::uint64_t, std::size_t> miss_of;
+  std::vector<std::pair<std::size_t, std::size_t>> repeats;  // (miss, reader)
+  misses.reserve(reads.size());
   for (std::size_t r = 0; r < reads.size(); ++r) {
     const std::uint64_t lpn = reads[r].lpn;
     if (lpn >= logical_pages()) {
@@ -625,7 +640,8 @@ void StashDevice::execute_reads(std::vector<Request>& reads) {
         reads[r].value_promise.set_value(
             Status{ErrorCode::kNotFound, "logical page trimmed"});
       } else {
-        reads[r].value_promise.set_value(staged->bits);
+        // Refcount bump on the staged page, not a copy.
+        reads[r].value_promise.set_value(Result<PageRef>{staged->bits});
       }
       counters_.reads.inc();
       tel.reads.inc();
@@ -637,10 +653,12 @@ void StashDevice::execute_reads(std::vector<Request>& reads) {
     // destined for flash this round is one physical miss, not N — probing
     // the cache again would double-count it at both the shard and the
     // global counter.
-    if (const auto it = miss_of.find(lpn); it != miss_of.end()) {
+    std::size_t m = 0;
+    while (m < misses.size() && misses[m].lpn != lpn) ++m;
+    if (m < misses.size()) {
       counters_.coalesced_reads.inc();
       tel.coalesced_reads.inc();
-      misses[it->second].requesters.push_back(r);
+      repeats.emplace_back(m, r);
       continue;
     }
     if (auto cached = cache_.lookup(lpn)) {
@@ -653,13 +671,20 @@ void StashDevice::execute_reads(std::vector<Request>& reads) {
       continue;
     }
     tel.cache_misses.inc();
-    miss_of.emplace(lpn, misses.size());
-    misses.push_back(Miss{lpn, {r}});
+    misses.push_back(Miss{lpn, r});
   }
 
   // One read_batch per chip over that chip's unique misses, in chip order;
   // within a chip the FTL groups same-block reads and fans out on the
-  // pool, deterministically for any thread count.
+  // pool, deterministically for any thread count.  Each unique miss
+  // thresholds straight into its own arena slab; the sealed PageRef is
+  // then shared by the LRU and every requester's future — the page bits
+  // are never copied after the NAND writes them.
+  std::vector<BufferArena::Lease> leases;
+  leases.reserve(misses.size());
+  for (std::size_t m = 0; m < misses.size(); ++m) {
+    leases.push_back(arena_.acquire());
+  }
   std::vector<std::vector<std::uint64_t>> chip_lpns(volumes_.size());
   std::vector<std::vector<std::size_t>> chip_miss(volumes_.size());
   for (std::size_t m = 0; m < misses.size(); ++m) {
@@ -667,28 +692,38 @@ void StashDevice::execute_reads(std::vector<Request>& reads) {
     chip_lpns[c].push_back(local_lpn(misses[m].lpn));
     chip_miss[c].push_back(m);
   }
+  std::vector<std::span<std::uint8_t>> dests;
+  dests.reserve(misses.size());
   for (std::uint32_t c = 0; c < volumes_.size(); ++c) {
     if (chip_lpns[c].empty()) continue;
-    auto results = volumes_[c]->ftl().read_batch(chip_lpns[c], pool_);
+    dests.clear();
+    for (const std::size_t m : chip_miss[c]) dests.push_back(leases[m].span());
+    auto results =
+        volumes_[c]->ftl().read_batch_into(chip_lpns[c], pool_, dests);
     for (std::size_t k = 0; k < results.size(); ++k) {
-      Miss& miss = misses[chip_miss[c][k]];
-      if (results[k].is_ok()) {
-        cache_.insert(miss.lpn, results[k].value());
+      const std::size_t mi = chip_miss[c][k];
+      Miss& miss = misses[mi];
+      Result<PageRef> outcome =
+          results[k].is_ok()
+              ? Result<PageRef>{std::move(leases[mi]).seal(results[k].value())}
+              : Result<PageRef>{results[k].status()};
+      if (outcome.is_ok()) {
+        cache_.insert(miss.lpn, outcome.value());
       }
-      for (std::size_t r : miss.requesters) {
+      const auto resolve = [&](std::size_t r) {
         counters_.reads.inc();
         tel.reads.inc();
-        if (results[k].is_ok()) {
-          reads[r].value_promise.set_value(results[k].value());
-        } else {
-          reads[r].value_promise.set_value(results[k].status());
-        }
+        reads[r].value_promise.set_value(outcome);
         tel.read_latency.record(elapsed_ns(reads[r].start));
         // Serial point after this chip's batch: the miss's service span
         // covers the whole chip round it rode on.  The FTL/NAND fan-out
         // spans themselves live under the dispatch-round trace.
         finish_trace(reads[r], false,
                      static_cast<std::uint8_t>(results[k].status().code()));
+      };
+      resolve(miss.first);
+      for (const auto& [rm, r] : repeats) {
+        if (rm == mi) resolve(r);
       }
     }
   }
@@ -824,6 +859,11 @@ Result<StashDevice::RawHidden> StashDevice::load_hidden_raw() {
       return Status{ErrorCode::kCorrupted,
                     "hidden segment " + std::to_string(i) + " missing"};
     }
+    // Segment reassembly is the one real copy left on the hidden load
+    // path (cross-chip splice into one contiguous payload); charge it so
+    // bytes_copied stays an honest ledger.
+    counters_.bytes_copied.inc(ordered[i]->payload.size());
+    dev_telemetry().bytes_copied.inc(ordered[i]->payload.size());
     raw.bytes.insert(raw.bytes.end(), ordered[i]->payload.begin(),
                      ordered[i]->payload.end());
   }
@@ -899,7 +939,8 @@ Status StashDevice::flush_locked() {
       const std::uint64_t local = local_lpn(item.entry->lpn);
       item.status = item.entry->trim
                         ? volumes_[c]->ftl().trim(local)
-                        : volumes_[c]->write_public(local, item.entry->bits);
+                        : volumes_[c]->write_public(local,
+                                                    item.entry->bits.span());
     }
   });
 
@@ -1179,7 +1220,7 @@ Status StashDevice::apply_snapshot(const store::SnapshotData& snap) {
 
 // ---- Synchronous convenience ----------------------------------------------
 
-Result<std::vector<std::uint8_t>> StashDevice::read(std::uint64_t lpn) {
+Result<PageRef> StashDevice::read(std::uint64_t lpn) {
   auto fut = submit_read(lpn);
   drain();
   return fut.get();
@@ -1200,7 +1241,7 @@ Status StashDevice::store_hidden(std::span<const std::uint8_t> data) {
   return fut.get();
 }
 
-Result<std::vector<std::uint8_t>> StashDevice::load_hidden() {
+Result<PageRef> StashDevice::load_hidden() {
   auto fut = submit_load_hidden();
   drain();
   return fut.get();
@@ -1243,13 +1284,13 @@ Result<HiddenInfo> StashDevice::hidden_info() {
   return info;
 }
 
-BatchResult<std::vector<std::uint8_t>> StashDevice::read_batch(
+BatchResult<PageRef> StashDevice::read_batch(
     std::span<const std::uint64_t> lpns) {
-  std::vector<std::future<Result<std::vector<std::uint8_t>>>> futures;
+  std::vector<std::future<Result<PageRef>>> futures;
   futures.reserve(lpns.size());
   for (const std::uint64_t lpn : lpns) futures.push_back(submit_read(lpn));
   drain();
-  BatchResult<std::vector<std::uint8_t>> out;
+  BatchResult<PageRef> out;
   out.reserve(futures.size());
   for (auto& fut : futures) out.push_back(fut.get());
   return out;
@@ -1285,6 +1326,7 @@ DeviceStats StashDevice::stats_snapshot() const noexcept {
   s.hidden_loads = counters_.hidden_loads.value();
   s.pack_logical_bytes = counters_.pack_logical_bytes.value();
   s.pack_packed_bytes = counters_.pack_packed_bytes.value();
+  s.bytes_copied = counters_.bytes_copied.value();
   return s;
 }
 
@@ -1316,7 +1358,8 @@ std::string StashDevice::stats_json() const {
   field("hidden_stores", s.hidden_stores);
   field("hidden_loads", s.hidden_loads);
   field("pack_logical_bytes", s.pack_logical_bytes);
-  field("pack_packed_bytes", s.pack_packed_bytes, /*last=*/true);
+  field("pack_packed_bytes", s.pack_packed_bytes);
+  field("bytes_copied", s.bytes_copied, /*last=*/true);
   out += '}';
   return out;
 }

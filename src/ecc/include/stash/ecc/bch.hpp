@@ -4,17 +4,41 @@
 // paper applies to the hidden payload (§6.3): at the production config
 // (~0.5% BER) about 5% parity suffices; at the enhanced 9x-capacity config
 // (~2% BER) about 14% is required.  Codewords may be shortened arbitrarily.
+//
+// The decode hot loops (syndromes, Chien) run through the twin-compiled
+// kernels in bch_kernels.hpp; decode_reference() drives the scalar build of
+// the same bodies so tests can prove the SIMD build is bit-identical.  The
+// generator polynomial and the syndrome tables are fully determined by
+// (m, t), so every BchCode of the same parameters shares one const CodeData
+// through a process-lifetime registry — constructing the per-chip codecs
+// stops redoing the cyclotomic-coset generator product and table builds.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "stash/ecc/bch_kernels.hpp"
 #include "stash/ecc/gf.hpp"
 
 namespace stash::ecc {
 
+namespace detail {
+struct BchKernels;   // SIMD vs reference kernel function set (bch.cpp)
+struct BchScratch;   // reusable decode buffers (bch.cpp)
+}  // namespace detail
+
 class BchCode {
  public:
+  /// Everything (m, t) determines, built once per parameter pair and shared:
+  /// the generator polynomial and the syndrome kernel tables.
+  struct CodeData {
+    std::vector<std::uint8_t> generator;  // over GF(2), low-degree-first
+    bchk::DecodeTables tables;
+    // Owns the field tables `tables` borrows its antilog/log views from.
+    std::shared_ptr<const GaloisField::Tables> gf_tables;
+  };
+
   /// BCH over GF(2^m) with design distance 2t+1 (corrects up to t bit errors
   /// per codeword).  Natural length n = 2^m - 1; data capacity k = n - deg(g).
   BchCode(int m, int t);
@@ -22,7 +46,9 @@ class BchCode {
   [[nodiscard]] int m() const noexcept { return gf_.m(); }
   [[nodiscard]] int t() const noexcept { return t_; }
   [[nodiscard]] std::size_t n() const noexcept { return static_cast<std::size_t>(gf_.n()); }
-  [[nodiscard]] std::size_t parity_bits() const noexcept { return generator_.size() - 1; }
+  [[nodiscard]] std::size_t parity_bits() const noexcept {
+    return data_->generator.size() - 1;
+  }
   [[nodiscard]] std::size_t k() const noexcept { return n() - parity_bits(); }
 
   /// Systematic encode of `data_bits` (values 0/1, length <= k()).  Returns
@@ -40,6 +66,21 @@ class BchCode {
   /// Decode a shortened codeword produced by encode() with
   /// data_len = codeword.size() - parity_bits().
   [[nodiscard]] DecodeResult decode(std::span<const std::uint8_t> codeword_bits) const;
+
+  /// Decode many codewords in one sweep, reusing one scratch set (packed
+  /// buffer, syndrome registers, Chien tables) across the whole batch.
+  /// Element i of the result decodes codewords[i]; results are identical to
+  /// per-codeword decode() at any batch split.
+  [[nodiscard]] std::vector<DecodeResult> decode_batch(
+      std::span<const std::span<const std::uint8_t>> codewords) const;
+
+  /// Same decodes through the scalar reference build of the kernels
+  /// (bch_reference.cpp).  Test observability: ecc_test diffs these against
+  /// decode()/decode_batch() bit-for-bit.
+  [[nodiscard]] DecodeResult decode_reference(
+      std::span<const std::uint8_t> codeword_bits) const;
+  [[nodiscard]] std::vector<DecodeResult> decode_batch_reference(
+      std::span<const std::span<const std::uint8_t>> codewords) const;
 
   /// Parity overhead as a fraction of the shortened codeword for a given
   /// data length.
@@ -64,14 +105,13 @@ class BchCode {
                                                double margin_sigmas = 3.0);
 
  private:
-  /// S_i = c(alpha^i) for i = 1..2t, shared by decode's initial pass and
-  /// the post-correction verify.
-  [[nodiscard]] std::vector<std::uint32_t> syndromes_of(
-      std::span<const std::uint8_t> codeword_bits) const;
+  [[nodiscard]] DecodeResult decode_with(
+      std::span<const std::uint8_t> codeword_bits, const detail::BchKernels& k,
+      detail::BchScratch& scratch) const;
 
   GaloisField gf_;
   int t_;
-  std::vector<std::uint8_t> generator_;  // over GF(2), low-degree-first
+  std::shared_ptr<const CodeData> data_;
 };
 
 }  // namespace stash::ecc

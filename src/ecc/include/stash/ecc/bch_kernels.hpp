@@ -1,0 +1,97 @@
+#pragma once
+// stash::ecc::bchk — batch kernels for the BCH decode hot loops (ISSUE 10
+// tentpole).  Three kernels cover everything the per-codeword decoder spends
+// its time on:
+//
+//  * pack_codeword — fold the 1-bit-per-byte codeword into packed bytes
+//    (high-degree coefficients first, front-padded to a byte multiple).
+//  * syndromes — byte-windowed Horner over the packed codeword.  Only the t
+//    ODD syndromes are computed directly; each consumes one 256-entry window
+//    table plus a lo/hi split-table multiply by the per-syndrome constant
+//    alpha^(8i) (GF(2^m) multiplication by a constant is GF(2)-linear, so a
+//    13-bit element folds as lo[x & 0xff] ^ hi[x >> 8]).  The t EVEN
+//    syndromes follow from Frobenius: S_2k = S_k^2, one doubled-antilog
+//    lookup each.  Net: ~3 table loads per byte per odd syndrome instead of
+//    2t antilog walks per set bit.
+//  * chien_scan — blocked Chien search, 8 positions per step.  Each nonzero
+//    locator term keeps 8 log-domain lane registers (the exponent of
+//    lambda_i * alpha^(-i*(p0+j))), advanced a block at a time by the
+//    constant stride (n - 8i) mod n with a branchless fold, and folded into
+//    the value-domain accumulator through one shared antilog gather — half
+//    the loads of a per-term multiply-table scheme, against a table that
+//    stays L1-resident across terms, codewords, and decodes.
+//
+// All three are pure integer table arithmetic — no floating point — so the
+// SIMD build (bch_kernels.cpp, forced-SIMD flags) and the scalar reference
+// build (bch_reference.cpp, vectorization disabled) are bit-equal by
+// construction; tests/ecc_test.cpp diffs full decodes across the two builds
+// the same way tests/kernels_test.cpp diffs the noise kernels.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace stash::ecc::bchk {
+
+/// Constant per-(m, t) tables driving the syndrome kernel.  Built once per
+/// code (shared across BchCode instances via the registry in bch.cpp);
+/// ~t * (2*256 + 2^(m-8)) words.
+struct DecodeTables {
+  int m = 0;
+  int t = 0;
+  int n = 0;                            // 2^m - 1
+  std::uint32_t hi_size = 1;            // 1 << max(0, m - 8)
+  // Flattened [t][...] tables for the odd syndromes S_1, S_3, ..., S_{2t-1}
+  // (odd index k covers i = 2k + 1):
+  std::vector<std::uint32_t> window;    // [t][256]  byte contribution W_i[b]
+  std::vector<std::uint32_t> step_lo;   // [t][256]  low byte of x * alpha^(8i)
+  std::vector<std::uint32_t> step_hi;   // [t][hi_size]  high bits of the same
+  // Borrowed views of the field's shared doubled-antilog / log tables (the
+  // owner keeps them alive; see bch.cpp's code-data registry).
+  const std::uint32_t* antilog = nullptr;
+  const int* log = nullptr;
+};
+
+/// Per-decode Chien state: 8 log-domain lane registers per nonzero Lambda
+/// term with exponent >= 1.  Rebuilt from Lambda before every scan; the
+/// backing vectors are reused across a decode_batch, so steady-state
+/// batches allocate nothing here.
+struct ChienState {
+  int terms = 0;
+  std::uint32_t n = 0;                  // field size 2^m - 1 (exponent modulus)
+  std::vector<std::uint32_t> lane_exp;  // [terms][8] lane exponents, in [0, n)
+  std::vector<std::uint32_t> step8;     // [terms] block stride (n - 8i) mod n
+  const std::uint32_t* antilog = nullptr;  // shared field table (borrowed)
+};
+
+/// Fold `len` 0/1 bytes (highest transmitted degree first) into
+/// `nbytes = (len + 7) / 8` packed bytes, zero-padded at the FRONT so the
+/// highest-degree coefficient lands in out[0]'s top used bit.  Bit b of
+/// out[k] holds the coefficient of degree (nbytes - 1 - k) * 8 + b.
+void pack_codeword(const std::uint8_t* bits, std::size_t len,
+                   std::uint8_t* out, std::size_t nbytes) noexcept;
+
+/// S_i = c(alpha^i) for i = 1..2t over the packed codeword; out[i - 1] = S_i.
+void syndromes(const DecodeTables& tb, const std::uint8_t* packed,
+               std::size_t nbytes, std::uint32_t* out) noexcept;
+
+/// Scan transmitted positions p in [0, len) for roots of Lambda
+/// (Lambda(alpha^-p) == 0), appending them ascending to `positions`
+/// (capacity >= max_roots) and stopping once max_roots are found.  Returns
+/// the count found.  `lambda0` is the constant term (folded into every
+/// lane's accumulator).  Mutates st.lane.
+int chien_scan(ChienState& st, std::uint32_t lambda0, std::size_t len,
+               std::uint32_t* positions, int max_roots) noexcept;
+
+/// Scalar reference build of the same kernels (bch_reference.cpp): same
+/// bodies, vectorization disabled.  ecc_test diffs decodes across the two.
+namespace reference {
+void pack_codeword(const std::uint8_t* bits, std::size_t len,
+                   std::uint8_t* out, std::size_t nbytes) noexcept;
+void syndromes(const DecodeTables& tb, const std::uint8_t* packed,
+               std::size_t nbytes, std::uint32_t* out) noexcept;
+int chien_scan(ChienState& st, std::uint32_t lambda0, std::size_t len,
+               std::uint32_t* positions, int max_roots) noexcept;
+}  // namespace reference
+
+}  // namespace stash::ecc::bchk

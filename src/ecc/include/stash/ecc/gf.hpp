@@ -2,16 +2,31 @@
 // Galois field GF(2^m) arithmetic via log/antilog tables.  Substrate for the
 // BCH codec that protects VT-HI's hidden payload (paper §6.3: a few percent
 // of hidden bits are reserved for ECC).
+//
+// The tables are immutable per m (the primitive polynomial is fixed), so all
+// GaloisField instances of the same m share one const table set through a
+// process-lifetime registry: constructing a field is a shared_ptr copy, and
+// the per-chip codecs and benches stop rebuilding identical 64 KB tables.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace stash::ecc {
 
 class GaloisField {
  public:
+  /// The log/antilog pair for one field, built once per m and shared.
+  struct Tables {
+    std::vector<std::uint32_t> antilog;  // doubled: index exponent -> element
+    std::vector<int> log;                // index: element -> exponent
+  };
+
   /// Construct GF(2^m), 2 <= m <= 16, using a standard primitive polynomial.
   explicit GaloisField(int m);
+
+  /// The shared const table set for GF(2^m); same object for every caller.
+  [[nodiscard]] static std::shared_ptr<const Tables> shared_tables(int m);
 
   [[nodiscard]] int m() const noexcept { return m_; }
   /// Number of nonzero elements, i.e. 2^m - 1.
@@ -73,8 +88,9 @@ class GaloisField {
  private:
   int m_;
   int n_;
-  std::vector<std::uint32_t> antilog_;  // index: exponent -> element
-  std::vector<int> log_;                // index: element -> exponent
+  std::shared_ptr<const Tables> tables_;  // keeps the raw pointers below alive
+  const std::uint32_t* antilog_;
+  const int* log_;
 };
 
 }  // namespace stash::ecc

@@ -1,0 +1,28 @@
+// Scalar reference build of the BCH decode kernels: same bodies
+// (bch_ops.hpp), vectorization disabled (see CMakeLists.txt).  The
+// ecc_test bit-exactness battery diffs full decodes through these against
+// the SIMD build — any divergence means the SIMD build changed semantics,
+// not just speed.
+
+#include "stash/ecc/bch_kernels.hpp"
+
+#include "bch_ops.hpp"
+
+namespace stash::ecc::bchk::reference {
+
+void pack_codeword(const std::uint8_t* bits, std::size_t len,
+                   std::uint8_t* out, std::size_t nbytes) noexcept {
+  detail::pack_codeword_impl(bits, len, out, nbytes);
+}
+
+void syndromes(const DecodeTables& tb, const std::uint8_t* packed,
+               std::size_t nbytes, std::uint32_t* out) noexcept {
+  detail::syndromes_impl(tb, packed, nbytes, out);
+}
+
+int chien_scan(ChienState& st, std::uint32_t lambda0, std::size_t len,
+               std::uint32_t* positions, int max_roots) noexcept {
+  return detail::chien_scan_impl(st, lambda0, len, positions, max_roots);
+}
+
+}  // namespace stash::ecc::bchk::reference

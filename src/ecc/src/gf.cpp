@@ -1,5 +1,7 @@
 #include "stash/ecc/gf.hpp"
 
+#include <array>
+#include <mutex>
 #include <stdexcept>
 
 namespace stash::ecc {
@@ -26,28 +28,47 @@ constexpr std::uint32_t kPrimitivePoly[17] = {
     0x1100b, // m=16: x^16+x^12+x^3+x+1
 };
 
-}  // namespace
-
-GaloisField::GaloisField(int m) : m_(m), n_((1 << m) - 1) {
-  if (m < 2 || m > 16) {
-    throw std::invalid_argument("GaloisField: m must be in [2, 16]");
-  }
+std::shared_ptr<const GaloisField::Tables> build_tables(int m) {
+  auto tables = std::make_shared<GaloisField::Tables>();
+  const int n = (1 << m) - 1;
   // Doubled antilog table: entries [n, 2n) repeat [0, n), so any exponent
   // in [0, 2n) — e.g. the sum of two logs — indexes directly, with no
   // `% n` on the multiply fast path.
-  antilog_.resize(2 * static_cast<std::size_t>(n_));
-  log_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  tables->antilog.resize(2 * static_cast<std::size_t>(n));
+  tables->log.assign(static_cast<std::size_t>(n) + 1, 0);
 
   const std::uint32_t poly = kPrimitivePoly[m];
   std::uint32_t x = 1;
-  for (int i = 0; i < n_; ++i) {
-    antilog_[static_cast<std::size_t>(i)] = x;
-    antilog_[static_cast<std::size_t>(i + n_)] = x;
-    log_[x] = i;
+  for (int i = 0; i < n; ++i) {
+    tables->antilog[static_cast<std::size_t>(i)] = x;
+    tables->antilog[static_cast<std::size_t>(i + n)] = x;
+    tables->log[x] = i;
     x <<= 1;
     if (x & (1u << m)) x ^= poly;
   }
+  return tables;
 }
+
+}  // namespace
+
+std::shared_ptr<const GaloisField::Tables> GaloisField::shared_tables(int m) {
+  if (m < 2 || m > 16) {
+    throw std::invalid_argument("GaloisField: m must be in [2, 16]");
+  }
+  static std::mutex mu;
+  static std::array<std::shared_ptr<const Tables>, 17> registry;
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = registry[static_cast<std::size_t>(m)];
+  if (!slot) slot = build_tables(m);
+  return slot;
+}
+
+GaloisField::GaloisField(int m)
+    : m_(m),
+      n_((1 << m) - 1),
+      tables_(shared_tables(m)),
+      antilog_(tables_->antilog.data()),
+      log_(tables_->log.data()) {}
 
 std::uint32_t GaloisField::eval_poly(const std::vector<std::uint32_t>& coeffs,
                                      std::uint32_t x) const noexcept {

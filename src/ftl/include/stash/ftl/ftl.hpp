@@ -93,6 +93,12 @@ class PageMappedFtl {
 
   Status write(std::uint64_t lpn, std::span<const std::uint8_t> bits);
   [[nodiscard]] Result<std::vector<std::uint8_t>> read(std::uint64_t lpn);
+  /// Allocation-free read: the page bits land in `dest` (>= page_bits()
+  /// bytes, typically a dev::BufferArena slab).  OK carries the cells
+  /// written — 0 reproduces read()'s empty-page fault observable.  Errors
+  /// match read() (kOutOfBounds / kNotFound); `dest` is unspecified then.
+  Result<std::size_t> read_into(std::uint64_t lpn,
+                                std::span<std::uint8_t> dest);
   Status trim(std::uint64_t lpn);
 
   // ---- Batch entry points (stash::par) -----------------------------------
@@ -105,6 +111,15 @@ class PageMappedFtl {
   /// mutated: do not interleave with write()/trim()/run_gc().
   BatchResult<std::vector<std::uint8_t>> read_batch(
       std::span<const std::uint64_t> lpns, par::ThreadPool& pool);
+
+  /// Zero-copy read_batch: slot i's page lands in dests[i] (each >=
+  /// page_bits() bytes), result i carrying the cells written as read_into
+  /// does.  Grouping, fan-out order, and the ftl.read_batch trace spans
+  /// are identical to read_batch — the copy, not the schedule, is what
+  /// this variant removes.
+  BatchResult<std::size_t> read_batch_into(
+      std::span<const std::uint64_t> lpns, par::ThreadPool& pool,
+      std::span<const std::span<std::uint8_t>> dests);
 
   struct WriteRequest {
     std::uint64_t lpn = 0;

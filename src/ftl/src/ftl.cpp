@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <unordered_map>
 
 #include "stash/trace/trace.hpp"
 #include "stash/util/wire.hpp"
@@ -233,16 +232,35 @@ Result<std::vector<std::uint8_t>> PageMappedFtl::read(std::uint64_t lpn) {
       static_cast<std::uint32_t>(phys % geom.pages_per_block));
 }
 
+Result<std::size_t> PageMappedFtl::read_into(std::uint64_t lpn,
+                                             std::span<std::uint8_t> dest) {
+  if (lpn >= logical_pages_) {
+    return Status{ErrorCode::kOutOfBounds, "lpn beyond logical capacity"};
+  }
+  if (l2p_[lpn] == kUnmapped) {
+    return Status{ErrorCode::kNotFound, "logical page not written"};
+  }
+  const std::uint64_t phys = l2p_[lpn];
+  const auto& geom = chip_->geometry();
+  return chip_->read_page_into(
+      static_cast<std::uint32_t>(phys / geom.pages_per_block),
+      static_cast<std::uint32_t>(phys % geom.pages_per_block), dest);
+}
+
 std::vector<Result<std::vector<std::uint8_t>>> PageMappedFtl::read_batch(
     std::span<const std::uint64_t> lpns, par::ThreadPool& pool) {
   const auto& geom = chip_->geometry();
   // Group request indices by the physical block backing each lpn
   // (first-appearance order); unmapped/out-of-range lpns resolve inline.
+  // Dispatch batches are small (the device caps them at batch_pages), so a
+  // linear scan of the blocks seen so far beats a hash map — no node
+  // allocations on the read tail.
   std::vector<std::vector<std::size_t>> groups;
-  std::unordered_map<std::uint32_t, std::size_t> group_of;
   std::vector<std::optional<Result<std::vector<std::uint8_t>>>> slots(
       lpns.size());
   std::vector<std::uint32_t> group_block;
+  groups.reserve(lpns.size());
+  group_block.reserve(lpns.size());
   for (std::size_t i = 0; i < lpns.size(); ++i) {
     if (lpns[i] >= logical_pages_ || l2p_[lpns[i]] == kUnmapped) {
       slots[i].emplace(read(lpns[i]));  // resolves to the error status
@@ -250,12 +268,13 @@ std::vector<Result<std::vector<std::uint8_t>>> PageMappedFtl::read_batch(
     }
     const auto block =
         static_cast<std::uint32_t>(l2p_[lpns[i]] / geom.pages_per_block);
-    auto [it, fresh] = group_of.try_emplace(block, groups.size());
-    if (fresh) {
+    std::size_t g = 0;
+    while (g < group_block.size() && group_block[g] != block) ++g;
+    if (g == group_block.size()) {
       groups.emplace_back();
       group_block.push_back(block);
     }
-    groups[it->second].push_back(i);
+    groups[g].push_back(i);
   }
   pool.parallel_for(groups.size(), [&](std::size_t g) {
     trace::ScopedSpan span(trace::Stage::kFtlReadBatch, trace::Op::kRead,
@@ -264,6 +283,48 @@ std::vector<Result<std::vector<std::uint8_t>>> PageMappedFtl::read_batch(
     for (const std::size_t i : groups[g]) slots[i].emplace(read(lpns[i]));
   });
   std::vector<Result<std::vector<std::uint8_t>>> out;
+  out.reserve(slots.size());
+  for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+BatchResult<std::size_t> PageMappedFtl::read_batch_into(
+    std::span<const std::uint64_t> lpns, par::ThreadPool& pool,
+    std::span<const std::span<std::uint8_t>> dests) {
+  const auto& geom = chip_->geometry();
+  // Mirrors read_batch exactly — same grouping, same fan-out, same trace
+  // spans (byte-stable traces across the two variants) — but each page is
+  // thresholded straight into its caller buffer.  Same linear-scan
+  // grouping as read_batch: no per-batch hash-map churn.
+  std::vector<std::vector<std::size_t>> groups;
+  std::vector<std::optional<Result<std::size_t>>> slots(lpns.size());
+  std::vector<std::uint32_t> group_block;
+  groups.reserve(lpns.size());
+  group_block.reserve(lpns.size());
+  for (std::size_t i = 0; i < lpns.size(); ++i) {
+    if (lpns[i] >= logical_pages_ || l2p_[lpns[i]] == kUnmapped) {
+      slots[i].emplace(read_into(lpns[i], dests[i]));
+      continue;
+    }
+    const auto block =
+        static_cast<std::uint32_t>(l2p_[lpns[i]] / geom.pages_per_block);
+    std::size_t g = 0;
+    while (g < group_block.size() && group_block[g] != block) ++g;
+    if (g == group_block.size()) {
+      groups.emplace_back();
+      group_block.push_back(block);
+    }
+    groups[g].push_back(i);
+  }
+  pool.parallel_for(groups.size(), [&](std::size_t g) {
+    trace::ScopedSpan span(trace::Stage::kFtlReadBatch, trace::Op::kRead,
+                           group_block[g],
+                           groups[g].size() * (page_bits() / 8));
+    for (const std::size_t i : groups[g]) {
+      slots[i].emplace(read_into(lpns[i], dests[i]));
+    }
+  });
+  BatchResult<std::size_t> out;
   out.reserve(slots.size());
   for (auto& slot : slots) out.push_back(std::move(*slot));
   return out;

@@ -12,6 +12,13 @@
 
 #include "stash/kernels/kernels.hpp"
 
+#include <cmath>
+#include <limits>
+
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+#include <immintrin.h>
+#endif
+
 #include "cell_ops.hpp"
 
 namespace stash::kernels {
@@ -123,11 +130,54 @@ void quantize_row(const float* row, int* out, std::uint32_t n) noexcept {
 
 void threshold_row(const float* row, double vref, std::uint8_t* out,
                    std::uint32_t n) noexcept {
+  // Exact float-domain rewrite of `(double)row[i] < vref`: floats embed
+  // exactly into double, so the comparison is equivalent to `row[i] < t`
+  // with t = the smallest float >= vref.  Keeping the loop in one type
+  // lets it vectorize as a plain vcmpps + byte select (the mixed
+  // float/double compare compiled to scalar code and dominated the whole
+  // device read path).  Row values are finite voltages, so the only
+  // inputs are ordinary ordered compares.
+  float t = static_cast<float>(vref);
+  if (static_cast<double>(t) < vref) {
+    t = std::nextafterf(t, std::numeric_limits<float>::infinity());
+  }
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+  // A page read is memory-bound: ~4 bytes in + 1 byte out per cell.  The
+  // explicit path exists for the stores, not the compare — streaming them
+  // (vmovntdq) skips the read-for-ownership of the output buffer, which
+  // is pure overhead since the whole destination is overwritten.  Values
+  // are bit-identical to the generic loop (_CMP_LT_OQ is `<` on the same
+  // floats); only the cache behavior differs.
+  const __m512 vt = _mm512_set1_ps(t);
+  const __m512i ones = _mm512_set1_epi8(1);
+  std::uint32_t i = 0;
+  while (i < n && (reinterpret_cast<std::uintptr_t>(out + i) & 63u) != 0) {
+    out[i] = row[i] < t ? std::uint8_t{1} : std::uint8_t{0};
+    ++i;
+  }
+  for (; i + 64 <= n; i += 64) {
+    const __mmask64 m0 = _mm512_cmp_ps_mask(_mm512_loadu_ps(row + i), vt,
+                                            _CMP_LT_OQ);
+    const __mmask64 m1 = _mm512_cmp_ps_mask(_mm512_loadu_ps(row + i + 16), vt,
+                                            _CMP_LT_OQ);
+    const __mmask64 m2 = _mm512_cmp_ps_mask(_mm512_loadu_ps(row + i + 32), vt,
+                                            _CMP_LT_OQ);
+    const __mmask64 m3 = _mm512_cmp_ps_mask(_mm512_loadu_ps(row + i + 48), vt,
+                                            _CMP_LT_OQ);
+    const __mmask64 m = m0 | (m1 << 16) | (m2 << 32) | (m3 << 48);
+    _mm512_stream_si512(reinterpret_cast<__m512i*>(out + i),
+                        _mm512_maskz_mov_epi8(m, ones));
+  }
+  for (; i < n; ++i) {
+    out[i] = row[i] < t ? std::uint8_t{1} : std::uint8_t{0};
+  }
+  _mm_sfence();  // streaming stores are weakly ordered; publish them
+#else
 #pragma omp simd
   for (std::uint32_t i = 0; i < n; ++i) {
-    out[i] = static_cast<double>(row[i]) < vref ? std::uint8_t{1}
-                                                : std::uint8_t{0};
+    out[i] = row[i] < t ? std::uint8_t{1} : std::uint8_t{0};
   }
+#endif
 }
 
 }  // namespace stash::kernels

@@ -96,6 +96,15 @@ class FlashChip {
   [[nodiscard]] std::vector<std::uint8_t> read_page(std::uint32_t block,
                                                     std::uint32_t page);
 
+  /// Allocation-free variant: threshold the page straight into a caller
+  /// buffer of at least cells_per_page bytes (the zero-copy read path
+  /// writes into an arena slab here).  Returns the cells written — 0 on a
+  /// bad address or an interrupting injected fault, reproducing
+  /// read_page's empty-vector observable.  Same noise, ledger costs, and
+  /// telemetry as read_page.
+  std::size_t read_page_into(std::uint32_t block, std::uint32_t page,
+                             std::span<std::uint8_t> out);
+
   // ---- Vendor operations (NDA commands on real hardware) -----------------
 
   /// Read with a shifted reference voltage — the command VT-HI's decoder
@@ -103,6 +112,10 @@ class FlashChip {
   [[nodiscard]] std::vector<std::uint8_t> read_page_at(std::uint32_t block,
                                                        std::uint32_t page,
                                                        double vref);
+
+  /// Allocation-free shifted read (see read_page_into).
+  std::size_t read_page_at_into(std::uint32_t block, std::uint32_t page,
+                                double vref, std::span<std::uint8_t> out);
 
   /// Per-cell voltage measurement in the tester's discrete normalized units.
   /// Costs one read operation.

@@ -387,12 +387,27 @@ std::vector<std::uint8_t> FlashChip::read_page(std::uint32_t block,
   return read_page_at(block, page, noise_.public_read_vref);
 }
 
+std::size_t FlashChip::read_page_into(std::uint32_t block, std::uint32_t page,
+                                      std::span<std::uint8_t> out) {
+  return read_page_at_into(block, page, noise_.public_read_vref, out);
+}
+
 std::vector<std::uint8_t> FlashChip::read_page_at(std::uint32_t block,
                                                   std::uint32_t page,
                                                   double vref) {
-  if (!check_addr(block, page).is_ok()) return {};
+  std::vector<std::uint8_t> out(geom_.cells_per_page);
+  const std::size_t cells = read_page_at_into(block, page, vref, out);
+  if (cells == 0) return {};
+  return out;
+}
+
+std::size_t FlashChip::read_page_at_into(std::uint32_t block,
+                                         std::uint32_t page, double vref,
+                                         std::span<std::uint8_t> out) {
+  if (!check_addr(block, page).is_ok()) return 0;
+  if (out.size() < geom_.cells_per_page) return 0;
   if (fault_ && consult_fault(FaultOp::kRead, block, page).interrupts()) {
-    return {};
+    return 0;
   }
   trace::ScopedSpan span(trace::Stage::kNandRead, trace::Op::kRead,
                          span_key(block, page), geom_.cells_per_page / 8);
@@ -404,7 +419,6 @@ std::vector<std::uint8_t> FlashChip::read_page_at(std::uint32_t block,
 #endif
   const std::uint32_t cells = geom_.cells_per_page;
   const float* row = blk.v.data() + static_cast<std::size_t>(page) * cells;
-  std::vector<std::uint8_t> out(cells);
   kernels::threshold_row(row, vref, out.data(), cells);
 
   // Read disturb: a handful of erased-level cells gain a whisker of charge.
@@ -447,9 +461,9 @@ std::vector<std::uint8_t> FlashChip::read_page_at(std::uint32_t block,
   chip_telemetry().reads.inc();
   if (fault_) {
     const std::lock_guard<std::mutex> fault_guard(locks_[kLockStripes]);
-    fault_->corrupt_read(block, page, {out.data(), out.size()}, vref);
+    fault_->corrupt_read(block, page, {out.data(), cells}, vref);
   }
-  return out;
+  return cells;
 }
 
 std::vector<int> FlashChip::probe_voltages(std::uint32_t block,

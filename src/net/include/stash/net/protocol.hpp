@@ -58,8 +58,9 @@ constexpr std::size_t kOpCount = 11;
 
 /// Protocol revision this build speaks.  v1 had ops read..ping and the
 /// 14-field stats payload; v2 adds the hello handshake, hidden_info, and
-/// the pack counters in the stats payload.
-constexpr std::uint32_t kProtocolVersion = 2;
+/// the pack counters in the stats payload; v3 appends bytes_copied to the
+/// stats payload.
+constexpr std::uint32_t kProtocolVersion = 3;
 
 /// Feature flags advertised in the hello exchange.
 constexpr std::uint64_t kFeatureHiddenInfo = 1ull << 0;
@@ -96,6 +97,12 @@ struct Response {
   std::uint64_t id = 0;
   std::string message;             // error detail, empty on success
   std::vector<std::uint8_t> data;  // read bits / hidden payload / stats
+  /// Zero-copy payload: when non-empty the server encodes this shared
+  /// page reference instead of `data` — a read response borrows the same
+  /// buffer the device's LRU holds, so the only per-response byte
+  /// traffic is the wire serialization itself.  Decoding always fills
+  /// `data` (the client owns its copy of the stream).
+  dev::PageRef payload;
 };
 
 /// Append one complete frame (header + body) to `out`.

@@ -75,7 +75,10 @@ void encode_response(const Response& resp, std::vector<std::uint8_t>& out) {
   w.u8(resp.status);
   w.u64(resp.id);
   w.str(resp.message);
-  w.blob(resp.data);
+  w.blob(resp.payload.empty()
+             ? std::span<const std::uint8_t>{resp.data.data(),
+                                             resp.data.size()}
+             : resp.payload.span());
 }
 
 Status decode_request(std::span<const std::uint8_t> body, Request& out) {
@@ -129,6 +132,7 @@ void encode_device_stats(const dev::DeviceStats& stats,
   w.u64(stats.hidden_loads);
   w.u64(stats.pack_logical_bytes);
   w.u64(stats.pack_packed_bytes);
+  w.u64(stats.bytes_copied);
 }
 
 Status decode_device_stats(std::span<const std::uint8_t> bytes,
@@ -152,6 +156,7 @@ Status decode_device_stats(std::span<const std::uint8_t> bytes,
   STASH_RETURN_IF_ERROR(r.u64(out.hidden_loads));
   STASH_RETURN_IF_ERROR(r.u64(out.pack_logical_bytes));
   STASH_RETURN_IF_ERROR(r.u64(out.pack_packed_bytes));
+  STASH_RETURN_IF_ERROR(r.u64(out.bytes_copied));
   return r.expect_exhausted();
 }
 

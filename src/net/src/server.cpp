@@ -130,7 +130,7 @@ struct Server::Impl {
     enum class Kind : std::uint8_t { kReady, kStatus, kValue } kind =
         Kind::kReady;
     std::future<Status> status_fut;
-    std::future<Result<std::vector<std::uint8_t>>> value_fut;
+    std::future<Result<dev::PageRef>> value_fut;
     Response ready;  // kKind::kReady payload
     std::chrono::steady_clock::time_point start;
   };
@@ -427,7 +427,10 @@ struct Server::Impl {
       case Pending::Kind::kValue: {
         auto result = p.value_fut.get();
         if (result.is_ok()) {
-          resp.data = std::move(result).take();
+          // Shared reference into the device's buffer (arena slab or
+          // adopted hidden payload): encode_response serializes straight
+          // from it, so the response path copies nothing page-sized.
+          resp.payload = std::move(result).take();
         } else {
           const Status st = result.status();
           resp.status = static_cast<std::uint8_t>(st.code());

@@ -60,6 +60,7 @@ enum class Stage : std::uint8_t {
   kNandPartialProgram,  // FlashChip::partial_program
   kNandProbe,           // FlashChip::probe_voltages
   kNandFineProgram,     // FlashChip::fine_program
+  kEccDecode,           // VthiCodec::reveal_at BCH decode_batch sweep
   kCount,
 };
 

@@ -14,6 +14,7 @@ constexpr const char* kStageNames[] = {
     "ftl.read_batch", "ftl.write",  "ftl.gc",               "vthi.embed",
     "vthi.extract", "nand.read",    "nand.program",         "nand.erase",
     "nand.partial_program", "nand.probe", "nand.fine_program",
+    "ecc.decode",
 };
 static_assert(sizeof(kStageNames) / sizeof(kStageNames[0]) ==
               static_cast<std::size_t>(Stage::kCount));

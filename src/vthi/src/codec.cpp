@@ -8,6 +8,7 @@
 
 #include "stash/crypto/chacha20.hpp"
 #include "stash/telemetry/metrics.hpp"
+#include "stash/trace/trace.hpp"
 #include "stash/util/bitvec.hpp"
 
 namespace stash::vthi {
@@ -323,7 +324,8 @@ Result<std::vector<std::uint8_t>> VthiCodec::reveal_at(std::uint32_t block,
     coded[i] = page_bits[i % pages.size()][i / pages.size()];
   }
 
-  // BCH-decode each codeword.
+  // BCH-decode the block's codewords in one batched sweep: the kernel
+  // scratch and syndrome tables are walked once for all of them.
   std::vector<std::uint8_t> data_bits;
   data_bits.reserve(lay.data_bits);
   bool uncorrectable = false;
@@ -331,25 +333,37 @@ Result<std::vector<std::uint8_t>> VthiCodec::reveal_at(std::uint32_t block,
     const std::uint32_t cw = lay.codewords;
     const std::size_t base = lay.data_bits / cw;
     const std::size_t rem = lay.data_bits % cw;
+    std::vector<std::span<const std::uint8_t>> codewords;
+    std::vector<std::size_t> data_lens;
+    codewords.reserve(cw);
+    data_lens.reserve(cw);
     std::size_t offset = 0;
     for (std::uint32_t c = 0; c < cw; ++c) {
       const std::size_t data_len = base + (c < rem ? 1 : 0);
       const std::size_t cw_len = data_len + bch_->parity_bits();
-      const std::span<const std::uint8_t> codeword(coded.data() + offset,
-                                                   cw_len);
-      auto decoded = bch_->decode(codeword);
-      if (decoded.ok) {
-        if (corrected_bits) *corrected_bits += decoded.corrected;
-        data_bits.insert(data_bits.end(), decoded.data_bits.begin(),
-                         decoded.data_bits.end());
+      codewords.emplace_back(coded.data() + offset, cw_len);
+      data_lens.push_back(data_len);
+      offset += cw_len;
+    }
+    std::vector<ecc::BchCode::DecodeResult> decoded;
+    {
+      trace::ScopedSpan span(trace::Stage::kEccDecode, trace::Op::kExtract,
+                             block, (offset + 7) / 8);
+      decoded = bch_->decode_batch(codewords);
+    }
+    for (std::uint32_t c = 0; c < cw; ++c) {
+      if (decoded[c].ok) {
+        if (corrected_bits) *corrected_bits += decoded[c].corrected;
+        data_bits.insert(data_bits.end(), decoded[c].data_bits.begin(),
+                         decoded[c].data_bits.end());
       } else {
         // Best effort: keep the raw systematic part; the MAC will tell us
         // whether it happened to survive.
         uncorrectable = true;
-        data_bits.insert(data_bits.end(), codeword.begin(),
-                         codeword.begin() + static_cast<long>(data_len));
+        data_bits.insert(data_bits.end(), codewords[c].begin(),
+                         codewords[c].begin() +
+                             static_cast<long>(data_lens[c]));
       }
-      offset += cw_len;
     }
   } else {
     data_bits = coded;

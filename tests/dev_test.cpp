@@ -10,6 +10,7 @@
 #include <array>
 #include <chrono>
 #include <set>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -44,8 +45,8 @@ std::vector<std::uint8_t> page_pattern(std::uint32_t bits, std::uint64_t tag) {
   return page;
 }
 
-std::size_t hamming(const std::vector<std::uint8_t>& a,
-                    const std::vector<std::uint8_t>& b) {
+std::size_t hamming(std::span<const std::uint8_t> a,
+                    std::span<const std::uint8_t> b) {
   EXPECT_EQ(a.size(), b.size());
   std::size_t d = 0;
   for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
@@ -57,7 +58,7 @@ std::size_t hamming(const std::vector<std::uint8_t>& a,
 /// True when `read` is unambiguously the (noisy) readback of `wrote`:
 /// within a quarter of the page of it, since random patterns differ in
 /// about half their bits.
-bool matches(const std::vector<std::uint8_t>& read,
+bool matches(std::span<const std::uint8_t> read,
              const std::vector<std::uint8_t>& wrote) {
   return hamming(read, wrote) < wrote.size() / 4;
 }
@@ -288,7 +289,8 @@ TEST(DevCache, NonDivisibleCapacityIsExactNotRounded) {
     // Zero-capacity shards must drop inserts instead of keeping one
     // uncapped resident entry.
     if (inflated.shard_capacity(s) == 0) {
-      inflated.insert(s, std::vector<std::uint8_t>(8, 0xee));
+      inflated.insert(
+          s, dev::PageRef::adopt(std::vector<std::uint8_t>(8, 0xee)));
       EXPECT_FALSE(inflated.lookup(s).has_value()) << "shard " << s;
     }
   }
@@ -392,7 +394,7 @@ TEST(DevScheduler, QueueDepthForcesInlineDispatch) {
   ASSERT_TRUE(dev.write(0, page_pattern(dev.page_bits(), 111)).is_ok());
   ASSERT_TRUE(dev.flush().is_ok());
 
-  std::vector<std::future<util::Result<std::vector<std::uint8_t>>>> futs;
+  std::vector<std::future<util::Result<dev::PageRef>>> futs;
   for (int i = 0; i < 4; ++i) futs.push_back(dev.submit_read(0));
   // Filling the queue dispatched inline: all futures are already ready.
   for (auto& f : futs) {
@@ -473,7 +475,8 @@ TEST(DevDeterminism, ThreadCountNeverChangesResultsOrCosts) {
     auto results = dev.read_batch(lpns);
     std::vector<std::vector<std::uint8_t>> bytes;
     for (auto& r : results) {
-      bytes.push_back(r.is_ok() ? r.value() : std::vector<std::uint8_t>{});
+      bytes.push_back(r.is_ok() ? r.value().to_vector()
+                                : std::vector<std::uint8_t>{});
     }
     return std::make_pair(bytes, dev.ledger());
   };
@@ -776,7 +779,7 @@ TEST(DevPowerCut, CutWithNonEmptyQueueResolvesEveryKindAndKeepsDurableData) {
   ASSERT_TRUE(dev.write(1, page_pattern(dev.page_bits(), 301)).is_ok());
 
   // Fill the queue with every async kind, none dispatched yet.
-  std::vector<std::future<util::Result<std::vector<std::uint8_t>>>> reads;
+  std::vector<std::future<util::Result<dev::PageRef>>> reads;
   for (std::uint64_t lpn = 0; lpn < kCutLpns; ++lpn) {
     reads.push_back(dev.submit_read(lpn));
   }

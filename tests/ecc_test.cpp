@@ -4,6 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "stash/ecc/bch.hpp"
 #include "stash/ecc/gf.hpp"
 #include "stash/ecc/hamming.hpp"
@@ -283,6 +289,193 @@ TEST(Bch, RandomBerSurvivalSweep) {
     ok += decoded.ok && decoded.data_bits == data;
   }
   EXPECT_GE(ok, trials - 1);
+}
+
+// ---------------- SIMD vs scalar-reference decode ----------------
+//
+// The decoder's hot loops exist twice: the forced-SIMD build
+// (bch_kernels.cpp) behind decode()/decode_batch(), and the
+// vectorization-disabled scalar build (bch_reference.cpp) behind
+// decode_reference()/decode_batch_reference().  The kernels are pure
+// integer table arithmetic, so the two builds must agree bit-for-bit —
+// these batteries diff full decodes (data bits, corrected count, ok flag)
+// across them.
+
+void expect_same_result(const BchCode::DecodeResult& simd,
+                        const BchCode::DecodeResult& ref,
+                        const std::string& what) {
+  EXPECT_EQ(simd.ok, ref.ok) << what;
+  EXPECT_EQ(simd.corrected, ref.corrected) << what;
+  EXPECT_EQ(simd.data_bits, ref.data_bits) << what;
+}
+
+TEST(BchSimdVsReference, EveryErrorWeightZeroToT) {
+  // Both the mid-size and the device-size field; every weight w in 0..t,
+  // several random placements each.
+  for (const BchCase& c : {BchCase{8, 4, 120}, BchCase{13, 8, 2000}}) {
+    BchCode code(c.m, c.t);
+    Xoshiro256 rng(0x5eedULL + static_cast<std::uint64_t>(c.m));
+    for (int w = 0; w <= c.t; ++w) {
+      for (int rep = 0; rep < 3; ++rep) {
+        std::vector<std::uint8_t> data(c.data_len);
+        for (auto& b : data) b = static_cast<std::uint8_t>(rng() & 1);
+        auto cw = code.encode(data);
+        std::vector<std::size_t> hit;
+        while (static_cast<int>(hit.size()) < w) {
+          const auto p = static_cast<std::size_t>(rng.below(cw.size()));
+          if (std::find(hit.begin(), hit.end(), p) == hit.end()) {
+            hit.push_back(p);
+            cw[p] ^= 1;
+          }
+        }
+        const auto simd = code.decode(cw);
+        const auto ref = code.decode_reference(cw);
+        expect_same_result(simd, ref,
+                           "m=" + std::to_string(c.m) +
+                               " weight=" + std::to_string(w));
+        EXPECT_TRUE(simd.ok);
+        EXPECT_EQ(simd.corrected, w);
+        EXPECT_EQ(simd.data_bits, data);
+      }
+    }
+  }
+}
+
+TEST(BchSimdVsReference, EverySingleBitFlipPosition) {
+  // Exhaustive over the codeword: each position exercises a different
+  // Chien-search root, so this sweeps the whole locator path.
+  BchCode code(8, 4);  // m=8 keeps the exhaustive sweep fast
+  Xoshiro256 rng(42);
+  std::vector<std::uint8_t> data(120);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng() & 1);
+  const auto clean = code.encode(data);
+  for (std::size_t p = 0; p < clean.size(); ++p) {
+    auto cw = clean;
+    cw[p] ^= 1;
+    const auto simd = code.decode(cw);
+    const auto ref = code.decode_reference(cw);
+    expect_same_result(simd, ref, "flip@" + std::to_string(p));
+    ASSERT_TRUE(simd.ok) << "flip@" << p;
+    EXPECT_EQ(simd.corrected, 1);
+    EXPECT_EQ(simd.data_bits, data);
+  }
+}
+
+TEST(BchSimdVsReference, RandomWeightTPatterns) {
+  // Full correction budget: t errors is where the Berlekamp-Massey and
+  // Chien paths do the most work.
+  BchCode code(13, 8);
+  Xoshiro256 rng(0xfeedULL);
+  for (int trial = 0; trial < 16; ++trial) {
+    std::vector<std::uint8_t> data(3000);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng() & 1);
+    auto cw = code.encode(data);
+    std::vector<std::size_t> hit;
+    while (static_cast<int>(hit.size()) < code.t()) {
+      const auto p = static_cast<std::size_t>(rng.below(cw.size()));
+      if (std::find(hit.begin(), hit.end(), p) == hit.end()) {
+        hit.push_back(p);
+        cw[p] ^= 1;
+      }
+    }
+    const auto simd = code.decode(cw);
+    const auto ref = code.decode_reference(cw);
+    expect_same_result(simd, ref, "trial=" + std::to_string(trial));
+    ASSERT_TRUE(simd.ok);
+    EXPECT_EQ(simd.corrected, code.t());
+    EXPECT_EQ(simd.data_bits, data);
+  }
+}
+
+TEST(BchSimdVsReference, BatchInvariantUnderAnySplit) {
+  // decode_batch must equal per-codeword decode() no matter how the batch
+  // is partitioned: scratch reuse across the batch cannot leak state.
+  BchCode code(10, 5);
+  Xoshiro256 rng(0xba7c4ULL);
+  constexpr std::size_t kBatch = 9;
+  std::vector<std::vector<std::uint8_t>> words;
+  std::vector<BchCode::DecodeResult> singles;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    std::vector<std::uint8_t> data(400);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng() & 1);
+    auto cw = code.encode(data);
+    // Vary the weight across the batch, including beyond-t failures.
+    const int w = static_cast<int>(i % (code.t() + 2));
+    std::vector<std::size_t> hit;
+    while (static_cast<int>(hit.size()) < w) {
+      const auto p = static_cast<std::size_t>(rng.below(cw.size()));
+      if (std::find(hit.begin(), hit.end(), p) == hit.end()) {
+        hit.push_back(p);
+        cw[p] ^= 1;
+      }
+    }
+    singles.push_back(code.decode(cw));
+    words.push_back(std::move(cw));
+  }
+  std::vector<std::span<const std::uint8_t>> views;
+  for (const auto& w : words) views.emplace_back(w);
+
+  // Whole batch, SIMD and reference.
+  for (const auto& results :
+       {code.decode_batch(views), code.decode_batch_reference(views)}) {
+    ASSERT_EQ(results.size(), kBatch);
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      expect_same_result(results[i], singles[i], "full i=" + std::to_string(i));
+    }
+  }
+
+  // Every split point: [0, s) then [s, N) must reproduce the same results.
+  for (std::size_t s = 0; s <= kBatch; ++s) {
+    auto head = code.decode_batch({views.data(), s});
+    auto tail = code.decode_batch({views.data() + s, kBatch - s});
+    ASSERT_EQ(head.size() + tail.size(), kBatch);
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      const auto& got = i < s ? head[i] : tail[i - s];
+      expect_same_result(got, singles[i], "split=" + std::to_string(s) +
+                                              " i=" + std::to_string(i));
+    }
+  }
+}
+
+TEST(BchSimdVsReference, ConcurrentBatchesShareOneCode) {
+  // A BchCode is immutable after construction; concurrent decode_batch
+  // calls on one instance (the codec decodes per-chip batches in a thread
+  // pool) must not race.  TSan runs this test in CI.
+  BchCode code(10, 4);
+  Xoshiro256 rng(0x7eadULL);
+  std::vector<std::vector<std::uint8_t>> words;
+  std::vector<BchCode::DecodeResult> expected;
+  for (int i = 0; i < 12; ++i) {
+    std::vector<std::uint8_t> data(300);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng() & 1);
+    auto cw = code.encode(data);
+    for (int w = 0; w < i % (code.t() + 1); ++w) {
+      cw[rng.below(cw.size())] ^= 1;  // weight may collide; reference below
+    }
+    expected.push_back(code.decode_reference(cw));
+    words.push_back(std::move(cw));
+  }
+  std::vector<std::span<const std::uint8_t>> views;
+  for (const auto& w : words) views.emplace_back(w);
+
+  constexpr int kThreads = 4;
+  std::vector<std::vector<BchCode::DecodeResult>> got(kThreads);
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(kThreads);
+    for (int tid = 0; tid < kThreads; ++tid) {
+      pool.emplace_back([&, tid] { got[tid] = code.decode_batch(views); });
+    }
+    for (auto& th : pool) th.join();
+  }
+  for (int tid = 0; tid < kThreads; ++tid) {
+    ASSERT_EQ(got[tid].size(), words.size());
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      expect_same_result(got[tid][i], expected[i],
+                         "tid=" + std::to_string(tid) +
+                             " i=" + std::to_string(i));
+    }
+  }
 }
 
 // ---------------- Hamming SEC-DED ----------------

@@ -359,7 +359,7 @@ TEST(PackDevice, PackedStoreIsByteIdenticalAcrossThreadCounts) {
     EXPECT_EQ(loaded.value(), secret);
     checksums[i] = dev.state_checksum();
     auto raw = dev.load_hidden();
-    payloads[i] = raw.value();
+    payloads[i] = raw.value().to_vector();
   }
   EXPECT_EQ(checksums[0], checksums[1]);
   EXPECT_EQ(payloads[0], payloads[1]);

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -470,8 +471,8 @@ std::vector<std::uint8_t> page_pattern(std::uint32_t bits, std::uint64_t tag) {
   return page;
 }
 
-std::size_t hamming(const std::vector<std::uint8_t>& a,
-                    const std::vector<std::uint8_t>& b) {
+std::size_t hamming(std::span<const std::uint8_t> a,
+                    std::span<const std::uint8_t> b) {
   EXPECT_EQ(a.size(), b.size());
   std::size_t d = 0;
   for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
@@ -480,7 +481,7 @@ std::size_t hamming(const std::vector<std::uint8_t>& a,
   return d;
 }
 
-bool matches(const std::vector<std::uint8_t>& read,
+bool matches(std::span<const std::uint8_t> read,
              const std::vector<std::uint8_t>& wrote) {
   return hamming(read, wrote) < wrote.size() / 4;
 }
